@@ -1,0 +1,40 @@
+//! E3 — SecGuru ACL analysis latency (§3.2).
+//!
+//! Paper reference points: "analyzing an ACL comprising a few hundred
+//! rules takes approximately 300ms and analyzing an ACL comprising a
+//! few thousand rules takes a second."
+//!
+//! Series regenerated: full contract-suite check time vs ACL rule
+//! count, for the SMT engine and the interval baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use secguru::engine::{IntervalEngine, SecGuru};
+use secguru::refactor::{edge_contracts, synthesize_legacy_acl};
+
+fn acl_check(c: &mut Criterion) {
+    let contracts = edge_contracts();
+    let mut group = c.benchmark_group("E3/acl_contract_suite");
+    group.sample_size(10);
+    for rules in [100usize, 300, 1000, 4000] {
+        let acl = synthesize_legacy_acl(rules, rules / 20 + 1);
+        group.bench_with_input(BenchmarkId::new("smt", acl.len()), &rules, |b, _| {
+            b.iter(|| {
+                // Encoding + all contract queries: the §3.3 precheck.
+                let mut sg = SecGuru::new(acl.clone());
+                let failures = sg.check_all(&contracts);
+                assert!(failures.is_empty());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("interval", acl.len()), &rules, |b, _| {
+            let engine = IntervalEngine::new();
+            b.iter(|| {
+                let failures = engine.check_all(&acl, &contracts);
+                assert!(failures.is_empty());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, acl_check);
+criterion_main!(benches);

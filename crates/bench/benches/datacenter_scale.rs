@@ -1,0 +1,34 @@
+//! E2 (criterion slice) — datacenter-wide local validation (§2.6.3).
+//!
+//! Criterion measures the validation pass (the paper's claimed cost)
+//! over pre-converged FIBs at three datacenter sizes; the full
+//! 10⁴-router point, including BGP convergence, is produced by the
+//! `e2_scale` binary because a single pass there takes tens of seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bgpsim::{simulate, SimConfig};
+use dcbench::scale_shapes;
+use dctopo::{build_clos, MetadataService};
+use rcdc::contracts::generate_contracts;
+use rcdc::runner::{validate_datacenter, RunnerOptions};
+
+fn datacenter_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2/datacenter_validation");
+    group.sample_size(10);
+    for (label, params) in scale_shapes() {
+        let topology = build_clos(&params);
+        let fibs = simulate(&topology, &SimConfig::healthy());
+        let meta = MetadataService::from_topology(&topology);
+        let contracts = generate_contracts(&meta);
+        group.bench_with_input(BenchmarkId::new("trie_1cpu", label), &label, |b, _| {
+            b.iter(|| {
+                let r = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+                assert!(r.is_clean());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, datacenter_scale);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E8 — local validation vs global snapshot checking (§1, §2.4).
+//!
+//! The paper argues global approaches pay "at least cubic" costs for
+//! all-pairs shortest paths plus "an exponential number of ECMP
+//! redundant paths… roughly 1000 different paths per pair". This bench
+//! compares, on identical snapshots:
+//!
+//! * local: the full per-device contract pass (covers ALL pairs);
+//! * global-naive: per-(ToR, prefix) DFS path enumeration, the cost a
+//!   snapshot checker without architectural insight pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bgpsim::{simulate, SimConfig};
+use dctopo::{build_clos, ClosParams, MetadataService, Role};
+use rcdc::contracts::generate_contracts;
+use rcdc::global_baseline::all_pairs_paths_naive;
+use rcdc::runner::{validate_datacenter, RunnerOptions};
+
+fn shapes() -> Vec<(&'static str, ClosParams)> {
+    vec![
+        (
+            "60-devices",
+            ClosParams::default(), // 4x8 ToRs + leaves + spines = 60
+        ),
+        (
+            "128-devices",
+            ClosParams {
+                clusters: 8,
+                tors_per_cluster: 8,
+                leaves_per_cluster: 4,
+                spines: 8,
+                regional_spines: 4,
+                regional_groups: 2,
+                prefixes_per_tor: 1,
+            },
+        ),
+    ]
+}
+
+fn local_vs_global(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8/local_vs_global");
+    group.sample_size(10);
+    for (label, params) in shapes() {
+        let topology = build_clos(&params);
+        let fibs = simulate(&topology, &SimConfig::healthy());
+        let meta = MetadataService::from_topology(&topology);
+        let contracts = generate_contracts(&meta);
+        let tors: Vec<_> = topology.devices_with_role(Role::Tor).map(|d| d.id).collect();
+        let prefixes: Vec<_> = meta.prefix_facts().to_vec();
+
+        group.bench_with_input(BenchmarkId::new("local_all_pairs", label), &label, |b, _| {
+            b.iter(|| {
+                let r = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+                assert!(r.is_clean());
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("global_naive_all_pairs", label),
+            &label,
+            |b, _| {
+                b.iter(|| {
+                    let mut total_paths = 0u64;
+                    for fact in &prefixes {
+                        for &src in &tors {
+                            if src == fact.tor {
+                                continue;
+                            }
+                            let (paths, _, _) = all_pairs_paths_naive(
+                                &fibs, &meta, src, fact.prefix, u64::MAX,
+                            );
+                            total_paths += paths;
+                        }
+                    }
+                    assert!(total_paths > 0);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, local_vs_global);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates Figure 11 (§3.3): the legacy Edge-ACL rule count across
+//! the phased, precheck-gated refactoring.
+//! Output: CSV `phase,description,outcome,rule_count`.
+
+use secguru::refactor::{
+    edge_contracts, execute_plan, synthesize_legacy_acl, Change, ChangeOutcome, DeviceGroup,
+    RefactorPlan,
+};
+
+fn main() {
+    let legacy = synthesize_legacy_acl(2500, 100);
+    eprintln!("# legacy ACL: {} rules", legacy.len());
+    let removable: Vec<String> = legacy
+        .rules()
+        .iter()
+        .filter(|r| r.name.starts_with("svc-") || r.name.starts_with("zeroday-"))
+        .map(|r| r.name.clone())
+        .collect();
+    let changes: Vec<Change> = removable
+        .chunks(325)
+        .enumerate()
+        .map(|(i, chunk)| Change {
+            description: format!("change-{i}"),
+            remove: chunk.to_vec(),
+            add: vec![],
+        })
+        .collect();
+    let plan = RefactorPlan {
+        changes,
+        contracts: edge_contracts(),
+    };
+    let mut groups = vec![DeviceGroup {
+        name: "global".into(),
+        deployed: legacy.clone(),
+    }];
+    println!("phase,description,outcome,rule_count");
+    println!("0,initial,baseline,{}", legacy.len());
+    let records = execute_plan(&legacy, &plan, &mut groups, |_, p| p.clone());
+    for (i, r) in records.iter().enumerate() {
+        let outcome = match &r.outcome {
+            ChangeOutcome::Deployed => "deployed",
+            ChangeOutcome::PrecheckRejected(_) => "precheck-rejected",
+            ChangeOutcome::RolledBack { .. } => "rolled-back",
+        };
+        println!("{},{},{},{}", i + 1, r.description, outcome, r.rule_count);
+    }
+}

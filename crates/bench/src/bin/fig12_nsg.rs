@@ -1,0 +1,22 @@
+//! Regenerates Figure 12 (§3.4): customer-reported NSG backup
+//! incidents, rising with adoption, dropping after the validation gate
+//! ships (~day 100).
+//! Output: CSV `day,incidents,gate_rejections,customers`.
+
+use secguru::nsg_gate::{simulate_incidents, IncidentParams};
+
+fn main() {
+    let params = IncidentParams::default();
+    eprintln!(
+        "# gate ships day {}, adoption {}%",
+        params.gate_day,
+        (params.gate_adoption * 100.0) as u32
+    );
+    println!("day,incidents,gate_rejections,customers");
+    for pt in simulate_incidents(&params) {
+        println!(
+            "{},{},{},{}",
+            pt.day, pt.incidents, pt.gate_rejections, pt.customers
+        );
+    }
+}

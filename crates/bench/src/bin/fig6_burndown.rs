@@ -1,0 +1,26 @@
+//! Regenerates Figure 6 (§2.6.4): burndown of routing intent-drift
+//! errors after RCDC deployment, high-risk errors drained first.
+//! Output: CSV `day,high_fraction,low_fraction,total_fraction`.
+
+use rcdc::burndown::{simulate_burndown, BurndownParams};
+
+fn main() {
+    let params = BurndownParams::default();
+    eprintln!(
+        "# burndown: deployment day {}, capacity {}/day, {}+{} initial errors",
+        params.deployment_day,
+        params.daily_remediation_capacity,
+        params.initial_high,
+        params.initial_low
+    );
+    println!("day,high_fraction,low_fraction,total_fraction");
+    for pt in simulate_burndown(&params) {
+        println!(
+            "{},{:.4},{:.4},{:.4}",
+            pt.day,
+            pt.high_fraction,
+            pt.low_fraction,
+            pt.high_fraction + pt.low_fraction
+        );
+    }
+}

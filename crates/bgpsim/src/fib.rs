@@ -1,0 +1,295 @@
+//! Compact forwarding information bases.
+//!
+//! A device's FIB "is a table, where each entry associates a
+//! destination prefix to a set of next hop addresses" (§2.2). FIBs in
+//! a hyperscale DC hold thousands of prefixes and next-hop sets repeat
+//! massively (every specific route on a ToR shares the same leaf set),
+//! so entries store an index into a per-FIB pool of interned next-hop
+//! sets — this is what keeps the 10⁴-router experiment within memory.
+
+use dctopo::DeviceId;
+use netprim::wire::{WireEntry, WireSnapshot};
+use netprim::{Ipv4, ParseError, Prefix};
+use std::collections::HashMap;
+
+/// One FIB entry: destination prefix plus interned next-hop set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FibEntry {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Index into the owning [`Fib`]'s next-hop-set pool.
+    pub set: u32,
+    /// Locally originated (the device's own hosted prefix): packets
+    /// are delivered below, not forwarded.
+    pub local: bool,
+}
+
+/// A device's forwarding table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fib {
+    device: DeviceId,
+    entries: Vec<FibEntry>,
+    sets: Vec<Vec<Ipv4>>,
+}
+
+/// Incremental FIB construction with next-hop-set interning.
+pub struct FibBuilder {
+    device: DeviceId,
+    entries: Vec<FibEntry>,
+    sets: Vec<Vec<Ipv4>>,
+    interner: HashMap<Vec<Ipv4>, u32>,
+}
+
+impl FibBuilder {
+    /// Start a FIB for a device.
+    pub fn new(device: DeviceId) -> Self {
+        FibBuilder {
+            device,
+            entries: Vec::new(),
+            sets: Vec::new(),
+            interner: HashMap::new(),
+        }
+    }
+
+    /// Intern a next-hop set (sorted for canonical comparison).
+    pub fn intern(&mut self, mut hops: Vec<Ipv4>) -> u32 {
+        hops.sort_unstable();
+        if let Some(&id) = self.interner.get(&hops) {
+            return id;
+        }
+        let id = self.sets.len() as u32;
+        self.sets.push(hops.clone());
+        self.interner.insert(hops, id);
+        id
+    }
+
+    /// Append an entry.
+    pub fn push(&mut self, prefix: Prefix, hops: Vec<Ipv4>, local: bool) {
+        let set = self.intern(hops);
+        self.entries.push(FibEntry { prefix, set, local });
+    }
+
+    /// Finish: entries are sorted by descending prefix length, then
+    /// address — the longest-prefix-match processing order used by the
+    /// verification engines (Definition 2.1).
+    pub fn finish(mut self) -> Fib {
+        self.entries
+            .sort_unstable_by(|a, b| {
+                b.prefix
+                    .len()
+                    .cmp(&a.prefix.len())
+                    .then(a.prefix.addr().cmp(&b.prefix.addr()))
+            });
+        Fib {
+            device: self.device,
+            entries: self.entries,
+            sets: self.sets,
+        }
+    }
+}
+
+impl Fib {
+    /// An empty FIB (e.g. a device with the layer-2 port bug).
+    pub fn empty(device: DeviceId) -> Fib {
+        Fib {
+            device,
+            entries: Vec::new(),
+            sets: Vec::new(),
+        }
+    }
+
+    /// The owning device.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Entries, sorted by descending prefix length.
+    pub fn entries(&self) -> &[FibEntry] {
+        &self.entries
+    }
+
+    /// The next-hop addresses of an entry.
+    pub fn next_hops(&self, e: &FibEntry) -> &[Ipv4] {
+        &self.sets[e.set as usize]
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The default-route entry (`0.0.0.0/0`), if present.
+    pub fn default_entry(&self) -> Option<&FibEntry> {
+        // Sorted by descending length: the default, if any, is last.
+        self.entries.last().filter(|e| e.prefix.is_default())
+    }
+
+    /// Longest-prefix-match lookup (reference semantics for tests and
+    /// the global baseline checker; the production engines use tries).
+    ///
+    /// Entries are sorted by (descending length, address): within each
+    /// length run a binary search finds the unique candidate prefix
+    /// containing `ip`, so lookup is O(distinct lengths × log n)
+    /// rather than O(n).
+    pub fn lookup(&self, ip: Ipv4) -> Option<&FibEntry> {
+        let mut i = 0;
+        while i < self.entries.len() {
+            let len = self.entries[i].prefix.len();
+            // End of this length run.
+            let run_end = i + self.entries[i..].partition_point(|e| e.prefix.len() == len);
+            let run = &self.entries[i..run_end];
+            let candidate = Prefix::containing(ip, len).expect("len <= 32");
+            if let Ok(k) = run.binary_search_by(|e| e.prefix.addr().cmp(&candidate.addr())) {
+                return Some(&run[k]);
+            }
+            i = run_end;
+        }
+        None
+    }
+
+    /// Find the entry for an exact prefix. Binary search over the
+    /// sorted entry order — called once per contract by the strict
+    /// engines, so it must not be linear (a 10⁴-router run issues
+    /// ~10⁸ of these lookups).
+    pub fn entry_for(&self, prefix: Prefix) -> Option<&FibEntry> {
+        self.entries
+            .binary_search_by(|e| {
+                prefix
+                    .len()
+                    .cmp(&e.prefix.len())
+                    .then(e.prefix.addr().cmp(&prefix.addr()))
+            })
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Serialize for the puller→validator transfer (§2.6.1).
+    pub fn to_wire(&self) -> WireSnapshot {
+        WireSnapshot {
+            device: self.device.0,
+            entries: self
+                .entries
+                .iter()
+                .map(|e| WireEntry {
+                    prefix: e.prefix,
+                    next_hops: self.next_hops(e).to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstruct from the wire format. Locality cannot be carried on
+    /// the wire (real FIB pulls don't carry it either); entries with no
+    /// next hops are treated as local.
+    pub fn from_wire(w: &WireSnapshot) -> Result<Fib, ParseError> {
+        let mut b = FibBuilder::new(DeviceId(w.device));
+        for e in &w.entries {
+            let local = e.next_hops.is_empty();
+            b.push(e.prefix, e.next_hops.clone(), local);
+        }
+        Ok(b.finish())
+    }
+
+    /// Total number of distinct next-hop sets (compactness statistic).
+    pub fn set_pool_len(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn hops(addrs: &[[u8; 4]]) -> Vec<Ipv4> {
+        addrs.iter().map(|&o| Ipv4::from(o)).collect()
+    }
+
+    fn sample() -> Fib {
+        let mut b = FibBuilder::new(DeviceId(9));
+        b.push(p("0.0.0.0/0"), hops(&[[30, 0, 0, 1], [30, 0, 0, 3]]), false);
+        b.push(p("10.0.1.0/24"), hops(&[[30, 0, 0, 1], [30, 0, 0, 3]]), false);
+        b.push(p("10.0.0.0/24"), vec![], true);
+        b.push(p("10.0.0.0/16"), hops(&[[30, 0, 0, 5]]), false);
+        b.finish()
+    }
+
+    #[test]
+    fn entries_sorted_longest_first() {
+        let f = sample();
+        let lens: Vec<u8> = f.entries().iter().map(|e| e.prefix.len()).collect();
+        assert_eq!(lens, vec![24, 24, 16, 0]);
+    }
+
+    #[test]
+    fn interning_dedupes_sets() {
+        let f = sample();
+        // Two entries share {30.0.0.1, 30.0.0.3}; plus {} and {30.0.0.5}.
+        assert_eq!(f.set_pool_len(), 3);
+    }
+
+    #[test]
+    fn interning_is_order_insensitive() {
+        let mut b = FibBuilder::new(DeviceId(0));
+        let a = b.intern(hops(&[[30, 0, 0, 3], [30, 0, 0, 1]]));
+        let c = b.intern(hops(&[[30, 0, 0, 1], [30, 0, 0, 3]]));
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn longest_prefix_match() {
+        let f = sample();
+        // 10.0.0.7 matches /24 local, /16, /0 -> the local /24 wins.
+        let e = f.lookup(Ipv4::new(10, 0, 0, 7)).unwrap();
+        assert_eq!(e.prefix, p("10.0.0.0/24"));
+        assert!(e.local);
+        // 10.0.9.9 matches /16 and /0 -> /16.
+        let e = f.lookup(Ipv4::new(10, 0, 9, 9)).unwrap();
+        assert_eq!(e.prefix, p("10.0.0.0/16"));
+        // 99.0.0.1 only the default.
+        let e = f.lookup(Ipv4::new(99, 0, 0, 1)).unwrap();
+        assert!(e.prefix.is_default());
+    }
+
+    #[test]
+    fn default_entry_found() {
+        let f = sample();
+        assert!(f.default_entry().is_some());
+        let no_default = {
+            let mut b = FibBuilder::new(DeviceId(1));
+            b.push(p("10.0.0.0/24"), vec![], true);
+            b.finish()
+        };
+        assert!(no_default.default_entry().is_none());
+        assert!(Fib::empty(DeviceId(2)).default_entry().is_none());
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let f = sample();
+        let w = f.to_wire();
+        let back = Fib::from_wire(&w).unwrap();
+        assert_eq!(back.device(), f.device());
+        assert_eq!(back.len(), f.len());
+        for (a, b) in f.entries().iter().zip(back.entries()) {
+            assert_eq!(a.prefix, b.prefix);
+            assert_eq!(f.next_hops(a), back.next_hops(b));
+            assert_eq!(a.local, b.local);
+        }
+    }
+
+    #[test]
+    fn entry_for_exact_prefix() {
+        let f = sample();
+        assert!(f.entry_for(p("10.0.0.0/16")).is_some());
+        assert!(f.entry_for(p("10.0.0.0/20")).is_none());
+    }
+}

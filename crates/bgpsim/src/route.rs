@@ -1,0 +1,56 @@
+//! AS-path utilities.
+
+use dctopo::Asn;
+
+/// The private ASN band (RFC 6996 16-bit range), extended to include
+/// the reserved 65535 that Azure's scheme assigns to spines (§2.1,
+/// Figure 1). Everything in this band is stripped by regional spines.
+pub const PRIVATE_ASN_MIN: u32 = 64512;
+/// Upper end of the stripped band (includes reserved 65535).
+pub const PRIVATE_ASN_MAX: u32 = 65535;
+
+/// Is this ASN in the stripped (private/reserved) band?
+pub const fn is_private(asn: Asn) -> bool {
+    asn.0 >= PRIVATE_ASN_MIN && asn.0 <= PRIVATE_ASN_MAX
+}
+
+/// Remove private ASNs from an AS path — what the regional spines do
+/// "when relaying the routes received from the spine devices… to
+/// prohibit ASN collisions between different datacenters" (§2.1).
+pub fn strip_private_asns(path: &[Asn]) -> Vec<Asn> {
+    path.iter().copied().filter(|&a| !is_private(a)).collect()
+}
+
+/// Does the path contain the given ASN (BGP loop prevention)?
+pub fn contains_asn(path: &[Asn], asn: Asn) -> bool {
+    path.contains(&asn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_band_boundaries() {
+        assert!(!is_private(Asn(64511)));
+        assert!(is_private(Asn(64512)));
+        assert!(is_private(Asn(65100)));
+        assert!(is_private(Asn(65534)));
+        assert!(is_private(Asn(65535)));
+        assert!(!is_private(Asn(8075)));
+    }
+
+    #[test]
+    fn stripping_removes_only_private() {
+        let path = vec![Asn(64900), Asn(65535), Asn(65533), Asn(8075)];
+        assert_eq!(strip_private_asns(&path), vec![Asn(8075)]);
+        assert_eq!(strip_private_asns(&[]), Vec::<Asn>::new());
+    }
+
+    #[test]
+    fn loop_detection() {
+        let path = vec![Asn(65535), Asn(65533), Asn(65100)];
+        assert!(contains_asn(&path, Asn(65533)));
+        assert!(!contains_asn(&path, Asn(65101)));
+    }
+}

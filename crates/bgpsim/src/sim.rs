@@ -1,0 +1,648 @@
+//! The per-prefix EBGP convergence engine.
+//!
+//! With no route aggregation, BGP converges per prefix independently.
+//! For each prefix (the ToR-hosted specifics plus the regional-spine
+//! default), the engine runs a monotone shortest-AS-path relaxation:
+//!
+//! * origins start at distance 0;
+//! * a device at distance `L` advertises to every session-up neighbor,
+//!   which accepts at distance `L+1` unless BGP loop prevention (own
+//!   ASN in the advertised path, modulo ToR allowas-in) or an import
+//!   policy rejects it;
+//! * all neighbors delivering the minimal distance form the ECMP
+//!   next-hop set.
+//!
+//! The advertised AS path of a device is reconstructed by walking BFS
+//! parents (paths are at most 4 ASNs deep in a Clos), avoiding per-hop
+//! path allocation across the ~10⁸ relaxations of a 10⁴-router run.
+
+use crate::config::SimConfig;
+use crate::fib::{Fib, FibBuilder};
+use dctopo::{Asn, DeviceId, LinkId, Role, Topology};
+use netprim::{Ipv4, Prefix};
+
+/// The default route prefix originated by the regional spines.
+pub fn default_prefix() -> Prefix {
+    Prefix::DEFAULT
+}
+
+const INF: u8 = u8::MAX;
+/// Upper bound on AS-path length in a 4-tier Clos (loop prevention
+/// caps real paths at 4; 16 leaves margin for override experiments).
+const MAX_LEN: usize = 16;
+
+struct Session {
+    peer: DeviceId,
+    /// This device's own interface address on the shared link — the
+    /// next-hop address the *peer* programs to reach this device.
+    local_addr: Ipv4,
+    link: LinkId,
+}
+
+/// Scratch state reused across prefixes.
+struct Relaxation {
+    best: Vec<u8>,
+    parent: Vec<DeviceId>,
+    hops: Vec<Vec<Ipv4>>,
+    touched: Vec<DeviceId>,
+    buckets: Vec<Vec<DeviceId>>,
+}
+
+impl Relaxation {
+    fn new(n: usize) -> Self {
+        Relaxation {
+            best: vec![INF; n],
+            parent: vec![DeviceId(0); n],
+            hops: vec![Vec::new(); n],
+            touched: Vec::new(),
+            buckets: vec![Vec::new(); MAX_LEN],
+        }
+    }
+
+    fn reset(&mut self) {
+        for &d in &self.touched {
+            self.best[d.0 as usize] = INF;
+            self.hops[d.0 as usize].clear();
+        }
+        self.touched.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+    }
+}
+
+/// Simulate EBGP convergence and return one FIB per device (indexed by
+/// device id).
+pub fn simulate(topology: &Topology, config: &SimConfig) -> Vec<Fib> {
+    let n = topology.len();
+
+    // Effective ASNs (migration overrides applied).
+    let asn: Vec<Asn> = topology
+        .devices()
+        .iter()
+        .map(|d| {
+            config
+                .device(d.id)
+                .and_then(|o| o.asn_override)
+                .unwrap_or(d.asn)
+        })
+        .collect();
+
+    let l2_bug: Vec<bool> = topology
+        .devices()
+        .iter()
+        .map(|d| config.device(d.id).is_some_and(|o| o.l2_port_bug))
+        .collect();
+
+    // Session adjacency over healthy links between non-L2-bugged devices.
+    let mut sessions: Vec<Vec<Session>> = (0..n).map(|_| Vec::new()).collect();
+    for l in topology.links() {
+        if !l.state.session_up() {
+            continue;
+        }
+        if l2_bug[l.lo.0 as usize] || l2_bug[l.hi.0 as usize] {
+            continue;
+        }
+        sessions[l.lo.0 as usize].push(Session {
+            peer: l.hi,
+            local_addr: l.lo_addr,
+            link: l.id,
+        });
+        sessions[l.hi.0 as usize].push(Session {
+            peer: l.lo,
+            local_addr: l.hi_addr,
+            link: l.id,
+        });
+    }
+    let _ = &sessions; // borrow below
+    let allowas_in: Vec<bool> = topology
+        .devices()
+        .iter()
+        .map(|d| d.role == Role::Tor)
+        .collect();
+
+    let mut builders: Vec<FibBuilder> = topology
+        .devices()
+        .iter()
+        .map(|d| FibBuilder::new(d.id))
+        .collect();
+
+    let mut relax = Relaxation::new(n);
+
+    // Work items: every hosted prefix (origin: its ToR) and the default
+    // route (origins: all regional spines).
+    let mut work: Vec<(Prefix, Vec<DeviceId>)> = topology
+        .all_hosted()
+        .map(|(tor, prefix)| (prefix, vec![tor]))
+        .collect();
+    let regionals: Vec<DeviceId> = topology
+        .devices_with_role(Role::RegionalSpine)
+        .map(|d| d.id)
+        .collect();
+    work.push((default_prefix(), regionals));
+
+    for (prefix, origins) in work {
+        relax.reset();
+        propagate(
+            topology,
+            config,
+            &sessions,
+            &asn,
+            &allowas_in,
+            &mut relax,
+            prefix,
+            &origins,
+        );
+        emit(topology, config, &relax, prefix, &origins, &mut builders);
+    }
+
+    builders.into_iter().map(FibBuilder::finish).collect()
+}
+
+/// Does the AS path advertised by `from` (walked via BFS parents)
+/// contain `receiver_asn`? The advertised path is
+/// `asn(from), asn(parent(from)), …, asn(origin)`.
+fn path_contains(
+    relax: &Relaxation,
+    asn: &[Asn],
+    mut from: DeviceId,
+    receiver_asn: Asn,
+) -> bool {
+    loop {
+        if asn[from.0 as usize] == receiver_asn {
+            return true;
+        }
+        let len = relax.best[from.0 as usize];
+        if len == 0 {
+            return false; // reached an origin
+        }
+        from = relax.parent[from.0 as usize];
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn propagate(
+    topology: &Topology,
+    config: &SimConfig,
+    sessions: &[Vec<Session>],
+    asn: &[Asn],
+    allowas_in: &[bool],
+    relax: &mut Relaxation,
+    prefix: Prefix,
+    origins: &[DeviceId],
+) {
+    let is_default = prefix.is_default();
+    for &o in origins {
+        // An origin with the L2 bug still "hosts" the prefix but cannot
+        // announce it (no sessions) — handled naturally since its
+        // session list is empty.
+        relax.best[o.0 as usize] = 0;
+        relax.touched.push(o);
+        relax.buckets[0].push(o);
+    }
+    let _ = topology;
+
+    for level in 0..MAX_LEN - 1 {
+        if relax.buckets[level].is_empty() {
+            continue;
+        }
+        let senders = std::mem::take(&mut relax.buckets[level]);
+        for d in senders {
+            let du = d.0 as usize;
+            if relax.best[du] != level as u8 {
+                continue; // stale entry; improved earlier
+            }
+            for s in &sessions[du] {
+                let nu = s.peer.0 as usize;
+                let nl = level as u8 + 1;
+                let cur = relax.best[nu];
+                if nl > cur {
+                    continue;
+                }
+                // Import policy: default-route rejection (§2.6.2).
+                if is_default
+                    && config
+                        .device(s.peer)
+                        .is_some_and(|o| o.reject_default_import)
+                {
+                    continue;
+                }
+                // BGP loop prevention on the receiver, unless allowas-in.
+                if !allowas_in[nu] && path_contains(relax, asn, d, asn[nu]) {
+                    continue;
+                }
+                // Self-announcement guard: an origin never reimports.
+                if relax.best[nu] == 0 {
+                    continue;
+                }
+                if nl < cur {
+                    if cur == INF {
+                        relax.touched.push(s.peer);
+                    }
+                    relax.best[nu] = nl;
+                    relax.parent[nu] = d;
+                    relax.hops[nu].clear();
+                    relax.hops[nu].push(s.local_addr);
+                    relax.buckets[nl as usize].push(s.peer);
+                } else {
+                    // Equal length: extend the ECMP set.
+                    let hops = &mut relax.hops[nu];
+                    if !hops.contains(&s.local_addr) {
+                        hops.push(s.local_addr);
+                    }
+                }
+                let _ = s.link;
+            }
+        }
+    }
+}
+
+fn emit(
+    topology: &Topology,
+    config: &SimConfig,
+    relax: &Relaxation,
+    prefix: Prefix,
+    origins: &[DeviceId],
+    builders: &mut [FibBuilder],
+) {
+    let is_default = prefix.is_default();
+    for &d in &relax.touched {
+        let du = d.0 as usize;
+        let len = relax.best[du];
+        debug_assert_ne!(len, INF);
+        if len == 0 {
+            // Origin: ToRs install their hosted prefix as local.
+            // Regional spines originate the default (modeled as local
+            // too: it points out of the datacenter).
+            builders[du].push(prefix, Vec::new(), true);
+            continue;
+        }
+        let mut hops = relax.hops[du].clone();
+        hops.sort_unstable();
+        if let Some(o) = config.device(d) {
+            if let Some(k) = o.max_ecmp {
+                hops.truncate(k.max(1));
+            }
+            if is_default {
+                if let Some(k) = o.rib_fib_default_hops {
+                    hops.truncate(k.max(1));
+                }
+            }
+        }
+        builders[du].push(prefix, hops, false);
+    }
+    let _ = (topology, origins);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dctopo::generator::{build_clos, figure3, ClosParams};
+    use dctopo::{LinkState, MetadataService};
+
+    /// Healthy Figure 3 datacenter, simulated.
+    fn healthy_fig3() -> (dctopo::generator::Figure3, Vec<Fib>) {
+        let f = figure3();
+        let fibs = simulate(&f.topology, &SimConfig::healthy());
+        (f, fibs)
+    }
+
+    #[test]
+    fn tor_has_default_via_all_leaves() {
+        let (f, fibs) = healthy_fig3();
+        let m = MetadataService::from_topology(&f.topology);
+        let fib = &fibs[f.tors[0].0 as usize];
+        let d = fib.default_entry().expect("ToR must have a default route");
+        let hops = fib.next_hops(d);
+        assert_eq!(hops.len(), 4, "default must fan out over all 4 leaves");
+        for h in hops {
+            let owner = m.owner_of(*h).unwrap();
+            assert_eq!(f.topology.device(owner).role, Role::Leaf);
+            assert_eq!(
+                f.topology.device(owner).cluster,
+                f.topology.device(f.tors[0]).cluster
+            );
+        }
+    }
+
+    #[test]
+    fn tor_has_specific_for_every_remote_prefix() {
+        let (f, fibs) = healthy_fig3();
+        let fib = &fibs[f.tors[0].0 as usize];
+        // Own prefix is local; the other three are via the 4 leaves.
+        let own = fib.entry_for(f.prefixes[0]).unwrap();
+        assert!(own.local);
+        for &p in &f.prefixes[1..] {
+            let e = fib.entry_for(p).unwrap();
+            assert!(!e.local);
+            assert_eq!(fib.next_hops(e).len(), 4, "prefix {p}");
+        }
+        // Total: default + 4 prefixes.
+        assert_eq!(fib.len(), 5);
+    }
+
+    #[test]
+    fn leaf_forwards_cluster_prefixes_to_tors_directly() {
+        let (f, fibs) = healthy_fig3();
+        let m = MetadataService::from_topology(&f.topology);
+        // A1: Prefix_A -> ToR1, Prefix_B -> ToR2 (paper Figure 4).
+        let fib = &fibs[f.a[0].0 as usize];
+        for (pi, tor) in [(0usize, f.tors[0]), (1, f.tors[1])] {
+            let e = fib.entry_for(f.prefixes[pi]).unwrap();
+            let hops = fib.next_hops(e);
+            assert_eq!(hops.len(), 1);
+            assert_eq!(m.owner_of(hops[0]), Some(tor));
+        }
+        // Prefix_C, Prefix_D -> D1 (the only spine of A1).
+        for pi in [2usize, 3] {
+            let e = fib.entry_for(f.prefixes[pi]).unwrap();
+            let hops = fib.next_hops(e);
+            assert_eq!(hops.len(), 1);
+            assert_eq!(m.owner_of(hops[0]), Some(f.d[0]));
+        }
+        // Default -> D1.
+        let de = fib.default_entry().unwrap();
+        assert_eq!(m.owner_of(fib.next_hops(de)[0]), Some(f.d[0]));
+        assert_eq!(fib.next_hops(de).len(), 1);
+    }
+
+    #[test]
+    fn spine_routes_match_figure4() {
+        let (f, fibs) = healthy_fig3();
+        let m = MetadataService::from_topology(&f.topology);
+        let fib = &fibs[f.d[0].0 as usize];
+        // D1: Prefix_A, Prefix_B -> A1; Prefix_C, Prefix_D -> B1.
+        for (pi, leaf) in [(0usize, f.a[0]), (1, f.a[0]), (2, f.b[0]), (3, f.b[0])] {
+            let e = fib.entry_for(f.prefixes[pi]).unwrap();
+            let hops = fib.next_hops(e);
+            assert_eq!(hops.len(), 1, "prefix index {pi}");
+            assert_eq!(m.owner_of(hops[0]), Some(leaf));
+        }
+        // Default -> R1, R3.
+        let de = fib.default_entry().unwrap();
+        let owners: Vec<_> = fib
+            .next_hops(de)
+            .iter()
+            .map(|&h| m.owner_of(h).unwrap())
+            .collect();
+        assert_eq!(owners.len(), 2);
+        assert!(owners.contains(&f.r[0]) && owners.contains(&f.r[2]));
+    }
+
+    #[test]
+    fn regional_spine_sees_every_prefix_but_no_valley() {
+        let (f, fibs) = healthy_fig3();
+        let m = MetadataService::from_topology(&f.topology);
+        let fib = &fibs[f.r[0].0 as usize];
+        // R1 connects to D1 and D3; every prefix reachable via exactly
+        // the spines that have it (1 per prefix here: plane wiring).
+        for &p in &f.prefixes {
+            let e = fib.entry_for(p).unwrap();
+            for h in fib.next_hops(e) {
+                let o = m.owner_of(*h).unwrap();
+                assert_eq!(f.topology.device(o).role, Role::Spine);
+            }
+        }
+        // The default is locally originated at regionals.
+        assert!(fib.default_entry().unwrap().local);
+        // No spine ever has a route through a regional back down:
+        // D1 must not know Prefix_C via R1/R3 (valley-free).
+        let d1 = &fibs[f.d[0].0 as usize];
+        let e = d1.entry_for(f.prefixes[2]).unwrap();
+        for h in d1.next_hops(e) {
+            let o = m.owner_of(*h).unwrap();
+            assert_eq!(f.topology.device(o).role, Role::Leaf);
+        }
+    }
+
+    #[test]
+    fn intra_cluster_path_is_two_hops() {
+        // Forward a packet ToR1 -> Prefix_B by walking FIBs; the path
+        // must be ToR1 -> leaf -> ToR2 (length 2, §2.1).
+        let (f, fibs) = healthy_fig3();
+        let m = MetadataService::from_topology(&f.topology);
+        let dst = f.prefixes[1].addr();
+        let mut cur = f.tors[0];
+        let mut hops = 0;
+        loop {
+            let fib = &fibs[cur.0 as usize];
+            let e = fib.lookup(dst).expect("route must exist");
+            if e.local {
+                break;
+            }
+            cur = m.owner_of(fib.next_hops(e)[0]).unwrap();
+            hops += 1;
+            assert!(hops <= 8, "forwarding loop");
+        }
+        assert_eq!(cur, f.tors[1]);
+        assert_eq!(hops, 2);
+    }
+
+    #[test]
+    fn inter_cluster_path_is_four_hops() {
+        let (f, fibs) = healthy_fig3();
+        let m = MetadataService::from_topology(&f.topology);
+        let dst = f.prefixes[2].addr(); // Prefix_C in cluster B
+        let mut cur = f.tors[0];
+        let mut path = vec![cur];
+        loop {
+            let fib = &fibs[cur.0 as usize];
+            let e = fib.lookup(dst).unwrap();
+            if e.local {
+                break;
+            }
+            cur = m.owner_of(fib.next_hops(e)[0]).unwrap();
+            path.push(cur);
+            assert!(path.len() <= 8, "forwarding loop: {path:?}");
+        }
+        assert_eq!(path.len(), 5, "ToR,leaf,spine,leaf,ToR: {path:?}");
+        assert_eq!(*path.last().unwrap(), f.tors[2]);
+        let roles: Vec<Role> = path
+            .iter()
+            .map(|&d| f.topology.device(d).role)
+            .collect();
+        assert_eq!(
+            roles,
+            vec![Role::Tor, Role::Leaf, Role::Spine, Role::Leaf, Role::Tor]
+        );
+    }
+
+    #[test]
+    fn link_failure_shrinks_ecmp_sets() {
+        let mut f = figure3();
+        // Fail ToR1-A3 and ToR1-A4 (two of the paper's four failures).
+        for &leaf in &[f.a[2], f.a[3]] {
+            let l = f.topology.link_between(f.tors[0], leaf).unwrap().id;
+            f.topology.set_link_state(l, LinkState::OperDown);
+        }
+        let fibs = simulate(&f.topology, &SimConfig::healthy());
+        let fib = &fibs[f.tors[0].0 as usize];
+        let d = fib.default_entry().unwrap();
+        assert_eq!(fib.next_hops(d).len(), 2, "two of four uplinks remain");
+    }
+
+    #[test]
+    fn figure3_failures_blackhole_specifics_but_keep_default_path() {
+        // The paper's full §2.4.4 scenario: ToR1 loses A3/A4, ToR2
+        // loses A1/A2. ToR1 then has no *specific* route for Prefix_B
+        // (A1/A2 can't reach ToR2, A3/A4 unreachable from ToR1), but
+        // the packet still arrives via default routes through the
+        // regional spine — in 6 hops instead of 2.
+        let mut f = figure3();
+        for (tor, leaves) in [(f.tors[0], [f.a[2], f.a[3]]), (f.tors[1], [f.a[0], f.a[1]])] {
+            for leaf in leaves {
+                let l = f.topology.link_between(tor, leaf).unwrap().id;
+                f.topology.set_link_state(l, LinkState::OperDown);
+            }
+        }
+        let fibs = simulate(&f.topology, &SimConfig::healthy());
+        let m = MetadataService::from_topology(&f.topology);
+        let tor1 = &fibs[f.tors[0].0 as usize];
+        assert!(
+            tor1.entry_for(f.prefixes[1]).is_none(),
+            "no specific route for Prefix_B may survive at ToR1"
+        );
+        // Forward ToR1 -> Prefix_B: must succeed via default routes.
+        let dst = f.prefixes[1].addr();
+        let mut cur = f.tors[0];
+        let mut hops = 0;
+        loop {
+            let fib = &fibs[cur.0 as usize];
+            let e = fib.lookup(dst).expect("must not blackhole");
+            if e.local && !e.prefix.is_default() {
+                break;
+            }
+            // At a regional spine the default is local-originated; the
+            // specific must exist there instead.
+            let nh = fib.next_hops(e);
+            assert!(!nh.is_empty(), "dead end at {cur:?}");
+            cur = m.owner_of(nh[0]).unwrap();
+            hops += 1;
+            assert!(hops <= 10, "loop");
+        }
+        assert_eq!(cur, f.tors[1]);
+        assert_eq!(hops, 6, "ToR,leaf,spine,regional,spine,leaf,ToR");
+    }
+
+    #[test]
+    fn l2_port_bug_empties_fib() {
+        let f = figure3();
+        let cfg = SimConfig::healthy().with_l2_port_bug(f.a[1]);
+        let fibs = simulate(&f.topology, &cfg);
+        // A1-bugged leaf has no sessions: only nothing (leaf hosts no
+        // prefixes), so its FIB is empty.
+        assert!(fibs[f.a[1].0 as usize].is_empty());
+        // Its ToRs lose one uplink.
+        let t1 = &fibs[f.tors[0].0 as usize];
+        assert_eq!(t1.next_hops(t1.default_entry().unwrap()).len(), 3);
+    }
+
+    #[test]
+    fn default_reject_policy_drops_default_only() {
+        let f = figure3();
+        let cfg = SimConfig::healthy().with_default_reject(f.tors[0]);
+        let fibs = simulate(&f.topology, &cfg);
+        let fib = &fibs[f.tors[0].0 as usize];
+        assert!(fib.default_entry().is_none(), "default must be rejected");
+        assert!(fib.entry_for(f.prefixes[1]).is_some(), "specifics unaffected");
+    }
+
+    #[test]
+    fn ecmp_misconfig_truncates_next_hops() {
+        let f = figure3();
+        let cfg = SimConfig::healthy().with_max_ecmp(f.tors[0], 1);
+        let fibs = simulate(&f.topology, &cfg);
+        let fib = &fibs[f.tors[0].0 as usize];
+        assert_eq!(fib.next_hops(fib.default_entry().unwrap()).len(), 1);
+        let e = fib.entry_for(f.prefixes[1]).unwrap();
+        assert_eq!(fib.next_hops(e).len(), 1);
+    }
+
+    #[test]
+    fn rib_fib_bug_truncates_default_only() {
+        let f = figure3();
+        let cfg = SimConfig::healthy().with_rib_fib_bug(f.tors[0], 1);
+        let fibs = simulate(&f.topology, &cfg);
+        let fib = &fibs[f.tors[0].0 as usize];
+        assert_eq!(fib.next_hops(fib.default_entry().unwrap()).len(), 1);
+        let e = fib.entry_for(f.prefixes[1]).unwrap();
+        assert_eq!(fib.next_hops(e).len(), 4, "specifics keep full ECMP");
+    }
+
+    #[test]
+    fn migration_asn_collision_hides_specifics_both_ways() {
+        // Cluster B's leaves get cluster A's leaf ASN: ToRs in each
+        // cluster stop seeing the other cluster's specifics (§2.6.2
+        // Migrations), but defaults still deliver traffic.
+        let f = figure3();
+        let cluster_a_leaf_asn = f.topology.device(f.a[0]).asn;
+        let mut cfg = SimConfig::healthy();
+        for &leaf in &f.b {
+            cfg = cfg.with_asn_override(leaf, cluster_a_leaf_asn);
+        }
+        let fibs = simulate(&f.topology, &cfg);
+        let t1 = &fibs[f.tors[0].0 as usize];
+        assert!(t1.entry_for(f.prefixes[2]).is_none());
+        assert!(t1.entry_for(f.prefixes[3]).is_none());
+        assert!(t1.entry_for(f.prefixes[1]).is_some(), "intra-cluster fine");
+        let t3 = &fibs[f.tors[2].0 as usize];
+        assert!(t3.entry_for(f.prefixes[0]).is_none());
+        // Defaults still present on both sides.
+        assert!(t1.default_entry().is_some());
+        assert!(t3.default_entry().is_some());
+    }
+
+    #[test]
+    fn generated_scale_fib_sizes() {
+        // Medium datacenter: every device's FIB holds every hosted
+        // prefix (+ default), matching "routing tables with several
+        // thousands of prefixes" at scale.
+        let params = ClosParams::default();
+        let t = build_clos(&params);
+        let fibs = simulate(&t, &SimConfig::healthy());
+        let total_prefixes = (params.clusters * params.tors_per_cluster) as usize;
+        for d in t.devices() {
+            let fib = &fibs[d.id.0 as usize];
+            match d.role {
+                Role::Tor | Role::Leaf | Role::Spine => {
+                    assert_eq!(fib.len(), total_prefixes + 1, "{}", d.name);
+                }
+                Role::RegionalSpine => {
+                    assert_eq!(fib.len(), total_prefixes + 1, "{}", d.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_tor_pairs_reachable_in_healthy_network() {
+        let t = build_clos(&ClosParams::default());
+        let m = MetadataService::from_topology(&t);
+        let fibs = simulate(&t, &SimConfig::healthy());
+        let tors: Vec<_> = t.devices_with_role(Role::Tor).map(|d| d.id).collect();
+        for &src in &tors {
+            for &dst_tor in &tors {
+                if src == dst_tor {
+                    continue;
+                }
+                let dst = t.hosted_prefixes(dst_tor)[0].addr();
+                let mut cur = src;
+                let mut hops = 0;
+                loop {
+                    let fib = &fibs[cur.0 as usize];
+                    let e = fib.lookup(dst).unwrap();
+                    if e.local {
+                        break;
+                    }
+                    cur = m.owner_of(fib.next_hops(e)[0]).unwrap();
+                    hops += 1;
+                    assert!(hops <= 4, "path too long {src:?}->{dst_tor:?}");
+                }
+                assert_eq!(cur, dst_tor);
+                let same_cluster =
+                    t.device(src).cluster == t.device(dst_tor).cluster;
+                assert_eq!(hops, if same_cluster { 2 } else { 4 });
+            }
+        }
+    }
+}

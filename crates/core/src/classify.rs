@@ -1,0 +1,313 @@
+//! Root-cause classification of validation errors.
+//!
+//! The paper's stream-analytics stage runs "a set of queries that
+//! correlate the validation errors with additional metadata, classify
+//! errors, and direct them appropriately for remediation" (§2.6.1).
+//! This module is those queries: given a device's violations plus
+//! operational metadata (link states), it recovers the §2.6.2 root
+//! cause and the §2.6.1 remediation action.
+
+use crate::contracts::ContractKind;
+use crate::report::{ValidationReport, ViolationReason};
+use dctopo::{DeviceId, LinkState, MetadataService, Topology};
+use std::collections::HashSet;
+
+/// Probable root cause, mirroring the §2.6.2 error taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RootCause {
+    /// Software Bug 1: RIB–FIB inconsistency (default route has too few
+    /// next hops while the links are healthy).
+    RibFibInconsistency,
+    /// Software Bug 2: interfaces as layer-2 ports; no BGP sessions at
+    /// all, every contract violated.
+    Layer2PortBug,
+    /// Optical/cable hardware failure (links operationally down).
+    HardwareFailure,
+    /// BGP session administratively shut and never restored.
+    OperationDrift,
+    /// Migration misconfiguration: specifics for entire remote clusters
+    /// missing while defaults are intact (ASN collision).
+    MigrationAsnCollision,
+    /// Route-map policy error (e.g. default announcements rejected).
+    PolicyError,
+    /// ECMP misconfiguration (routes present but with a single next hop
+    /// across the board).
+    EcmpMisconfiguration,
+    /// No matching signature; needs human triage.
+    Unknown,
+}
+
+/// Remediation routing per §2.6.1: cabling errors go to datacenter
+/// operations, admin-shut sessions are unshut and monitored, the rest
+/// go to engineering queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Remediation {
+    /// Replace the faulty cable (datacenter operations personnel queue).
+    ReplaceCable,
+    /// Unshut the session and monitor; re-shut and investigate if it
+    /// degrades again.
+    UnshutAndMonitor,
+    /// Software/firmware escalation (device OS bug).
+    EscalateSoftware,
+    /// Configuration fix (route maps, ASN allocation, ECMP settings).
+    FixConfiguration,
+    /// Human investigation.
+    Investigate,
+}
+
+/// A classified error for one device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Classification {
+    /// The device.
+    pub device: DeviceId,
+    /// Probable root cause.
+    pub cause: RootCause,
+    /// Suggested remediation queue.
+    pub remediation: Remediation,
+}
+
+/// The remediation for each root cause.
+pub fn remediation_for(cause: RootCause) -> Remediation {
+    match cause {
+        RootCause::HardwareFailure => Remediation::ReplaceCable,
+        RootCause::OperationDrift => Remediation::UnshutAndMonitor,
+        RootCause::RibFibInconsistency | RootCause::Layer2PortBug => {
+            Remediation::EscalateSoftware
+        }
+        RootCause::MigrationAsnCollision
+        | RootCause::PolicyError
+        | RootCause::EcmpMisconfiguration => Remediation::FixConfiguration,
+        RootCause::Unknown => Remediation::Investigate,
+    }
+}
+
+/// Classify one device's validation report.
+///
+/// `topology` supplies the *operational* metadata (current link states)
+/// that the stream-analytics queries correlate with.
+pub fn classify_device(
+    device: DeviceId,
+    report: &ValidationReport,
+    topology: &Topology,
+    meta: &MetadataService,
+) -> Option<Classification> {
+    if report.is_clean() {
+        return None;
+    }
+    let links: Vec<&dctopo::Link> = topology.links_of(device).collect();
+    let any_oper_down = links.iter().any(|l| l.state == LinkState::OperDown);
+    let any_admin_shut = links.iter().any(|l| l.state == LinkState::AdminShut);
+    let default_violations: Vec<_> = report.by_kind(ContractKind::Default).collect();
+    let specific_violations: Vec<_> = report.by_kind(ContractKind::Specific).collect();
+    // Layer-2 port bug signature: no routes at all — the default is
+    // absent and every specific route is missing — with healthy wires.
+    let total_blackout = default_violations
+        .iter()
+        .any(|v| v.reason == ViolationReason::MissingDefault)
+        && !specific_violations.is_empty()
+        && specific_violations
+            .iter()
+            .all(|v| v.reason == ViolationReason::MissingRoute)
+        && report.violations.len() >= report.contracts_checked;
+
+    let cause = if total_blackout && !any_oper_down && !any_admin_shut {
+        RootCause::Layer2PortBug
+    } else if any_oper_down {
+        RootCause::HardwareFailure
+    } else if any_admin_shut {
+        RootCause::OperationDrift
+    } else if let Some(v) = default_violations.first() {
+        match &v.reason {
+            ViolationReason::MissingDefault => RootCause::PolicyError,
+            ViolationReason::DefaultMismatch { actual, .. } => {
+                // Single next hop across specifics too => ECMP config;
+                // healthy links + short default only => RIB-FIB bug.
+                let specifics_single = specific_violations.iter().all(|sv| {
+                    matches!(
+                        &sv.reason,
+                        ViolationReason::NextHopMismatch { actual, .. } if actual.len() == 1
+                    )
+                });
+                if !specific_violations.is_empty() && specifics_single && actual.len() == 1 {
+                    RootCause::EcmpMisconfiguration
+                } else {
+                    RootCause::RibFibInconsistency
+                }
+            }
+            _ => RootCause::Unknown,
+        }
+    } else if !specific_violations.is_empty() {
+        // Defaults intact, specifics missing. If the missing specifics
+        // cover entire remote clusters, this is the migration signature.
+        let missing_clusters: HashSet<_> = specific_violations
+            .iter()
+            .filter(|v| {
+                matches!(
+                    v.reason,
+                    ViolationReason::MissingRoute
+                        | ViolationReason::NextHopMismatch { .. }
+                )
+            })
+            .filter_map(|v| {
+                meta.prefix_facts()
+                    .iter()
+                    .find(|f| f.prefix == v.prefix)
+                    .map(|f| f.cluster)
+            })
+            .collect();
+        let own_cluster = meta.device(device).cluster;
+        let whole_remote_clusters = missing_clusters.iter().all(|c| Some(*c) != own_cluster)
+            && missing_clusters.iter().any(|&c| {
+                let cluster_prefix_count = meta
+                    .prefix_facts()
+                    .iter()
+                    .filter(|f| f.cluster == c)
+                    .count();
+                let violated_for_cluster = specific_violations
+                    .iter()
+                    .filter(|v| {
+                        meta.prefix_facts()
+                            .iter()
+                            .any(|f| f.prefix == v.prefix && f.cluster == c)
+                    })
+                    .count();
+                violated_for_cluster == cluster_prefix_count
+            });
+        if !missing_clusters.is_empty() && whole_remote_clusters {
+            RootCause::MigrationAsnCollision
+        } else {
+            RootCause::Unknown
+        }
+    } else {
+        RootCause::Unknown
+    };
+
+    Some(Classification {
+        device,
+        cause,
+        remediation: remediation_for(cause),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contracts::generate_contracts;
+    use crate::engine::{trie::TrieEngine, Engine};
+    use bgpsim::{simulate, SimConfig};
+    use dctopo::generator::figure3;
+
+    fn classify_with(
+        topology_mutator: impl FnOnce(&mut dctopo::generator::Figure3) -> (DeviceId, SimConfig),
+    ) -> (DeviceId, Option<Classification>) {
+        let mut f = figure3();
+        let (device, cfg) = topology_mutator(&mut f);
+        let fibs = simulate(&f.topology, &cfg);
+        let meta = MetadataService::from_topology(&f.topology);
+        let contracts = generate_contracts(&meta);
+        let eng = TrieEngine::new();
+        let report = eng.validate_device(
+            &fibs[device.0 as usize],
+            &contracts[device.0 as usize],
+        );
+        let c = classify_device(device, &report, &f.topology, &meta);
+        (device, c)
+    }
+
+    #[test]
+    fn clean_device_yields_none() {
+        let f = figure3();
+        let fibs = simulate(&f.topology, &SimConfig::healthy());
+        let meta = MetadataService::from_topology(&f.topology);
+        let contracts = generate_contracts(&meta);
+        let report = TrieEngine::new().validate_device(
+            &fibs[f.tors[0].0 as usize],
+            &contracts[f.tors[0].0 as usize],
+        );
+        assert!(classify_device(f.tors[0], &report, &f.topology, &meta).is_none());
+    }
+
+    #[test]
+    fn l2_bug_classified() {
+        let (_d, c) = classify_with(|f| {
+            (f.a[0], SimConfig::healthy().with_l2_port_bug(f.a[0]))
+        });
+        let c = c.unwrap();
+        assert_eq!(c.cause, RootCause::Layer2PortBug);
+        assert_eq!(c.remediation, Remediation::EscalateSoftware);
+    }
+
+    #[test]
+    fn hardware_failure_classified() {
+        let (_d, c) = classify_with(|f| {
+            let l = f.topology.link_between(f.tors[0], f.a[0]).unwrap().id;
+            f.topology.set_link_state(l, LinkState::OperDown);
+            (f.tors[0], SimConfig::healthy())
+        });
+        let c = c.unwrap();
+        assert_eq!(c.cause, RootCause::HardwareFailure);
+        assert_eq!(c.remediation, Remediation::ReplaceCable);
+    }
+
+    #[test]
+    fn operation_drift_classified() {
+        let (_d, c) = classify_with(|f| {
+            let l = f.topology.link_between(f.tors[0], f.a[0]).unwrap().id;
+            f.topology.set_link_state(l, LinkState::AdminShut);
+            (f.tors[0], SimConfig::healthy())
+        });
+        let c = c.unwrap();
+        assert_eq!(c.cause, RootCause::OperationDrift);
+        assert_eq!(c.remediation, Remediation::UnshutAndMonitor);
+    }
+
+    #[test]
+    fn rib_fib_bug_classified() {
+        let (_d, c) = classify_with(|f| {
+            (
+                f.tors[0],
+                SimConfig::healthy().with_rib_fib_bug(f.tors[0], 1),
+            )
+        });
+        let c = c.unwrap();
+        assert_eq!(c.cause, RootCause::RibFibInconsistency);
+        assert_eq!(c.remediation, Remediation::EscalateSoftware);
+    }
+
+    #[test]
+    fn default_reject_policy_classified() {
+        let (_d, c) = classify_with(|f| {
+            (
+                f.tors[0],
+                SimConfig::healthy().with_default_reject(f.tors[0]),
+            )
+        });
+        let c = c.unwrap();
+        assert_eq!(c.cause, RootCause::PolicyError);
+        assert_eq!(c.remediation, Remediation::FixConfiguration);
+    }
+
+    #[test]
+    fn ecmp_misconfig_classified() {
+        let (_d, c) = classify_with(|f| {
+            (f.tors[0], SimConfig::healthy().with_max_ecmp(f.tors[0], 1))
+        });
+        let c = c.unwrap();
+        assert_eq!(c.cause, RootCause::EcmpMisconfiguration);
+    }
+
+    #[test]
+    fn migration_asn_collision_classified() {
+        let (_d, c) = classify_with(|f| {
+            let asn = f.topology.device(f.a[0]).asn;
+            let mut cfg = SimConfig::healthy();
+            for &leaf in &f.b {
+                cfg = cfg.with_asn_override(leaf, asn);
+            }
+            (f.tors[0], cfg)
+        });
+        let c = c.unwrap();
+        assert_eq!(c.cause, RootCause::MigrationAsnCollision);
+        assert_eq!(c.remediation, Remediation::FixConfiguration);
+    }
+}

@@ -1,0 +1,68 @@
+//! Verification engines: FIB × contracts → violations.
+//!
+//! "The verification engine takes as input a prefix-based forwarding
+//! policy P and a contract C, and produces a list of rules in P that
+//! violate the contract" (§2.5). Two interchangeable backends:
+//!
+//! * [`smt::SmtEngine`] — the declarative bit-vector encoding of
+//!   §2.5.1, running on the `smtkit` solver ("flexible query language,
+//!   performance within a second").
+//! * [`trie::TrieEngine`] — the specialized hash-trie algorithm of
+//!   §2.5.2 ("for the most common workload… much faster"), used by the
+//!   production monitoring pipeline.
+//!
+//! Both must produce semantically identical verdicts; the integration
+//! suite and proptest harness check them against each other.
+
+pub mod smt;
+pub mod trie;
+
+use crate::contracts::DeviceContracts;
+use crate::report::ValidationReport;
+use bgpsim::Fib;
+
+/// A verification engine validating one device at a time — the unit of
+/// parallelism in local validation (§2.4).
+pub trait Engine {
+    /// Validate a device's FIB against its contract set.
+    fn validate_device(&self, fib: &Fib, contracts: &DeviceContracts) -> ValidationReport;
+
+    /// Engine name for logs and benchmark labels.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use bgpsim::{simulate, Fib, SimConfig};
+    use dctopo::generator::Figure3;
+    use dctopo::MetadataService;
+
+    use crate::contracts::{generate_contracts, DeviceContracts};
+
+    /// Figure-3 fixture: healthy FIBs + contracts + metadata.
+    pub fn fig3_healthy() -> (Figure3, Vec<Fib>, Vec<DeviceContracts>, MetadataService) {
+        let f = dctopo::generator::figure3();
+        let fibs = simulate(&f.topology, &SimConfig::healthy());
+        let meta = MetadataService::from_topology(&f.topology);
+        let contracts = generate_contracts(&meta);
+        (f, fibs, contracts, meta)
+    }
+
+    /// Figure-3 fixture with the paper's four §2.4.4 link failures.
+    pub fn fig3_faulted() -> (Figure3, Vec<Fib>, Vec<DeviceContracts>, MetadataService) {
+        let mut f = dctopo::generator::figure3();
+        for (tor, leaves) in [
+            (f.tors[0], [f.a[2], f.a[3]]),
+            (f.tors[1], [f.a[0], f.a[1]]),
+        ] {
+            for leaf in leaves {
+                let l = f.topology.link_between(tor, leaf).unwrap().id;
+                f.topology.set_link_state(l, dctopo::LinkState::OperDown);
+            }
+        }
+        let fibs = simulate(&f.topology, &SimConfig::healthy());
+        let meta = MetadataService::from_topology(&f.topology);
+        let contracts = generate_contracts(&meta);
+        (f, fibs, contracts, meta)
+    }
+}

@@ -1,0 +1,56 @@
+//! # rcdc — Reality Checker for Data Centers
+//!
+//! The paper's primary contribution: validation of datacenter
+//! forwarding state against automatically derived intent, using
+//! **local, per-device contracts** instead of global snapshots.
+//!
+//! The pipeline, mirroring §2 of the paper:
+//!
+//! 1. **Intent extraction** ([`contracts`]): from the metadata service's
+//!    architectural facts, generate every device's default and specific
+//!    forwarding contracts (§2.4.1–§2.4.3). Contracts are derived from
+//!    the *expected* topology and never change with network state.
+//! 2. **Verification engines** ([`engine`]): check one device's FIB
+//!    against its contracts, with two interchangeable backends — the
+//!    bit-vector SMT encoding of §2.5.1 and the specialized hash-trie
+//!    algorithm of §2.5.2 ("much faster" for the common workload, a
+//!    claim benchmark E1 reproduces).
+//! 3. **Reports, severity, classification** ([`report`], [`classify`]):
+//!    violations are ranked by risk (§2.6.4) and correlated with
+//!    operational metadata to recover the §2.6.2 root causes.
+//! 4. **Datacenter runner** ([`runner`]): validates every device
+//!    independently — the embarrassingly parallel structure that local
+//!    validation buys (§2.4).
+//! 5. **Global baseline** ([`global_baseline`]): an independent
+//!    all-pairs reachability checker over merged FIBs. It serves two
+//!    purposes: the comparison baseline of experiment E8, and the
+//!    verification oracle for Claim 1 ("local contracts imply global
+//!    reachability"), which [`framework`] states and the integration
+//!    tests establish constructively.
+//! 6. **Live monitoring** ([`pipeline`]): the §2.6.1 microservice
+//!    architecture — contract generator, FIB puller, validator workers,
+//!    stream-analytics sink — as an in-process, multi-threaded system.
+//! 7. **Triage** ([`triage`]): the automated remediation-queue routing
+//!    of §2.6.4 — classified errors land in per-action queues drained
+//!    high-risk first.
+//! 8. **Ops simulation** ([`burndown`]): the prioritized remediation
+//!    process whose output is the paper's Figure 6 burndown graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burndown;
+pub mod classify;
+pub mod contracts;
+pub mod engine;
+pub mod framework;
+pub mod global_baseline;
+pub mod pipeline;
+pub mod report;
+pub mod runner;
+pub mod triage;
+
+pub use contracts::{generate_contracts, Contract, ContractKind, DeviceContracts};
+pub use engine::{trie::TrieEngine, smt::SmtEngine, Engine};
+pub use report::{Risk, ValidationReport, Violation, ViolationReason};
+pub use runner::{validate_datacenter, RunnerOptions};

@@ -1,0 +1,239 @@
+//! Automated triage and remediation queues (§2.6.4).
+//!
+//! "Validation reports are used to derive automatic alerts, that in
+//! turn trigger an automated triaging process. The triaging process
+//! collects additional information to direct the error further,
+//! determines the risk of the error, and pushes them to an appropriate
+//! queue for remediation. … In all these queues, the high priority
+//! errors are remediated before addressing the low-priority errors."
+
+use crate::classify::{classify_device, Classification, Remediation};
+use crate::report::{risk_of, Risk, ValidationReport, Violation};
+use dctopo::{DeviceId, MetadataService, Topology};
+use std::collections::BTreeMap;
+
+/// One triaged work item: a device's classified error at its highest
+/// observed risk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriagedError {
+    /// The affected device.
+    pub device: DeviceId,
+    /// Highest risk across the device's violations.
+    pub risk: Risk,
+    /// Root-cause classification and remediation routing.
+    pub classification: Classification,
+    /// Number of violated contracts on the device.
+    pub violation_count: usize,
+}
+
+/// Remediation queues, one per remediation action, each ordered
+/// high-risk first.
+#[derive(Debug, Default)]
+pub struct TriageQueues {
+    queues: BTreeMap<RemediationKey, Vec<TriagedError>>,
+}
+
+/// `Remediation` keyed for ordered map storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum RemediationKey {
+    ReplaceCable,
+    UnshutAndMonitor,
+    EscalateSoftware,
+    FixConfiguration,
+    Investigate,
+}
+
+fn key_of(r: Remediation) -> RemediationKey {
+    match r {
+        Remediation::ReplaceCable => RemediationKey::ReplaceCable,
+        Remediation::UnshutAndMonitor => RemediationKey::UnshutAndMonitor,
+        Remediation::EscalateSoftware => RemediationKey::EscalateSoftware,
+        Remediation::FixConfiguration => RemediationKey::FixConfiguration,
+        Remediation::Investigate => RemediationKey::Investigate,
+    }
+}
+
+impl TriageQueues {
+    /// Items destined for a given remediation action, high-risk first.
+    pub fn queue(&self, r: Remediation) -> &[TriagedError] {
+        self.queues
+            .get(&key_of(r))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total triaged errors across all queues.
+    pub fn len(&self) -> usize {
+        self.queues.values().map(Vec::len).sum()
+    }
+
+    /// Any work at all?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pop the globally highest-risk item (ties broken by queue order)
+    /// — the "high priority errors are remediated before addressing the
+    /// low-priority errors" discipline.
+    pub fn pop_highest_risk(&mut self) -> Option<TriagedError> {
+        let best_key = self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .max_by_key(|(key, q)| (q.first().map(|e| e.risk), std::cmp::Reverse(**key)))
+            .map(|(k, _)| *k)?;
+        let q = self.queues.get_mut(&best_key)?;
+        Some(q.remove(0))
+    }
+}
+
+/// Build triage queues from a full datacenter validation pass.
+pub fn triage(
+    reports: &[(DeviceId, ValidationReport)],
+    topology: &Topology,
+    meta: &MetadataService,
+) -> TriageQueues {
+    let mut queues = TriageQueues::default();
+    for (device, report) in reports {
+        if report.is_clean() {
+            continue;
+        }
+        let Some(classification) = classify_device(*device, report, topology, meta) else {
+            continue;
+        };
+        let risk = report
+            .violations
+            .iter()
+            .map(|v: &Violation| risk_of(v, meta))
+            .max()
+            .expect("dirty report has violations");
+        let item = TriagedError {
+            device: *device,
+            risk,
+            classification: classification.clone(),
+            violation_count: report.violations.len(),
+        };
+        queues
+            .queues
+            .entry(key_of(classification.remediation))
+            .or_default()
+            .push(item);
+    }
+    // High-risk first within every queue (stable on device id).
+    for q in queues.queues.values_mut() {
+        q.sort_by(|a, b| b.risk.cmp(&a.risk).then(a.device.cmp(&b.device)));
+    }
+    queues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::RootCause;
+    use crate::contracts::generate_contracts;
+    use crate::engine::{trie::TrieEngine, Engine};
+    use bgpsim::{simulate, SimConfig};
+    use dctopo::generator::figure3;
+    use dctopo::LinkState;
+
+    fn triaged_fixture() -> (dctopo::generator::Figure3, TriageQueues) {
+        let mut f = figure3();
+        let mut config = SimConfig::healthy();
+        // Cable fault + software bug + config error, simultaneously.
+        let cable = f.topology.link_between(f.tors[0], f.a[0]).unwrap().id;
+        f.topology.set_link_state(cable, LinkState::OperDown);
+        config = config.with_rib_fib_bug(f.tors[1], 1);
+        config = config.with_max_ecmp(f.tors[3], 1);
+
+        let fibs = simulate(&f.topology, &config);
+        let meta = MetadataService::from_topology(&f.topology);
+        let contracts = generate_contracts(&meta);
+        let engine = TrieEngine::new();
+        let reports: Vec<(DeviceId, ValidationReport)> = f
+            .topology
+            .devices()
+            .iter()
+            .map(|d| {
+                (
+                    d.id,
+                    engine.validate_device(&fibs[d.id.0 as usize], &contracts[d.id.0 as usize]),
+                )
+            })
+            .collect();
+        let queues = triage(&reports, &f.topology, &meta);
+        (f, queues)
+    }
+
+    #[test]
+    fn errors_land_in_their_remediation_queues() {
+        let (f, queues) = triaged_fixture();
+        // The cabling fault goes to datacenter operations.
+        let cable_queue = queues.queue(Remediation::ReplaceCable);
+        assert!(cable_queue.iter().any(|e| e.device == f.tors[0]));
+        // The RIB-FIB bug goes to software escalation.
+        let sw_queue = queues.queue(Remediation::EscalateSoftware);
+        assert!(sw_queue
+            .iter()
+            .any(|e| e.device == f.tors[1]
+                && e.classification.cause == RootCause::RibFibInconsistency));
+        // The ECMP misconfiguration goes to configuration fixes.
+        let cfg_queue = queues.queue(Remediation::FixConfiguration);
+        assert!(cfg_queue
+            .iter()
+            .any(|e| e.device == f.tors[3]
+                && e.classification.cause == RootCause::EcmpMisconfiguration));
+    }
+
+    #[test]
+    fn queues_are_ordered_high_risk_first() {
+        let (_f, queues) = triaged_fixture();
+        for r in [
+            Remediation::ReplaceCable,
+            Remediation::UnshutAndMonitor,
+            Remediation::EscalateSoftware,
+            Remediation::FixConfiguration,
+            Remediation::Investigate,
+        ] {
+            let q = queues.queue(r);
+            for w in q.windows(2) {
+                assert!(w[0].risk >= w[1].risk);
+            }
+        }
+    }
+
+    #[test]
+    fn pop_drains_highest_risk_globally() {
+        let (_f, mut queues) = triaged_fixture();
+        let mut last = Risk::High;
+        let mut drained = 0;
+        while let Some(item) = queues.pop_highest_risk() {
+            assert!(item.risk <= last, "risk must be non-increasing");
+            last = item.risk;
+            drained += 1;
+        }
+        assert!(drained > 0);
+        assert!(queues.is_empty());
+    }
+
+    #[test]
+    fn clean_reports_produce_no_work() {
+        let f = figure3();
+        let fibs = simulate(&f.topology, &SimConfig::healthy());
+        let meta = MetadataService::from_topology(&f.topology);
+        let contracts = generate_contracts(&meta);
+        let engine = TrieEngine::new();
+        let reports: Vec<(DeviceId, ValidationReport)> = f
+            .topology
+            .devices()
+            .iter()
+            .map(|d| {
+                (
+                    d.id,
+                    engine.validate_device(&fibs[d.id.0 as usize], &contracts[d.id.0 as usize]),
+                )
+            })
+            .collect();
+        let queues = triage(&reports, &f.topology, &meta);
+        assert!(queues.is_empty());
+    }
+}

@@ -1,0 +1,349 @@
+//! # dcemu — emulated-network pre-checks for configuration changes
+//!
+//! "A built-in limitation of live monitoring is that it can only detect
+//! dangerous changes after they have occurred. To prevent a large class
+//! of faulty updates from entering in the first place Azure uses a
+//! high-fidelity network emulator \[CrystalNet\]… RCDC is then used on
+//! FIBs extracted from these networks, reporting the same class of
+//! errors as on the live network" (§2.7).
+//!
+//! The substitution (documented in DESIGN.md): instead of emulating
+//! vendor device software, the emulator clones the production network
+//! model (`dctopo` topology + `bgpsim` configuration), applies the
+//! candidate [`ConfigChange`]s, converges the control plane, extracts
+//! FIBs, and runs the *same* RCDC validation as live monitoring. The
+//! property the paper relies on — identical error classes pre- and
+//! post-deployment — holds by construction and is tested.
+//!
+//! [`ChangeWorkflow`] is Figure 7: candidate change → emulate →
+//! validate → deploy (to the simulated production network) →
+//! post-validate → rollback on regression.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bgpsim::{simulate, DeviceOverride, SimConfig};
+use dctopo::{DeviceId, LinkId, LinkState, MetadataService, Topology};
+use rcdc::contracts::{generate_contracts, DeviceContracts};
+use rcdc::report::Violation;
+use rcdc::runner::{validate_datacenter, RunnerOptions};
+
+/// One configuration change under review.
+#[derive(Debug, Clone)]
+pub enum ConfigChange {
+    /// Replace a device's configuration overrides (route maps, ECMP
+    /// settings, ASN) — the §2.6.2 "policy error" and "migration"
+    /// change classes.
+    SetOverride {
+        /// Target device.
+        device: DeviceId,
+        /// New override (use `DeviceOverride::default()` to clear).
+        config: DeviceOverride,
+    },
+    /// Administratively change a link/session state (maintenance,
+    /// lossy-link mitigation, decommissioning).
+    SetLinkState {
+        /// Target link.
+        link: LinkId,
+        /// New state.
+        state: LinkState,
+    },
+}
+
+/// The production network being managed: the model both the emulator
+/// clones and deployments mutate.
+#[derive(Clone)]
+pub struct ManagedNetwork {
+    /// Physical topology, including current link states.
+    pub topology: Topology,
+    /// Device configuration overrides currently in production.
+    pub config: SimConfig,
+}
+
+impl ManagedNetwork {
+    /// A healthy network over a topology.
+    pub fn new(topology: Topology) -> ManagedNetwork {
+        ManagedNetwork {
+            topology,
+            config: SimConfig::healthy(),
+        }
+    }
+
+    /// Apply a change in place (used for production deploys and on the
+    /// emulator clone).
+    pub fn apply(&mut self, change: &ConfigChange) {
+        match change {
+            ConfigChange::SetOverride { device, config } => {
+                *self.config.device_mut(*device) = config.clone();
+            }
+            ConfigChange::SetLinkState { link, state } => {
+                self.topology.set_link_state(*link, *state);
+            }
+        }
+    }
+
+    /// Converge the control plane and validate every device; returns
+    /// all violations (the flattened datacenter report).
+    pub fn validate(&self, contracts: &[DeviceContracts]) -> Vec<Violation> {
+        let fibs = simulate(&self.topology, &self.config);
+        let report = validate_datacenter(&fibs, contracts, RunnerOptions::default());
+        report
+            .reports
+            .into_iter()
+            .flat_map(|r| r.violations)
+            .collect()
+    }
+}
+
+/// Result of a pre-check run.
+#[derive(Debug)]
+pub struct PrecheckReport {
+    /// Violations present before the change (pre-existing conditions
+    /// are not the change's fault).
+    pub baseline: Vec<Violation>,
+    /// Violations present after the change, on the emulator.
+    pub candidate: Vec<Violation>,
+}
+
+impl PrecheckReport {
+    /// Violations introduced by the change: candidate minus baseline.
+    pub fn regressions(&self) -> Vec<&Violation> {
+        self.candidate
+            .iter()
+            .filter(|v| !self.baseline.contains(v))
+            .collect()
+    }
+
+    /// Does the change pass (no new violations)?
+    pub fn passed(&self) -> bool {
+        self.regressions().is_empty()
+    }
+}
+
+/// Run the emulator pre-check for a set of changes against a
+/// production network: clone, apply, converge, compare against the
+/// baseline validation.
+pub fn precheck(
+    production: &ManagedNetwork,
+    contracts: &[DeviceContracts],
+    changes: &[ConfigChange],
+) -> PrecheckReport {
+    let baseline = production.validate(contracts);
+    let mut emulated = production.clone();
+    for c in changes {
+        emulated.apply(c);
+    }
+    let candidate = emulated.validate(contracts);
+    PrecheckReport {
+        baseline,
+        candidate,
+    }
+}
+
+/// Outcome of the full Figure-7 workflow for one change set.
+#[derive(Debug)]
+pub enum WorkflowOutcome {
+    /// Pre-check failed: the change never reached production.
+    RejectedAtPrecheck(PrecheckReport),
+    /// Deployed; post-validation green.
+    Deployed,
+    /// Deployed, post-validation regressed (e.g. emulator/production
+    /// divergence injected in tests), change rolled back.
+    RolledBack {
+        /// The violations seen post-deployment.
+        regressions: Vec<Violation>,
+    },
+}
+
+/// The change-validation workflow of Figure 7.
+pub struct ChangeWorkflow {
+    /// The production network (mutated only by successful deploys).
+    pub production: ManagedNetwork,
+    contracts: Vec<DeviceContracts>,
+}
+
+impl ChangeWorkflow {
+    /// Set up the workflow: contracts are generated once from the
+    /// production metadata (intent does not change with state).
+    pub fn new(production: ManagedNetwork) -> ChangeWorkflow {
+        let meta = MetadataService::from_topology(&production.topology);
+        let contracts = generate_contracts(&meta);
+        ChangeWorkflow {
+            production,
+            contracts,
+        }
+    }
+
+    /// The generated contract sets (indexed by device).
+    pub fn contracts(&self) -> &[DeviceContracts] {
+        &self.contracts
+    }
+
+    /// Run a change set through pre-check → deploy → post-check.
+    pub fn submit(&mut self, changes: &[ConfigChange]) -> WorkflowOutcome {
+        let pre = precheck(&self.production, &self.contracts, changes);
+        if !pre.passed() {
+            return WorkflowOutcome::RejectedAtPrecheck(pre);
+        }
+        // Deploy to production.
+        let before = self.production.clone();
+        for c in changes {
+            self.production.apply(c);
+        }
+        // Post-check on the live network.
+        let post = self.production.validate(&self.contracts);
+        let regressions: Vec<Violation> = post
+            .into_iter()
+            .filter(|v| !pre.baseline.contains(v))
+            .collect();
+        if regressions.is_empty() {
+            WorkflowOutcome::Deployed
+        } else {
+            self.production = before;
+            WorkflowOutcome::RolledBack { regressions }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim::SimConfig;
+    use dctopo::generator::figure3;
+
+    fn workflow() -> (dctopo::generator::Figure3, ChangeWorkflow) {
+        let f = figure3();
+        let w = ChangeWorkflow::new(ManagedNetwork::new(f.topology.clone()));
+        (f, w)
+    }
+
+    #[test]
+    fn healthy_baseline_validates_clean() {
+        let (_f, w) = workflow();
+        let violations = w.production.validate(w.contracts());
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn bad_route_map_change_rejected_at_precheck() {
+        // The §2.6.2 "policy error": a route map rejecting default
+        // announcements. The pre-check must block it.
+        let (f, mut w) = workflow();
+        let mut cfg = DeviceOverride::default();
+        cfg.reject_default_import = true;
+        let outcome = w.submit(&[ConfigChange::SetOverride {
+            device: f.tors[0],
+            config: cfg,
+        }]);
+        match outcome {
+            WorkflowOutcome::RejectedAtPrecheck(report) => {
+                assert!(!report.passed());
+                assert!(report
+                    .regressions()
+                    .iter()
+                    .any(|v| v.device == f.tors[0] && v.prefix.is_default()));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Production untouched: still clean.
+        assert!(w.production.validate(w.contracts()).is_empty());
+    }
+
+    #[test]
+    fn asn_collision_migration_rejected_at_precheck() {
+        let (f, mut w) = workflow();
+        let asn = f.topology.device(f.a[0]).asn;
+        let changes: Vec<ConfigChange> = f
+            .b
+            .iter()
+            .map(|&leaf| {
+                let mut cfg = DeviceOverride::default();
+                cfg.asn_override = Some(asn);
+                ConfigChange::SetOverride {
+                    device: leaf,
+                    config: cfg,
+                }
+            })
+            .collect();
+        assert!(matches!(
+            w.submit(&changes),
+            WorkflowOutcome::RejectedAtPrecheck(_)
+        ));
+    }
+
+    #[test]
+    fn benign_change_deploys_with_green_postcheck() {
+        // Clearing an (absent) override is a no-op change: passes
+        // pre-check and deploys.
+        let (f, mut w) = workflow();
+        let outcome = w.submit(&[ConfigChange::SetOverride {
+            device: f.tors[0],
+            config: DeviceOverride::default(),
+        }]);
+        assert!(matches!(outcome, WorkflowOutcome::Deployed));
+    }
+
+    #[test]
+    fn link_shutdown_for_maintenance_is_caught() {
+        // Shutting a ToR uplink violates the ToR's default contract
+        // (reduced ECMP) — precheck rejects; the operator knows the
+        // maintenance will reduce redundancy before touching anything.
+        let (f, mut w) = workflow();
+        let link = f.topology.link_between(f.tors[0], f.a[0]).unwrap().id;
+        let outcome = w.submit(&[ConfigChange::SetLinkState {
+            link,
+            state: LinkState::AdminShut,
+        }]);
+        match outcome {
+            WorkflowOutcome::RejectedAtPrecheck(report) => {
+                let regs = report.regressions();
+                assert!(regs.iter().any(|v| v.device == f.tors[0]));
+                // The leaf loses its route toward the ToR's prefix.
+                assert!(regs.iter().any(|v| v.device == f.a[0]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precheck_ignores_preexisting_violations() {
+        // Production already has a fault; an unrelated benign change
+        // must not be blamed for it.
+        let (f, _unused) = workflow();
+        let mut production = ManagedNetwork::new(f.topology.clone());
+        let link = production
+            .topology
+            .link_between(f.tors[1], f.a[3])
+            .unwrap()
+            .id;
+        production.topology.set_link_state(link, LinkState::OperDown);
+        let mut w = ChangeWorkflow::new(production);
+        let baseline = w.production.validate(w.contracts());
+        assert!(!baseline.is_empty(), "pre-existing fault is visible");
+        let outcome = w.submit(&[ConfigChange::SetOverride {
+            device: f.tors[0],
+            config: DeviceOverride::default(),
+        }]);
+        assert!(matches!(outcome, WorkflowOutcome::Deployed));
+    }
+
+    #[test]
+    fn emulator_reports_same_error_classes_as_live() {
+        // §2.7's core property: RCDC on emulated FIBs reports the same
+        // violations as RCDC on the "live" network with the same state.
+        let f = figure3();
+        let mut cfg = SimConfig::healthy();
+        cfg = cfg.with_rib_fib_bug(f.tors[0], 1);
+        let live = ManagedNetwork {
+            topology: f.topology.clone(),
+            config: cfg.clone(),
+        };
+        let emulated = live.clone();
+        let meta = MetadataService::from_topology(&f.topology);
+        let contracts = generate_contracts(&meta);
+        let live_violations = live.validate(&contracts);
+        let emu_violations = emulated.validate(&contracts);
+        assert_eq!(live_violations, emu_violations);
+        assert!(!live_violations.is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! # dctopo — Clos datacenter topology, metadata, and faults
+//!
+//! The paper derives network intent "from facts about our network
+//! topology and architecture… maintained by a metadata service" (§1,
+//! §2.3). This crate is that substrate:
+//!
+//! * [`Device`], [`Link`], [`Topology`] — the physical model: ToR,
+//!   leaf, spine, and regional-spine devices wired in the hierarchical
+//!   Clos of §2.1, with per-link interface addresses and EBGP session
+//!   endpoints.
+//! * [`ClosParams`] / [`build_clos`] — a parameterized topology
+//!   generator in the spirit of the cloud topology generator the paper
+//!   references \[29\], including the ASN allocation scheme (spines
+//!   share one ASN per datacenter, leaves one per cluster, ToR ASNs
+//!   unique within and reused across clusters).
+//! * [`MetadataService`] — the authoritative fact base consumed by
+//!   contract generation: device roles, **expected** neighbors
+//!   (independent of current link state), hosted prefixes, and
+//!   interface-address ownership.
+//! * [`faults`] — injectable failures: operational link-down (cabling
+//!   or optics) and administrative BGP shutdown, feeding the §2.6.2
+//!   error-taxonomy scenarios consumed by `bgpsim`.
+//!
+//! A faithful scaled-down replica of the paper's Figure 3 topology is
+//! provided by [`generator::figure3`], used by the worked-example tests
+//! and the `fig3_example` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod faults;
+pub mod generator;
+pub mod metadata;
+pub mod topology;
+
+pub use device::{Asn, ClusterId, Device, DeviceId, Role};
+pub use faults::LinkState;
+pub use generator::{build_clos, ClosParams};
+pub use metadata::MetadataService;
+pub use topology::{Link, LinkId, Topology};

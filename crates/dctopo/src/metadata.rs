@@ -1,0 +1,246 @@
+//! The metadata service: the authoritative fact base for intent.
+//!
+//! "Azure has a metadata service that maintains facts such as the IP
+//! prefixes hosted in the top-of-rack switch routers, the details of
+//! the neighbors, and how the BGP sessions are configured between
+//! routers" (§1). Contract generation reads **only** this service —
+//! never live network state — which is what makes contracts stable
+//! under faults (§2.4).
+
+use crate::device::{ClusterId, Device, DeviceId, Role};
+use crate::topology::Topology;
+use netprim::{Ipv4, Prefix};
+use std::collections::HashMap;
+
+/// One expected-neighbor fact: who a device is wired to, and the
+/// next-hop interface address used to reach them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeighborFact {
+    /// The neighboring device.
+    pub device: DeviceId,
+    /// The neighbor's interface address on the shared link — the
+    /// next-hop address that appears in FIB entries.
+    pub next_hop_addr: Ipv4,
+    /// The neighbor's role.
+    pub role: Role,
+}
+
+/// One prefix-locality fact: where a prefix lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixFact {
+    /// The hosted prefix.
+    pub prefix: Prefix,
+    /// The ToR announcing it.
+    pub tor: DeviceId,
+    /// The cluster of that ToR.
+    pub cluster: ClusterId,
+}
+
+/// Read-only snapshot of architectural facts, derived once from the
+/// expected topology.
+#[derive(Debug, Clone)]
+pub struct MetadataService {
+    devices: Vec<Device>,
+    neighbors: Vec<Vec<NeighborFact>>,
+    prefixes: Vec<PrefixFact>,
+    hosted_by: HashMap<DeviceId, Vec<Prefix>>,
+    interface_owner: HashMap<Ipv4, DeviceId>,
+    cluster_leaves: HashMap<ClusterId, Vec<DeviceId>>,
+    cluster_tors: HashMap<ClusterId, Vec<DeviceId>>,
+}
+
+impl MetadataService {
+    /// Extract all facts from a topology. Link state is deliberately
+    /// ignored: facts describe the expected architecture.
+    pub fn from_topology(t: &Topology) -> Self {
+        let devices = t.devices().to_vec();
+        let mut neighbors = vec![Vec::new(); devices.len()];
+        let mut interface_owner = HashMap::new();
+        for l in t.links() {
+            interface_owner.insert(l.lo_addr, l.lo);
+            interface_owner.insert(l.hi_addr, l.hi);
+            neighbors[l.lo.0 as usize].push(NeighborFact {
+                device: l.hi,
+                next_hop_addr: l.hi_addr,
+                role: t.device(l.hi).role,
+            });
+            neighbors[l.hi.0 as usize].push(NeighborFact {
+                device: l.lo,
+                next_hop_addr: l.lo_addr,
+                role: t.device(l.lo).role,
+            });
+        }
+        let mut prefixes = Vec::new();
+        let mut hosted_by: HashMap<DeviceId, Vec<Prefix>> = HashMap::new();
+        for (tor, prefix) in t.all_hosted() {
+            let cluster = t
+                .device(tor)
+                .cluster
+                .expect("hosted prefixes live on ToRs, which have clusters");
+            prefixes.push(PrefixFact {
+                prefix,
+                tor,
+                cluster,
+            });
+            hosted_by.entry(tor).or_default().push(prefix);
+        }
+        let mut cluster_leaves: HashMap<ClusterId, Vec<DeviceId>> = HashMap::new();
+        let mut cluster_tors: HashMap<ClusterId, Vec<DeviceId>> = HashMap::new();
+        for d in &devices {
+            if let Some(c) = d.cluster {
+                match d.role {
+                    Role::Leaf => cluster_leaves.entry(c).or_default().push(d.id),
+                    Role::Tor => cluster_tors.entry(c).or_default().push(d.id),
+                    _ => {}
+                }
+            }
+        }
+        MetadataService {
+            devices,
+            neighbors,
+            prefixes,
+            hosted_by,
+            interface_owner,
+            cluster_leaves,
+            cluster_tors,
+        }
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Device facts by id.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0 as usize]
+    }
+
+    /// Expected neighbors of a device.
+    pub fn neighbors(&self, id: DeviceId) -> &[NeighborFact] {
+        &self.neighbors[id.0 as usize]
+    }
+
+    /// Expected neighbors with a given role.
+    pub fn neighbors_with_role(
+        &self,
+        id: DeviceId,
+        role: Role,
+    ) -> impl Iterator<Item = &NeighborFact> + '_ {
+        self.neighbors(id).iter().filter(move |n| n.role == role)
+    }
+
+    /// Every prefix-locality fact in the datacenter, in ToR order.
+    pub fn prefix_facts(&self) -> &[PrefixFact] {
+        &self.prefixes
+    }
+
+    /// Prefixes hosted by one ToR.
+    pub fn hosted_by(&self, tor: DeviceId) -> &[Prefix] {
+        self.hosted_by.get(&tor).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The device owning an interface address — resolves FIB next-hop
+    /// addresses back to devices during validation.
+    pub fn owner_of(&self, addr: Ipv4) -> Option<DeviceId> {
+        self.interface_owner.get(&addr).copied()
+    }
+
+    /// Leaves of a cluster.
+    pub fn leaves_of(&self, c: ClusterId) -> &[DeviceId] {
+        self.cluster_leaves.get(&c).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// ToRs of a cluster.
+    pub fn tors_of(&self, c: ClusterId) -> &[DeviceId] {
+        self.cluster_tors.get(&c).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All cluster ids, sorted.
+    pub fn clusters(&self) -> Vec<ClusterId> {
+        let mut cs: Vec<ClusterId> = self.cluster_tors.keys().copied().collect();
+        cs.sort();
+        cs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{build_clos, figure3, ClosParams};
+
+    #[test]
+    fn facts_survive_link_failures() {
+        let mut f = figure3();
+        let before = MetadataService::from_topology(&f.topology);
+        // Fail some links; facts must not change.
+        let link = f.topology.link_between(f.tors[0], f.a[2]).unwrap().id;
+        f.topology
+            .set_link_state(link, crate::faults::LinkState::OperDown);
+        let after = MetadataService::from_topology(&f.topology);
+        assert_eq!(
+            before.neighbors(f.tors[0]).len(),
+            after.neighbors(f.tors[0]).len()
+        );
+    }
+
+    #[test]
+    fn interface_ownership_round_trip() {
+        let t = build_clos(&ClosParams::default());
+        let m = MetadataService::from_topology(&t);
+        for l in t.links() {
+            assert_eq!(m.owner_of(l.lo_addr), Some(l.lo));
+            assert_eq!(m.owner_of(l.hi_addr), Some(l.hi));
+        }
+        assert_eq!(m.owner_of(netprim::Ipv4::new(9, 9, 9, 9)), None);
+    }
+
+    #[test]
+    fn prefix_facts_cover_all_hosted() {
+        let p = ClosParams {
+            prefixes_per_tor: 2,
+            ..ClosParams::default()
+        };
+        let t = build_clos(&p);
+        let m = MetadataService::from_topology(&t);
+        assert_eq!(
+            m.prefix_facts().len() as u32,
+            p.clusters * p.tors_per_cluster * p.prefixes_per_tor
+        );
+        for fact in m.prefix_facts() {
+            assert!(m.hosted_by(fact.tor).contains(&fact.prefix));
+            assert_eq!(m.device(fact.tor).cluster, Some(fact.cluster));
+        }
+    }
+
+    #[test]
+    fn cluster_membership_queries() {
+        let p = ClosParams::default();
+        let t = build_clos(&p);
+        let m = MetadataService::from_topology(&t);
+        let clusters = m.clusters();
+        assert_eq!(clusters.len() as u32, p.clusters);
+        for c in clusters {
+            assert_eq!(m.leaves_of(c).len() as u32, p.leaves_per_cluster);
+            assert_eq!(m.tors_of(c).len() as u32, p.tors_per_cluster);
+        }
+    }
+
+    #[test]
+    fn neighbor_facts_match_figure3() {
+        let f = figure3();
+        let m = MetadataService::from_topology(&f.topology);
+        // ToR1 has 4 leaf neighbors, no others.
+        assert_eq!(m.neighbors(f.tors[0]).len(), 4);
+        assert_eq!(m.neighbors_with_role(f.tors[0], Role::Leaf).count(), 4);
+        // A1: 2 ToRs below, 1 spine above.
+        assert_eq!(m.neighbors_with_role(f.a[0], Role::Tor).count(), 2);
+        assert_eq!(m.neighbors_with_role(f.a[0], Role::Spine).count(), 1);
+        // D1: one leaf per cluster, 2 regional spines.
+        assert_eq!(m.neighbors_with_role(f.d[0], Role::Leaf).count(), 2);
+        assert_eq!(
+            m.neighbors_with_role(f.d[0], Role::RegionalSpine).count(),
+            2
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for topology generation: the structural
+//! invariants the contract derivation and Claim 1 rely on.
+
+use dctopo::{build_clos, ClosParams, MetadataService, Role};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = ClosParams> {
+    (1u32..=4, 1u32..=6, 1u32..=4, 1u32..=3, 1u32..=2, 1u32..=3).prop_map(
+        |(clusters, tors, leaves, spine_mult, groups, prefixes)| ClosParams {
+            clusters,
+            tors_per_cluster: tors,
+            leaves_per_cluster: leaves,
+            spines: leaves * spine_mult,
+            regional_spines: groups * 2,
+            regional_groups: groups,
+            prefixes_per_tor: prefixes,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn device_and_link_counts_match_formula(p in arb_params()) {
+        let t = build_clos(&p);
+        prop_assert_eq!(t.len() as u32, p.device_count());
+        let expect_links = p.clusters * p.tors_per_cluster * p.leaves_per_cluster
+            + p.clusters * p.spines
+            + p.spines * (p.regional_spines / p.regional_groups);
+        prop_assert_eq!(t.links().len() as u32, expect_links);
+    }
+
+    #[test]
+    fn every_tor_reaches_every_leaf_of_its_cluster(p in arb_params()) {
+        let t = build_clos(&p);
+        for tor in t.devices_with_role(Role::Tor) {
+            let leaf_peers: Vec<_> = t
+                .expected_neighbors_with_role(tor.id, Role::Leaf)
+                .map(|(_, d)| d)
+                .collect();
+            prop_assert_eq!(leaf_peers.len() as u32, p.leaves_per_cluster);
+            for peer in leaf_peers {
+                prop_assert_eq!(t.device(peer).cluster, tor.cluster);
+            }
+            // ToRs have no other neighbors.
+            prop_assert_eq!(
+                t.expected_neighbors(tor.id).count() as u32,
+                p.leaves_per_cluster
+            );
+        }
+    }
+
+    #[test]
+    fn spine_planes_partition_leaves(p in arb_params()) {
+        let t = build_clos(&p);
+        // Every leaf connects to exactly spines/leaves_per_cluster
+        // spines, and every spine to exactly one leaf per cluster.
+        for leaf in t.devices_with_role(Role::Leaf) {
+            prop_assert_eq!(
+                t.expected_neighbors_with_role(leaf.id, Role::Spine).count() as u32,
+                p.spines / p.leaves_per_cluster
+            );
+        }
+        for spine in t.devices_with_role(Role::Spine) {
+            let mut clusters: Vec<_> = t
+                .expected_neighbors_with_role(spine.id, Role::Leaf)
+                .map(|(_, d)| t.device(d).cluster.unwrap())
+                .collect();
+            let total = clusters.len() as u32;
+            clusters.sort();
+            clusters.dedup();
+            prop_assert_eq!(total, p.clusters, "one leaf per cluster");
+            prop_assert_eq!(clusters.len() as u32, p.clusters);
+        }
+    }
+
+    #[test]
+    fn metadata_mirrors_topology(p in arb_params()) {
+        let t = build_clos(&p);
+        let m = MetadataService::from_topology(&t);
+        for d in t.devices() {
+            prop_assert_eq!(
+                m.neighbors(d.id).len(),
+                t.expected_neighbors(d.id).count()
+            );
+        }
+        prop_assert_eq!(
+            m.prefix_facts().len() as u32,
+            p.clusters * p.tors_per_cluster * p.prefixes_per_tor
+        );
+        // Ownership map covers both ends of every link, distinctly.
+        for l in t.links() {
+            prop_assert_eq!(m.owner_of(l.lo_addr), Some(l.lo));
+            prop_assert_eq!(m.owner_of(l.hi_addr), Some(l.hi));
+        }
+    }
+
+    #[test]
+    fn asn_scheme_invariants(p in arb_params()) {
+        let t = build_clos(&p);
+        // Spines share one ASN; regionals share one ASN; leaf ASNs are
+        // per cluster; ToR ASNs never collide with leaf/spine ASNs.
+        let spine_asns: Vec<_> = t.devices_with_role(Role::Spine).map(|d| d.asn).collect();
+        prop_assert!(spine_asns.windows(2).all(|w| w[0] == w[1]));
+        for leaf in t.devices_with_role(Role::Leaf) {
+            for tor in t.devices_with_role(Role::Tor) {
+                prop_assert_ne!(leaf.asn, tor.asn);
+            }
+            prop_assert_ne!(leaf.asn, spine_asns[0]);
+        }
+    }
+}

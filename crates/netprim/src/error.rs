@@ -1,0 +1,65 @@
+//! Parse errors for the textual network formats accepted by this crate.
+
+use std::fmt;
+
+/// An error produced while parsing an address, prefix, port, protocol,
+/// or any of the higher-level policy syntaxes built on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What was being parsed (e.g. `"ipv4 address"`, `"prefix"`).
+    pub what: &'static str,
+    /// The offending input, truncated for display.
+    pub input: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl ParseError {
+    /// Create a new parse error.
+    pub fn new(what: &'static str, input: impl Into<String>, reason: impl Into<String>) -> Self {
+        let mut input = input.into();
+        if input.len() > 64 {
+            input.truncate(64);
+            input.push('…');
+        }
+        ParseError {
+            what,
+            input,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {} {:?}: {}",
+            self.what, self.input, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = ParseError::new("prefix", "10.0.0.0/33", "mask length exceeds 32");
+        let s = e.to_string();
+        assert!(s.contains("prefix"));
+        assert!(s.contains("10.0.0.0/33"));
+        assert!(s.contains("exceeds"));
+    }
+
+    #[test]
+    fn long_input_is_truncated() {
+        let long = "x".repeat(200);
+        let e = ParseError::new("acl rule", long, "nonsense");
+        assert!(e.input.chars().count() <= 65);
+        assert!(e.input.ends_with('…'));
+    }
+}

@@ -1,0 +1,34 @@
+//! # netprim — network primitives for datacenter validation
+//!
+//! Foundational types shared by every crate in this workspace:
+//!
+//! * [`Ipv4`] — a 32-bit IPv4 address with parsing/formatting.
+//! * [`Prefix`] — a CIDR prefix (`10.3.129.224/28`) in canonical form.
+//! * [`IpRange`] / [`PortRange`] — inclusive ranges used by ACL rules
+//!   and by the interval-analysis baseline engine.
+//! * [`Protocol`] — IP protocol numbers with the names used in
+//!   Cisco-IOS-style ACL syntax.
+//! * [`HeaderTuple`] and [`HeaderSpace`] — the 5-tuple
+//!   `(srcIp, srcPort, dstIp, dstPort, protocol)` over which SecGuru
+//!   policies and contracts are interpreted (paper §3.2).
+//! * [`wire`] — a compact binary codec for pulled routing tables,
+//!   modeling the FIB transfer from device to validator (paper §2.6.1).
+//!
+//! All types are plain data with value semantics; nothing here
+//! allocates on the hot path of a validation check.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod header;
+pub mod ip;
+pub mod prefix;
+pub mod range;
+pub mod wire;
+
+pub use error::ParseError;
+pub use header::{HeaderSpace, HeaderTuple, Protocol};
+pub use ip::Ipv4;
+pub use prefix::Prefix;
+pub use range::{IpRange, PortRange};

@@ -1,0 +1,182 @@
+//! Compact binary codec for pulled routing tables.
+//!
+//! RCDC's routing-table puller fetches FIBs from every device and parks
+//! them in a store before validation (paper §2.6.1). This module defines
+//! the transfer format used between the puller and the validator in our
+//! reproduction: a length-prefixed list of `(prefix, next-hops)` entries.
+//!
+//! The format is deliberately simple and versioned:
+//!
+//! ```text
+//! magic   : b"FIB1"
+//! device  : u32   (device id the snapshot came from)
+//! count   : u32   (number of entries)
+//! entry   : addr u32 | len u8 | nhops u16 | nhop u32 * nhops
+//! ```
+//!
+//! All integers are big-endian.
+
+use crate::error::ParseError;
+use crate::ip::Ipv4;
+use crate::prefix::Prefix;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic bytes identifying a FIB snapshot, version 1.
+pub const MAGIC: &[u8; 4] = b"FIB1";
+
+/// One routing entry in the transfer format: destination prefix plus
+/// the resolved set of next-hop addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireEntry {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Next-hop addresses, in device order.
+    pub next_hops: Vec<Ipv4>,
+}
+
+/// A full FIB snapshot pulled from one device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSnapshot {
+    /// Numeric id of the source device.
+    pub device: u32,
+    /// Routing entries; order is preserved by the codec.
+    pub entries: Vec<WireEntry>,
+}
+
+impl WireSnapshot {
+    /// Serialize the snapshot into a freshly allocated buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(12 + self.entries.len() * 16);
+        buf.put_slice(MAGIC);
+        buf.put_u32(self.device);
+        buf.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            buf.put_u32(e.prefix.addr().0);
+            buf.put_u8(e.prefix.len());
+            buf.put_u16(e.next_hops.len() as u16);
+            for nh in &e.next_hops {
+                buf.put_u32(nh.0);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode a snapshot, validating magic, lengths, and prefix
+    /// canonicality. Trailing bytes are rejected.
+    pub fn decode(mut buf: &[u8]) -> Result<WireSnapshot, ParseError> {
+        let err = |reason: &str| ParseError::new("fib snapshot", "<binary>", reason);
+        if buf.remaining() < 12 {
+            return Err(err("truncated header"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(err("bad magic"));
+        }
+        let device = buf.get_u32();
+        let count = buf.get_u32() as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            if buf.remaining() < 7 {
+                return Err(err("truncated entry header"));
+            }
+            let addr = Ipv4(buf.get_u32());
+            let len = buf.get_u8();
+            let nh_count = buf.get_u16() as usize;
+            if buf.remaining() < nh_count * 4 {
+                return Err(err("truncated next-hop list"));
+            }
+            let prefix = Prefix::new(addr, len)
+                .map_err(|e| err(&format!("bad prefix in entry: {e}")))?;
+            let mut next_hops = Vec::with_capacity(nh_count);
+            for _ in 0..nh_count {
+                next_hops.push(Ipv4(buf.get_u32()));
+            }
+            entries.push(WireEntry { prefix, next_hops });
+        }
+        if buf.has_remaining() {
+            return Err(err("trailing bytes after last entry"));
+        }
+        Ok(WireSnapshot { device, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> WireSnapshot {
+        WireSnapshot {
+            device: 42,
+            entries: vec![
+                WireEntry {
+                    prefix: "0.0.0.0/0".parse().unwrap(),
+                    next_hops: vec![Ipv4::new(30, 10, 192, 12), Ipv4::new(30, 10, 192, 16)],
+                },
+                WireEntry {
+                    prefix: "10.3.129.224/28".parse().unwrap(),
+                    next_hops: vec![Ipv4::new(10, 10, 192, 12)],
+                },
+                WireEntry {
+                    prefix: "10.4.0.0/16".parse().unwrap(),
+                    next_hops: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = snapshot();
+        let bytes = s.encode();
+        let back = WireSnapshot::decode(&bytes).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let s = WireSnapshot {
+            device: 0,
+            entries: vec![],
+        };
+        assert_eq!(WireSnapshot::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = snapshot().encode().to_vec();
+        bytes[0] = b'X';
+        assert!(WireSnapshot::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = snapshot().encode().to_vec();
+        for cut in 0..bytes.len() {
+            assert!(
+                WireSnapshot::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = snapshot().encode().to_vec();
+        bytes.push(0);
+        assert!(WireSnapshot::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_noncanonical_prefix() {
+        // Hand-build: one entry 10.0.0.1/8 (host bits set).
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32(1);
+        buf.put_u32(1);
+        buf.put_u32(Ipv4::new(10, 0, 0, 1).0);
+        buf.put_u8(8);
+        buf.put_u16(0);
+        assert!(WireSnapshot::decode(&buf).is_err());
+    }
+}

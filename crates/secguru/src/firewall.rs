@@ -1,0 +1,252 @@
+//! Validating distributed firewalls (§3.5).
+//!
+//! "Azure enforces a common set of restrictions for every virtual
+//! machine… specified using a configuration file and automatically
+//! derived from a template. A problem we encountered in the past is
+//! that bugs in the automation or policy changes have resulted in
+//! restrictions being omitted in deployments." The firewall policies
+//! use **deny-overrides** semantics; SecGuru checking "gates
+//! deployments of policies to only those that pass validation".
+
+use crate::engine::{CheckOutcome, SecGuru};
+use crate::model::{Action, Contract, Convention, Policy, Rule};
+use netprim::{HeaderSpace, IpRange, PortRange, Prefix, Protocol};
+
+/// Template inputs: the address layout of the host environment.
+#[derive(Debug, Clone)]
+pub struct FirewallTemplate {
+    /// The guest VM's own addresses.
+    pub vm_range: Prefix,
+    /// Infrastructure services that guests must never reach.
+    pub infra_ranges: Vec<Prefix>,
+    /// Other tenants' ranges the VM must be isolated from.
+    pub tenant_ranges: Vec<Prefix>,
+    /// Public ranges the VM may reach.
+    pub allowed_outbound: Vec<Prefix>,
+}
+
+impl FirewallTemplate {
+    /// Derive the concrete per-VM policy from the template
+    /// (deny-overrides: broad permits + carve-out denies).
+    pub fn render(&self) -> Policy {
+        let mut rules = Vec::new();
+        let mut prio = 0;
+        for dst in &self.allowed_outbound {
+            prio += 1;
+            rules.push(Rule {
+                name: format!("permit-outbound-{dst}"),
+                priority: prio,
+                filter: HeaderSpace {
+                    src: self.vm_range.range(),
+                    ..HeaderSpace::to_dst(*dst)
+                },
+                action: Action::Permit,
+            });
+        }
+        for dst in &self.infra_ranges {
+            prio += 1;
+            rules.push(Rule {
+                name: format!("deny-infra-{dst}"),
+                priority: prio,
+                filter: HeaderSpace::to_dst(*dst),
+                action: Action::Deny,
+            });
+        }
+        for dst in &self.tenant_ranges {
+            prio += 1;
+            rules.push(Rule {
+                name: format!("deny-tenant-{dst}"),
+                priority: prio,
+                filter: HeaderSpace::to_dst(*dst),
+                action: Action::Deny,
+            });
+        }
+        Policy::new("vm-firewall", Convention::DenyOverrides, rules)
+    }
+
+    /// The security contracts every rendered policy must satisfy
+    /// ("we extracted a set of contracts that specify our security
+    /// policy for the common restrictions").
+    pub fn security_contracts(&self) -> Vec<Contract> {
+        let mut cs = Vec::new();
+        for dst in &self.infra_ranges {
+            cs.push(Contract::new(
+                format!("no-guest-to-infra-{dst}"),
+                HeaderSpace {
+                    src: self.vm_range.range(),
+                    ..HeaderSpace::to_dst(*dst)
+                },
+                Action::Deny,
+            ));
+        }
+        for dst in &self.tenant_ranges {
+            cs.push(Contract::new(
+                format!("tenant-isolation-{dst}"),
+                HeaderSpace {
+                    src: self.vm_range.range(),
+                    ..HeaderSpace::to_dst(*dst)
+                },
+                Action::Deny,
+            ));
+        }
+        for dst in &self.allowed_outbound {
+            // Outbound reachability minus the carved-out restrictions;
+            // expressed on a representative sub-range outside any deny.
+            if let Some(free) = self.free_subrange(*dst) {
+                cs.push(Contract::new(
+                    format!("outbound-open-{dst}"),
+                    HeaderSpace {
+                        src: self.vm_range.range(),
+                        src_ports: PortRange::ALL,
+                        dst: free,
+                        dst_ports: PortRange::ALL,
+                        protocol: Protocol::Any,
+                    },
+                    Action::Permit,
+                ));
+            }
+        }
+        cs
+    }
+
+    /// A sub-range of `dst` that intersects no deny range, if any.
+    fn free_subrange(&self, dst: Prefix) -> Option<IpRange> {
+        let mut parts = vec![dst.range()];
+        for d in self.infra_ranges.iter().chain(&self.tenant_ranges) {
+            parts = parts
+                .into_iter()
+                .flat_map(|r| r.subtract(d.range()))
+                .collect();
+        }
+        parts.into_iter().next()
+    }
+}
+
+/// Deployment decision for a rendered policy.
+#[derive(Debug)]
+pub enum DeploymentDecision {
+    /// Policy deployed.
+    Deployed,
+    /// Deployment blocked; the failures list omitted restrictions.
+    Blocked(Vec<CheckOutcome>),
+}
+
+/// The deployment gate of §3.5: only policies passing every security
+/// contract reach hosts.
+pub fn deployment_gate(policy: &Policy, contracts: &[Contract]) -> DeploymentDecision {
+    let mut sg = SecGuru::new(policy.clone());
+    let failures = sg.check_all(contracts);
+    if failures.is_empty() {
+        DeploymentDecision::Deployed
+    } else {
+        DeploymentDecision::Blocked(failures)
+    }
+}
+
+/// A standard template for tests/examples: a VM in 10.44.0.0/16, infra
+/// at 168.63.129.0/24 and 169.254.169.0/24, one peer tenant range, and
+/// the public Internet (modeled as 0.0.0.0/1 and 128.0.0.0/1 coarse
+/// permits).
+pub fn standard_template() -> FirewallTemplate {
+    FirewallTemplate {
+        vm_range: "10.44.0.0/16".parse().unwrap(),
+        infra_ranges: vec![
+            "168.63.129.0/24".parse().unwrap(),
+            "169.254.169.0/24".parse().unwrap(),
+        ],
+        tenant_ranges: vec!["10.45.0.0/16".parse().unwrap()],
+        allowed_outbound: vec![
+            "0.0.0.0/1".parse().unwrap(),
+            "128.0.0.0/1".parse().unwrap(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netprim::{HeaderTuple, Ipv4};
+
+    #[test]
+    fn rendered_template_passes_gate() {
+        let t = standard_template();
+        let policy = t.render();
+        match deployment_gate(&policy, &t.security_contracts()) {
+            DeploymentDecision::Deployed => {}
+            DeploymentDecision::Blocked(f) => panic!("{f:?}"),
+        }
+    }
+
+    #[test]
+    fn rendered_policy_reference_semantics() {
+        let t = standard_template();
+        let p = t.render();
+        let from_vm = |dst: [u8; 4]| HeaderTuple {
+            src_ip: Ipv4::new(10, 44, 1, 1),
+            src_port: 5000,
+            dst_ip: Ipv4::from(dst),
+            dst_port: 443,
+            protocol: 6,
+        };
+        assert!(p.allows(&from_vm([8, 8, 8, 8])), "internet open");
+        assert!(!p.allows(&from_vm([168, 63, 129, 16])), "infra blocked");
+        assert!(!p.allows(&from_vm([169, 254, 169, 254])), "wireserver blocked");
+        assert!(!p.allows(&from_vm([10, 45, 3, 3])), "tenant isolated");
+    }
+
+    #[test]
+    fn omitted_restriction_is_caught() {
+        // The §3.5 bug: automation drops one deny rule.
+        let t = standard_template();
+        let broken = t.render().without_rule("deny-infra-168.63.129.0/24");
+        match deployment_gate(&broken, &t.security_contracts()) {
+            DeploymentDecision::Blocked(failures) => {
+                assert!(failures
+                    .iter()
+                    .any(|f| f.contract == "no-guest-to-infra-168.63.129.0/24"));
+                // Witness is a concrete guest-to-infra packet.
+                let w = failures[0].witness.unwrap();
+                assert!(t.vm_range.contains(w.src_ip));
+            }
+            DeploymentDecision::Deployed => panic!("gate must block"),
+        }
+    }
+
+    #[test]
+    fn every_single_omission_is_caught() {
+        // Mutation coverage: drop each deny rule in turn; the gate must
+        // block every mutant.
+        let t = standard_template();
+        let policy = t.render();
+        let contracts = t.security_contracts();
+        let deny_rules: Vec<String> = policy
+            .rules()
+            .iter()
+            .filter(|r| r.action == Action::Deny)
+            .map(|r| r.name.clone())
+            .collect();
+        assert!(!deny_rules.is_empty());
+        for name in deny_rules {
+            let mutant = policy.without_rule(&name);
+            assert!(
+                matches!(
+                    deployment_gate(&mutant, &contracts),
+                    DeploymentDecision::Blocked(_)
+                ),
+                "dropping {name} must be caught"
+            );
+        }
+    }
+
+    #[test]
+    fn dropping_a_permit_is_also_caught() {
+        let t = standard_template();
+        let policy = t.render();
+        let contracts = t.security_contracts();
+        let mutant = policy.without_rule("permit-outbound-0.0.0.0/1");
+        assert!(matches!(
+            deployment_gate(&mutant, &contracts),
+            DeploymentDecision::Blocked(_)
+        ));
+    }
+}

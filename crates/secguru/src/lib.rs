@@ -1,0 +1,42 @@
+//! # secguru — SMT-based verification of network connectivity restrictions
+//!
+//! The paper's second system (§3): "a library … for facilitating
+//! automatic validation of network connectivity policies", deployed in
+//! Azure since 2013 for network-device ACLs, customer NSGs, and the
+//! distributed firewall templates applied to every VM.
+//!
+//! * [`model`] — rules, policies (first-applicable and deny-overrides
+//!   conventions, Definitions 3.1/3.2), and contracts.
+//! * [`parser`] — a Cisco-IOS-style ACL parser (the syntax of the
+//!   paper's Figure 8) and a tabular NSG parser (Figure 9).
+//! * [`engine`] — the verification engine: policies and contracts
+//!   encoded as bit-vector predicates over
+//!   `⟨srcIp, srcPort, dstIp, dstPort, protocol⟩`, answered by
+//!   satisfiability checking with witness extraction and violating-rule
+//!   identification; plus an interval-analysis baseline used for
+//!   differential testing and the E3 ablation.
+//! * [`refactor`] — the legacy Edge-ACL refactoring workflow of §3.3:
+//!   staged changes with prechecks, group-wise deployment, postchecks,
+//!   and rollback (Figure 11).
+//! * [`nsg_gate`] — the NSG change API of §3.4 that blocks customer
+//!   policy updates breaking database-backup reachability (Figure 12's
+//!   mechanism), with the incident simulation reproducing the figure.
+//! * [`firewall`] — the §3.5 deny-overrides firewall templates and the
+//!   deployment gate that catches omitted restrictions.
+//! * [`diff`] — semantic policy diffing: the exact set of packets on
+//!   which two policy versions disagree, answering §3.3's "assess the
+//!   impact of changes" problem with witnesses instead of eyeballs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod engine;
+pub mod firewall;
+pub mod model;
+pub mod nsg_gate;
+pub mod parser;
+pub mod refactor;
+
+pub use engine::{CheckOutcome, IntervalEngine, SecGuru};
+pub use model::{Action, Contract, Convention, Policy, Rule};

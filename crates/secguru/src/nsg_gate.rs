@@ -1,0 +1,337 @@
+//! Safeguarding NSGs: the §3.4 change-gating API and the Figure 12
+//! incident simulation.
+//!
+//! "We integrated SecGuru validation into the API for changing NSG
+//! policies. We designed service infrastructure to automatically add
+//! contracts for ensuring reachability of the database instance with
+//! infrastructure services. The API was designed to validate these
+//! contracts against the new policy and fail with an error message if
+//! the new policy could block database backups."
+
+use crate::engine::{CheckOutcome, SecGuru};
+use crate::model::{Action, Contract, Policy};
+use netprim::{HeaderSpace, PortRange, Prefix, Protocol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Facts the infrastructure knows about one customer virtual network
+/// (§3.4: "Azure infrastructure has access to metadata about all
+/// service addresses and whether the virtual network of a customer
+/// included a database instance").
+#[derive(Debug, Clone)]
+pub struct VnetMetadata {
+    /// The customer's database subnet, if a managed instance exists.
+    pub database_subnet: Option<Prefix>,
+    /// The backup-infrastructure service range.
+    pub infra_service: Prefix,
+    /// Port the backup orchestration uses.
+    pub backup_port: u16,
+}
+
+impl VnetMetadata {
+    /// The automatically added contracts for this vnet: the backup
+    /// path must stay open in both directions.
+    pub fn auto_contracts(&self) -> Vec<Contract> {
+        let Some(db) = self.database_subnet else {
+            return Vec::new();
+        };
+        vec![
+            Contract::new(
+                "infra-to-db-backup",
+                HeaderSpace {
+                    src: self.infra_service.range(),
+                    dst_ports: PortRange::single(self.backup_port),
+                    protocol: Protocol::Tcp,
+                    ..HeaderSpace::to_dst(db)
+                },
+                Action::Permit,
+            ),
+            Contract::new(
+                "db-to-infra-backup",
+                HeaderSpace {
+                    src: db.range(),
+                    dst_ports: PortRange::single(self.backup_port),
+                    protocol: Protocol::Tcp,
+                    ..HeaderSpace::to_dst(self.infra_service)
+                },
+                Action::Permit,
+            ),
+        ]
+    }
+}
+
+/// Result of an NSG update request through the gated API.
+#[derive(Debug, Clone)]
+pub enum UpdateResult {
+    /// Policy accepted and applied.
+    Accepted,
+    /// Policy rejected; the report lists the failed invariants and,
+    /// per invariant, the specific rule that caused the failure.
+    Rejected(Vec<CheckOutcome>),
+}
+
+/// The gated NSG update API.
+pub struct NsgApi {
+    metadata: VnetMetadata,
+    /// Is SecGuru validation enabled? (Figure 12's inflection: the gate
+    /// shipped around day 100.)
+    pub gate_enabled: bool,
+    current: Option<Policy>,
+}
+
+impl NsgApi {
+    /// A fresh API instance for one customer vnet.
+    pub fn new(metadata: VnetMetadata, gate_enabled: bool) -> NsgApi {
+        NsgApi {
+            metadata,
+            gate_enabled,
+            current: None,
+        }
+    }
+
+    /// The currently applied policy.
+    pub fn current(&self) -> Option<&Policy> {
+        self.current.as_ref()
+    }
+
+    /// Attempt to apply a new NSG policy.
+    pub fn update_policy(&mut self, new_policy: Policy) -> UpdateResult {
+        if self.gate_enabled {
+            let contracts = self.metadata.auto_contracts();
+            let mut sg = SecGuru::new(new_policy.clone());
+            let failures = sg.check_all(&contracts);
+            if !failures.is_empty() {
+                return UpdateResult::Rejected(failures);
+            }
+        }
+        self.current = Some(new_policy);
+        UpdateResult::Accepted
+    }
+
+    /// Does the currently applied policy break backups? (What the
+    /// customer discovers *after* the fact when the gate is off.)
+    pub fn backups_broken(&self) -> bool {
+        let Some(policy) = &self.current else {
+            return false;
+        };
+        let contracts = self.metadata.auto_contracts();
+        let mut sg = SecGuru::new(policy.clone());
+        !sg.check_all(&contracts).is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 incident simulation
+// ---------------------------------------------------------------------------
+
+/// Parameters of the customer-incident simulation (Figure 12).
+#[derive(Debug, Clone, Copy)]
+pub struct IncidentParams {
+    /// Days to simulate.
+    pub days: u32,
+    /// Day the validation gate ships.
+    pub gate_day: u32,
+    /// Customers with managed databases at day 0.
+    pub initial_customers: u32,
+    /// New customers adopting per day (service growth).
+    pub adoption_per_day: u32,
+    /// Probability a customer edits their NSG on a given day.
+    pub edit_probability: f64,
+    /// Probability an edit inadvertently blocks backups.
+    pub misconfig_probability: f64,
+    /// Fraction of customers using the gated API after it ships
+    /// (adoption of the checker is itself gradual, §3.4: "fluctuations…
+    /// based on… the adoption rate of the NSG checker").
+    pub gate_adoption: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IncidentParams {
+    fn default() -> Self {
+        IncidentParams {
+            days: 200,
+            gate_day: 100,
+            initial_customers: 50,
+            adoption_per_day: 4,
+            edit_probability: 0.08,
+            misconfig_probability: 0.35,
+            gate_adoption: 0.9,
+            seed: 42,
+        }
+    }
+}
+
+/// One day of the incident series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncidentPoint {
+    /// Day index.
+    pub day: u32,
+    /// Customer-reported backup incidents that day (edits that broke
+    /// backups and were not blocked by the gate).
+    pub incidents: u32,
+    /// Edits rejected by the gate that day.
+    pub gate_rejections: u32,
+    /// Customer population.
+    pub customers: u32,
+}
+
+/// Simulate the §3.4 story: incidents rise with adoption, then drop
+/// sharply once the gate ships.
+pub fn simulate_incidents(p: &IncidentParams) -> Vec<IncidentPoint> {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut customers = p.initial_customers;
+    let mut series = Vec::with_capacity(p.days as usize);
+    for day in 0..p.days {
+        customers += p.adoption_per_day;
+        let gate_live = day >= p.gate_day;
+        let mut incidents = 0;
+        let mut rejections = 0;
+        for _ in 0..customers {
+            if !rng.gen_bool(p.edit_probability) {
+                continue;
+            }
+            let bad_edit = rng.gen_bool(p.misconfig_probability);
+            if !bad_edit {
+                continue;
+            }
+            let through_gate = gate_live && rng.gen_bool(p.gate_adoption);
+            if through_gate {
+                rejections += 1; // blocked with an actionable error
+            } else {
+                incidents += 1; // lands in production, backup fails
+            }
+        }
+        series.push(IncidentPoint {
+            day,
+            incidents,
+            gate_rejections: rejections,
+            customers,
+        });
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_nsg;
+
+    fn metadata() -> VnetMetadata {
+        VnetMetadata {
+            database_subnet: Some("10.1.9.0/24".parse().unwrap()),
+            infra_service: "20.40.0.0/16".parse().unwrap(),
+            backup_port: 1433,
+        }
+    }
+
+    fn good_nsg() -> Policy {
+        parse_nsg(
+            "customer",
+            "
+            100; AllowBackupIn; 20.40.0.0/16; Any; 10.1.9.0/24; 1433; tcp; Allow
+            110; AllowBackupOut; 10.1.9.0/24; Any; 20.40.0.0/16; 1433; tcp; Allow
+            200; AllowWeb; Any; Any; 10.1.0.0/16; 443; tcp; Allow
+            4000; DenyAll; Any; Any; Any; Any; Any; Deny
+            ",
+        )
+        .unwrap()
+    }
+
+    fn bad_nsg() -> Policy {
+        // The classic §3.4 mistake: a team locks down the vnet and
+        // forgets the backup path.
+        parse_nsg(
+            "customer",
+            "
+            200; AllowWeb; Any; Any; 10.1.0.0/16; 443; tcp; Allow
+            4000; DenyAll; Any; Any; Any; Any; Any; Deny
+            ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gate_accepts_safe_policy() {
+        let mut api = NsgApi::new(metadata(), true);
+        match api.update_policy(good_nsg()) {
+            UpdateResult::Accepted => {}
+            UpdateResult::Rejected(f) => panic!("{f:?}"),
+        }
+        assert!(!api.backups_broken());
+    }
+
+    #[test]
+    fn gate_rejects_backup_blocking_policy_with_rule_name() {
+        let mut api = NsgApi::new(metadata(), true);
+        match api.update_policy(bad_nsg()) {
+            UpdateResult::Rejected(failures) => {
+                assert!(!failures.is_empty());
+                // The report names the offending rule (§3.4).
+                assert!(failures
+                    .iter()
+                    .any(|f| f.violating_rule.as_deref() == Some("DenyAll")));
+            }
+            UpdateResult::Accepted => panic!("gate must reject"),
+        }
+        assert!(api.current().is_none(), "nothing applied");
+    }
+
+    #[test]
+    fn without_gate_bad_policy_lands_and_breaks_backups() {
+        let mut api = NsgApi::new(metadata(), false);
+        assert!(matches!(api.update_policy(bad_nsg()), UpdateResult::Accepted));
+        assert!(api.backups_broken());
+    }
+
+    #[test]
+    fn vnet_without_database_adds_no_contracts() {
+        let meta = VnetMetadata {
+            database_subnet: None,
+            ..metadata()
+        };
+        assert!(meta.auto_contracts().is_empty());
+        let mut api = NsgApi::new(meta, true);
+        // Even the "bad" NSG is fine without a database instance.
+        assert!(matches!(api.update_policy(bad_nsg()), UpdateResult::Accepted));
+    }
+
+    #[test]
+    fn incident_series_reproduces_figure12_shape() {
+        let p = IncidentParams::default();
+        let s = simulate_incidents(&p);
+        assert_eq!(s.len(), p.days as usize);
+        // Mean daily incidents in the month before the gate vs the
+        // month after: a steep drop.
+        let before: f64 = s[(p.gate_day - 30) as usize..p.gate_day as usize]
+            .iter()
+            .map(|pt| pt.incidents as f64)
+            .sum::<f64>()
+            / 30.0;
+        let after: f64 = s[(p.gate_day + 10) as usize..(p.gate_day + 40) as usize]
+            .iter()
+            .map(|pt| pt.incidents as f64)
+            .sum::<f64>()
+            / 30.0;
+        assert!(
+            after < before * 0.35,
+            "incidents must drop sharply: {before:.1} -> {after:.1}"
+        );
+        // Rising trend before the gate (customer growth).
+        let early: f64 = s[..30].iter().map(|pt| pt.incidents as f64).sum::<f64>() / 30.0;
+        assert!(before > early, "incidents grow with adoption");
+        // Rejections only exist after the gate ships.
+        assert!(s[..p.gate_day as usize]
+            .iter()
+            .all(|pt| pt.gate_rejections == 0));
+        assert!(s[p.gate_day as usize..]
+            .iter()
+            .any(|pt| pt.gate_rejections > 0));
+    }
+
+    #[test]
+    fn incident_series_is_deterministic() {
+        let p = IncidentParams::default();
+        assert_eq!(simulate_incidents(&p), simulate_incidents(&p));
+    }
+}

@@ -1,0 +1,486 @@
+//! Parsers for the two policy syntaxes of §3.1.
+//!
+//! * [`parse_acl`] — Cisco-IOS-style ACLs, the exact shape of the
+//!   paper's Figure 8: `permit|deny <proto> <src> [eq N] <dst> [eq N]`
+//!   with `remark` comment lines and numeric protocols (`deny 53 any
+//!   any`).
+//! * [`parse_nsg`] — network security groups as the tabular records of
+//!   Figure 9: one rule per line,
+//!   `priority; name; source; srcPorts; destination; dstPorts;
+//!   protocol; access`.
+
+use crate::model::{Action, Convention, Policy, Rule};
+use netprim::{HeaderSpace, IpRange, ParseError, PortRange, Prefix, Protocol};
+
+fn parse_addr_spec(tok: &str) -> Result<IpRange, ParseError> {
+    if tok.eq_ignore_ascii_case("any") || tok == "*" {
+        return Ok(IpRange::ALL);
+    }
+    if tok.contains('/') {
+        let p: Prefix = tok.parse()?;
+        return Ok(p.range());
+    }
+    // Bare host address.
+    let ip: netprim::Ipv4 = tok.parse()?;
+    Ok(IpRange::single(ip))
+}
+
+/// Addresses in classic IOS form: `any`, `host A.B.C.D`,
+/// `A.B.C.D W.W.W.W` (address + wildcard mask), `A.B.C.D/len`, or a
+/// bare host address. Consumes one or two tokens.
+fn parse_ios_addr(
+    tokens: &mut std::iter::Peekable<std::str::SplitWhitespace>,
+    line: &str,
+) -> Result<IpRange, ParseError> {
+    let tok = tokens
+        .next()
+        .ok_or_else(|| ParseError::new("acl rule", line, "missing address"))?;
+    if tok.eq_ignore_ascii_case("host") {
+        let ip_tok = tokens
+            .next()
+            .ok_or_else(|| ParseError::new("acl rule", line, "host needs an address"))?;
+        let ip: netprim::Ipv4 = ip_tok.parse()?;
+        return Ok(IpRange::single(ip));
+    }
+    if tok.eq_ignore_ascii_case("any") || tok == "*" || tok.contains('/') {
+        return parse_addr_spec(tok);
+    }
+    // Could be `addr wildcard` (next token looks like a dotted quad
+    // that isn't a keyword) or a bare host.
+    let ip: netprim::Ipv4 = tok.parse()?;
+    let looks_like_mask = tokens
+        .peek()
+        .is_some_and(|t| t.parse::<netprim::Ipv4>().is_ok());
+    if looks_like_mask {
+        let mask_tok = tokens.next().expect("peeked");
+        let wildcard: netprim::Ipv4 = mask_tok.parse()?;
+        // A contiguous wildcard mask (low bits set) denotes a prefix:
+        // e.g. 0.0.0.255 == /24. Non-contiguous wildcards are not
+        // representable as ranges and are rejected, as most analysis
+        // tools do.
+        let w = wildcard.0;
+        if w != 0 && (w.wrapping_add(1) & w) != 0 {
+            return Err(ParseError::new(
+                "acl rule",
+                line,
+                "non-contiguous wildcard masks are not supported",
+            ));
+        }
+        let len = w.leading_zeros() as u8;
+        let p = Prefix::containing(ip, len).expect("len <= 32");
+        return Ok(p.range());
+    }
+    Ok(IpRange::single(ip))
+}
+
+fn parse_port_spec(tokens: &mut std::iter::Peekable<std::str::SplitWhitespace>) -> Result<PortRange, ParseError> {
+    match tokens.peek().copied() {
+        Some("gt") => {
+            tokens.next();
+            let p = tokens
+                .next()
+                .ok_or_else(|| ParseError::new("acl rule", "", "gt needs a port"))?;
+            let port: u16 = p
+                .parse()
+                .map_err(|_| ParseError::new("acl rule", p, "bad port number"))?;
+            if port == u16::MAX {
+                return Err(ParseError::new("acl rule", p, "gt 65535 matches nothing"));
+            }
+            PortRange::new(port + 1, u16::MAX)
+        }
+        Some("lt") => {
+            tokens.next();
+            let p = tokens
+                .next()
+                .ok_or_else(|| ParseError::new("acl rule", "", "lt needs a port"))?;
+            let port: u16 = p
+                .parse()
+                .map_err(|_| ParseError::new("acl rule", p, "bad port number"))?;
+            if port == 0 {
+                return Err(ParseError::new("acl rule", p, "lt 0 matches nothing"));
+            }
+            PortRange::new(0, port - 1)
+        }
+        Some("eq") => {
+            tokens.next();
+            let p = tokens
+                .next()
+                .ok_or_else(|| ParseError::new("acl rule", "", "eq needs a port"))?;
+            let port: u16 = p
+                .parse()
+                .map_err(|_| ParseError::new("acl rule", p, "bad port number"))?;
+            Ok(PortRange::single(port))
+        }
+        Some("range") => {
+            tokens.next();
+            let lo = tokens
+                .next()
+                .ok_or_else(|| ParseError::new("acl rule", "", "range needs two ports"))?;
+            let hi = tokens
+                .next()
+                .ok_or_else(|| ParseError::new("acl rule", "", "range needs two ports"))?;
+            let lo: u16 = lo
+                .parse()
+                .map_err(|_| ParseError::new("acl rule", lo, "bad port number"))?;
+            let hi: u16 = hi
+                .parse()
+                .map_err(|_| ParseError::new("acl rule", hi, "bad port number"))?;
+            PortRange::new(lo, hi)
+        }
+        _ => Ok(PortRange::ALL),
+    }
+}
+
+/// Parse a Cisco-IOS-style ACL into a first-applicable [`Policy`].
+///
+/// Grammar per line (whitespace-separated):
+///
+/// ```text
+/// remark <anything>                      -- ignored
+/// permit|deny <proto> <src> [PORTS] <dst> [PORTS]
+/// PORTS := eq N | range A B | gt N | lt N
+/// ```
+///
+/// `<proto>` is `ip|tcp|udp|icmp|<number>`; `<src>`/`<dst>` are `any`,
+/// `host A.B.C.D`, `A.B.C.D`, `A.B.C.D/len`, or the classic IOS
+/// `A.B.C.D W.W.W.W` address + contiguous wildcard-mask pair.
+pub fn parse_acl(name: &str, text: &str) -> Result<Policy, ParseError> {
+    let mut rules = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('!') || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace().peekable();
+        let first = tokens.next().expect("non-empty line has a token");
+        if first.eq_ignore_ascii_case("remark") {
+            continue;
+        }
+        let action = match first.to_ascii_lowercase().as_str() {
+            "permit" => Action::Permit,
+            "deny" => Action::Deny,
+            other => {
+                return Err(ParseError::new(
+                    "acl rule",
+                    line,
+                    format!("expected permit/deny/remark, found {other:?}"),
+                ))
+            }
+        };
+        let proto_tok = tokens
+            .next()
+            .ok_or_else(|| ParseError::new("acl rule", line, "missing protocol"))?;
+        let protocol: Protocol = proto_tok.parse()?;
+        let src = parse_ios_addr(&mut tokens, line)?;
+        let src_ports = parse_port_spec(&mut tokens)?;
+        let dst = parse_ios_addr(&mut tokens, line)?;
+        let dst_ports = parse_port_spec(&mut tokens)?;
+        if tokens.next().is_some() {
+            return Err(ParseError::new("acl rule", line, "trailing tokens"));
+        }
+        rules.push(Rule {
+            name: format!("line{}", lineno + 1),
+            priority: (lineno + 1) as u32,
+            filter: HeaderSpace {
+                src,
+                src_ports,
+                dst,
+                dst_ports,
+                protocol,
+            },
+            action,
+        });
+    }
+    Ok(Policy::new(name, Convention::FirstApplicable, rules))
+}
+
+/// Parse an NSG from tabular records (one per line):
+///
+/// ```text
+/// priority; name; source; srcPorts; destination; dstPorts; protocol; access
+/// ```
+///
+/// Addresses are `Any`, a prefix, or a host; ports are `Any`, `N`, or
+/// `N-M`; access is `Allow` or `Deny` (Figure 9's vocabulary).
+pub fn parse_nsg(name: &str, text: &str) -> Result<Policy, ParseError> {
+    let mut rules = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(';').map(str::trim).collect();
+        if fields.len() != 8 {
+            return Err(ParseError::new(
+                "nsg rule",
+                line,
+                format!("expected 8 ';'-separated fields, found {}", fields.len()),
+            ));
+        }
+        let priority: u32 = fields[0]
+            .parse()
+            .map_err(|_| ParseError::new("nsg rule", line, "bad priority"))?;
+        let rule_name = fields[1].to_string();
+        let src = parse_addr_spec(fields[2])?;
+        let src_ports = parse_nsg_ports(fields[3])?;
+        let dst = parse_addr_spec(fields[4])?;
+        let dst_ports = parse_nsg_ports(fields[5])?;
+        let protocol: Protocol = fields[6].parse()?;
+        let action = match fields[7].to_ascii_lowercase().as_str() {
+            "allow" | "permit" => Action::Permit,
+            "deny" => Action::Deny,
+            other => {
+                return Err(ParseError::new(
+                    "nsg rule",
+                    line,
+                    format!("bad access value {other:?}"),
+                ))
+            }
+        };
+        rules.push(Rule {
+            name: rule_name,
+            priority,
+            filter: HeaderSpace {
+                src,
+                src_ports,
+                dst,
+                dst_ports,
+                protocol,
+            },
+            action,
+        });
+    }
+    Ok(Policy::new(name, Convention::FirstApplicable, rules))
+}
+
+fn parse_nsg_ports(tok: &str) -> Result<PortRange, ParseError> {
+    if tok.eq_ignore_ascii_case("any") || tok == "*" {
+        return Ok(PortRange::ALL);
+    }
+    if let Some((lo, hi)) = tok.split_once('-') {
+        let lo: u16 = lo
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::new("nsg ports", tok, "bad low port"))?;
+        let hi: u16 = hi
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::new("nsg ports", tok, "bad high port"))?;
+        return PortRange::new(lo, hi);
+    }
+    let p: u16 = tok
+        .parse()
+        .map_err(|_| ParseError::new("nsg ports", tok, "bad port"))?;
+    Ok(PortRange::single(p))
+}
+
+/// The paper's Figure 8 edge ACL, verbatim (modulo remark text), used
+/// by tests, examples, and benchmarks.
+pub fn figure8_acl() -> Policy {
+    parse_acl(
+        "edge-acl",
+        r#"
+        remark Isolating private addresses
+        deny   ip 0.0.0.0/32 any
+        deny   ip 10.0.0.0/8 any
+        deny   ip 172.16.0.0/12 any
+        remark Anti spoofing ACLs
+        deny   ip 104.208.32.0/20 any
+        deny   ip 168.61.144.0/20 any
+        remark permits for IPs without port and protocol blocks
+        permit ip any 104.208.32.0/24
+        remark standard port and protocol blocks
+        deny   tcp any any eq 445
+        deny   udp any any eq 445
+        deny   tcp any any eq 593
+        deny   udp any any eq 593
+        deny   53 any any
+        deny   55 any any
+        remark permits for IPs with port and protocol blocks
+        permit ip any 104.208.32.0/20
+        permit ip any 168.61.144.0/20
+        "#,
+    )
+    .expect("figure 8 ACL parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netprim::{HeaderTuple, Ipv4};
+
+    fn h(src: [u8; 4], dst: [u8; 4], dst_port: u16, proto: u8) -> HeaderTuple {
+        HeaderTuple {
+            src_ip: Ipv4::from(src),
+            src_port: 40000,
+            dst_ip: Ipv4::from(dst),
+            dst_port,
+            protocol: proto,
+        }
+    }
+
+    #[test]
+    fn figure8_semantics() {
+        let p = figure8_acl();
+        assert_eq!(p.len(), 14);
+        // §1: private source blocked even toward a permitted dst.
+        assert!(!p.allows(&h([10, 1, 1, 1], [104, 208, 32, 10], 80, 6)));
+        // §2: anti-spoofing — own ranges as source are blocked.
+        assert!(!p.allows(&h([104, 208, 33, 1], [104, 208, 32, 10], 80, 6)));
+        // §3: the /24 is permitted for any port, even 445.
+        assert!(p.allows(&h([8, 8, 8, 8], [104, 208, 32, 10], 445, 6)));
+        // §4: port 445 blocked toward the broader /20.
+        assert!(!p.allows(&h([8, 8, 8, 8], [104, 208, 40, 10], 445, 6)));
+        // §5: other ports toward the /20 are fine.
+        assert!(p.allows(&h([8, 8, 8, 8], [104, 208, 40, 10], 443, 6)));
+        assert!(p.allows(&h([8, 8, 8, 8], [168, 61, 150, 1], 22, 6)));
+        // protocol 53 blocked everywhere.
+        assert!(!p.allows(&h([8, 8, 8, 8], [168, 61, 150, 1], 22, 53)));
+        // default deny: unlisted destinations are blocked.
+        assert!(!p.allows(&h([8, 8, 8, 8], [9, 9, 9, 9], 443, 6)));
+    }
+
+    #[test]
+    fn acl_parses_ios_wildcards_and_host() {
+        let p = parse_acl(
+            "t",
+            "
+            deny ip 10.0.0.0 0.255.255.255 any
+            permit tcp host 8.8.8.8 any eq 443
+            permit ip 192.168.4.0 0.0.3.255 any
+            ",
+        )
+        .unwrap();
+        let r = &p.rules()[0];
+        assert_eq!(r.filter.src, "10.0.0.0/8".parse::<Prefix>().unwrap().range());
+        let r = &p.rules()[1];
+        assert_eq!(r.filter.src, IpRange::single(Ipv4::new(8, 8, 8, 8)));
+        assert_eq!(r.filter.dst_ports, PortRange::single(443));
+        let r = &p.rules()[2];
+        assert_eq!(
+            r.filter.src,
+            "192.168.4.0/22".parse::<Prefix>().unwrap().range()
+        );
+    }
+
+    #[test]
+    fn acl_rejects_noncontiguous_wildcard() {
+        assert!(parse_acl("t", "deny ip 10.0.0.0 0.255.0.255 any").is_err());
+    }
+
+    #[test]
+    fn acl_parses_gt_lt_ports() {
+        let p = parse_acl(
+            "t",
+            "
+            permit tcp any gt 1023 any lt 1024
+            ",
+        )
+        .unwrap();
+        let r = &p.rules()[0];
+        assert_eq!(r.filter.src_ports, PortRange::new(1024, 65535).unwrap());
+        assert_eq!(r.filter.dst_ports, PortRange::new(0, 1023).unwrap());
+        assert!(parse_acl("t", "permit tcp any gt 65535 any").is_err());
+        assert!(parse_acl("t", "permit tcp any lt 0 any").is_err());
+    }
+
+    #[test]
+    fn acl_parses_ranges_and_hosts() {
+        let p = parse_acl(
+            "t",
+            "permit tcp 1.2.3.4 range 1000 2000 5.0.0.0/8 eq 443",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 1);
+        let r = &p.rules()[0];
+        assert_eq!(r.filter.src, IpRange::single(Ipv4::new(1, 2, 3, 4)));
+        assert_eq!(r.filter.src_ports, PortRange::new(1000, 2000).unwrap());
+        assert_eq!(r.filter.dst_ports, PortRange::single(443));
+    }
+
+    #[test]
+    fn acl_rejects_malformed_lines() {
+        for bad in [
+            "frobnicate ip any any",
+            "permit ip any",
+            "permit tcp any any eq notaport",
+            "permit ip 300.0.0.0/8 any",
+            "permit ip any any extra",
+            "permit bogoproto any any",
+        ] {
+            assert!(parse_acl("t", bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn acl_skips_comments_and_blanks() {
+        let p = parse_acl(
+            "t",
+            "
+            remark a comment
+            ! bang comment
+            # hash comment
+
+            permit ip any any
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn nsg_parses_figure9_style_rules() {
+        let p = parse_nsg(
+            "web-nsg",
+            "
+            # priority; name; src; srcPorts; dst; dstPorts; protocol; access
+            100; AllowHttps; Any; Any; 10.1.0.0/16; 443; tcp; Allow
+            200; DenyVnetInbound; Any; Any; 10.0.0.0/8; Any; Any; Deny
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+        // Priority order: 100 first.
+        assert!(p.allows(&h([8, 8, 8, 8], [10, 1, 2, 3], 443, 6)));
+        assert!(!p.allows(&h([8, 8, 8, 8], [10, 1, 2, 3], 80, 6)));
+        assert!(!p.allows(&h([8, 8, 8, 8], [10, 2, 2, 3], 443, 6)));
+    }
+
+    #[test]
+    fn nsg_priority_not_line_order() {
+        let p = parse_nsg(
+            "t",
+            "
+            200; DenyAll; Any; Any; Any; Any; Any; Deny
+            100; AllowDns; Any; Any; Any; 53; udp; Allow
+            ",
+        )
+        .unwrap();
+        assert!(p.allows(&h([1, 1, 1, 1], [8, 8, 8, 8], 53, 17)));
+        assert!(!p.allows(&h([1, 1, 1, 1], [8, 8, 8, 8], 53, 6)));
+    }
+
+    #[test]
+    fn nsg_rejects_malformed() {
+        for bad in [
+            "100; TooFew; Any; Any; Any; Any; tcp",
+            "abc; BadPrio; Any; Any; Any; Any; tcp; Allow",
+            "100; BadPorts; Any; 10-; Any; Any; tcp; Allow",
+            "100; BadAccess; Any; Any; Any; Any; tcp; Maybe",
+        ] {
+            assert!(parse_nsg("t", bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn nsg_port_ranges() {
+        let p = parse_nsg(
+            "t",
+            "100; AllowEphemeral; Any; 1024-65535; Any; 8000-8080; tcp; Allow",
+        )
+        .unwrap();
+        let r = &p.rules()[0];
+        assert_eq!(r.filter.src_ports, PortRange::new(1024, 65535).unwrap());
+        assert_eq!(r.filter.dst_ports, PortRange::new(8000, 8080).unwrap());
+    }
+}

@@ -1,0 +1,333 @@
+//! Tseitin transformation: Boolean gates over SAT literals.
+//!
+//! [`GateCtx`] owns the underlying [`SatSolver`] and exposes circuit
+//! construction: every gate allocates (at most) one fresh variable and
+//! adds the defining clauses, so the CNF grows linearly in circuit size
+//! — the property that makes the paper's "linear in the size of the
+//! policy" encodings (Definitions 2.1, 3.1, 3.2) hold end to end.
+//!
+//! All constructors constant-fold aggressively: policies produce long
+//! if-then-else chains whose guards are frequently constant once the
+//! contract fixes an address range, and folding keeps those encodings
+//! small.
+
+use crate::sat::{Lit, SatSolver};
+
+/// Circuit-construction context over a SAT solver.
+pub struct GateCtx {
+    /// The underlying CDCL solver. Public so callers can run queries.
+    pub sat: SatSolver,
+    tru: Lit,
+}
+
+impl Default for GateCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GateCtx {
+    /// Create a context with a dedicated always-true literal.
+    pub fn new() -> Self {
+        let mut sat = SatSolver::new();
+        let tru = Lit::pos(sat.new_var());
+        sat.add_clause(&[tru]);
+        GateCtx { sat, tru }
+    }
+
+    /// The constant-true literal.
+    pub fn tru(&self) -> Lit {
+        self.tru
+    }
+
+    /// The constant-false literal.
+    pub fn fls(&self) -> Lit {
+        !self.tru
+    }
+
+    /// A literal for a Boolean constant.
+    pub fn constant(&self, b: bool) -> Lit {
+        if b {
+            self.tru
+        } else {
+            self.fls()
+        }
+    }
+
+    /// Is this literal the structural constant true/false?
+    fn as_const(&self, l: Lit) -> Option<bool> {
+        if l == self.tru {
+            Some(true)
+        } else if l == self.fls() {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// A fresh unconstrained literal.
+    pub fn fresh(&mut self) -> Lit {
+        Lit::pos(self.sat.new_var())
+    }
+
+    /// Assert that a literal holds in every model.
+    pub fn assert(&mut self, l: Lit) {
+        self.sat.add_clause(&[l]);
+    }
+
+    /// `a ∧ b`.
+    pub fn and2(&mut self, a: Lit, b: Lit) -> Lit {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(false), _) | (_, Some(false)) => self.fls(),
+            (Some(true), _) => b,
+            (_, Some(true)) => a,
+            _ if a == b => a,
+            _ if a == !b => self.fls(),
+            _ => {
+                let o = self.fresh();
+                self.sat.add_clause(&[!o, a]);
+                self.sat.add_clause(&[!o, b]);
+                self.sat.add_clause(&[o, !a, !b]);
+                o
+            }
+        }
+    }
+
+    /// `a ∨ b`.
+    pub fn or2(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and2(!a, !b)
+    }
+
+    /// Conjunction of many literals.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        let mut inputs = Vec::with_capacity(lits.len());
+        for &l in lits {
+            match self.as_const(l) {
+                Some(false) => return self.fls(),
+                Some(true) => {}
+                None => {
+                    if inputs.contains(&!l) {
+                        return self.fls();
+                    }
+                    if !inputs.contains(&l) {
+                        inputs.push(l);
+                    }
+                }
+            }
+        }
+        match inputs.len() {
+            0 => self.tru,
+            1 => inputs[0],
+            _ => {
+                let o = self.fresh();
+                let mut long = Vec::with_capacity(inputs.len() + 1);
+                long.push(o);
+                for &l in &inputs {
+                    self.sat.add_clause(&[!o, l]);
+                    long.push(!l);
+                }
+                self.sat.add_clause(&long);
+                o
+            }
+        }
+    }
+
+    /// Disjunction of many literals.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        let negated: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+        !self.and_many(&negated)
+    }
+
+    /// `a ⊕ b`.
+    pub fn xor2(&mut self, a: Lit, b: Lit) -> Lit {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(false), _) => b,
+            (_, Some(false)) => a,
+            (Some(true), _) => !b,
+            (_, Some(true)) => !a,
+            _ if a == b => self.fls(),
+            _ if a == !b => self.tru,
+            _ => {
+                let o = self.fresh();
+                self.sat.add_clause(&[!o, a, b]);
+                self.sat.add_clause(&[!o, !a, !b]);
+                self.sat.add_clause(&[o, !a, b]);
+                self.sat.add_clause(&[o, a, !b]);
+                o
+            }
+        }
+    }
+
+    /// `a ↔ b`.
+    pub fn iff(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor2(a, b)
+    }
+
+    /// `a → b`.
+    pub fn implies(&mut self, a: Lit, b: Lit) -> Lit {
+        self.or2(!a, b)
+    }
+
+    /// `if c then t else e`.
+    pub fn ite(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
+        match self.as_const(c) {
+            Some(true) => return t,
+            Some(false) => return e,
+            None => {}
+        }
+        if t == e {
+            return t;
+        }
+        match (self.as_const(t), self.as_const(e)) {
+            (Some(true), Some(false)) => return c,
+            (Some(false), Some(true)) => return !c,
+            (Some(true), None) => return self.or2(c, e),
+            (Some(false), None) => return self.and2(!c, e),
+            (None, Some(true)) => return self.or2(!c, t),
+            (None, Some(false)) => return self.and2(c, t),
+            _ => {}
+        }
+        let o = self.fresh();
+        self.sat.add_clause(&[!o, !c, t]);
+        self.sat.add_clause(&[!o, c, e]);
+        self.sat.add_clause(&[o, !c, !t]);
+        self.sat.add_clause(&[o, c, !e]);
+        // Redundant but propagation-strengthening clause.
+        self.sat.add_clause(&[o, !t, !e]);
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SatResult;
+
+    /// Evaluate a 2-input gate exhaustively against an oracle.
+    fn check_gate2(
+        build: impl Fn(&mut GateCtx, Lit, Lit) -> Lit,
+        oracle: impl Fn(bool, bool) -> bool,
+    ) {
+        for av in [false, true] {
+            for bv in [false, true] {
+                let mut g = GateCtx::new();
+                let a = g.fresh();
+                let b = g.fresh();
+                let o = build(&mut g, a, b);
+                g.assert(if av { a } else { !a });
+                g.assert(if bv { b } else { !b });
+                g.assert(o);
+                let expect = if oracle(av, bv) {
+                    SatResult::Sat
+                } else {
+                    SatResult::Unsat
+                };
+                assert_eq!(g.sat.solve(), expect, "inputs ({av},{bv})");
+            }
+        }
+    }
+
+    #[test]
+    fn and_gate_truth_table() {
+        check_gate2(|g, a, b| g.and2(a, b), |a, b| a && b);
+    }
+
+    #[test]
+    fn or_gate_truth_table() {
+        check_gate2(|g, a, b| g.or2(a, b), |a, b| a || b);
+    }
+
+    #[test]
+    fn xor_gate_truth_table() {
+        check_gate2(|g, a, b| g.xor2(a, b), |a, b| a ^ b);
+    }
+
+    #[test]
+    fn iff_gate_truth_table() {
+        check_gate2(|g, a, b| g.iff(a, b), |a, b| a == b);
+    }
+
+    #[test]
+    fn implies_gate_truth_table() {
+        check_gate2(|g, a, b| g.implies(a, b), |a, b| !a || b);
+    }
+
+    #[test]
+    fn constant_folding_produces_constants() {
+        let mut g = GateCtx::new();
+        let a = g.fresh();
+        let t = g.tru();
+        let f = g.fls();
+        assert_eq!(g.and2(a, f), f);
+        assert_eq!(g.and2(t, a), a);
+        assert_eq!(g.or2(a, t), t);
+        assert_eq!(g.or2(f, a), a);
+        assert_eq!(g.xor2(a, f), a);
+        assert_eq!(g.xor2(a, t), !a);
+        assert_eq!(g.and2(a, a), a);
+        assert_eq!(g.and2(a, !a), f);
+        assert_eq!(g.ite(t, a, f), a);
+        assert_eq!(g.ite(f, a, t), t);
+        let b = g.fresh();
+        assert_eq!(g.ite(a, b, b), b);
+        assert_eq!(g.ite(b, t, f), b);
+        assert_eq!(g.ite(b, f, t), !b);
+    }
+
+    #[test]
+    fn ite_truth_table() {
+        for cv in [false, true] {
+            for tv in [false, true] {
+                for ev in [false, true] {
+                    let mut g = GateCtx::new();
+                    let c = g.fresh();
+                    let t = g.fresh();
+                    let e = g.fresh();
+                    let o = g.ite(c, t, e);
+                    g.assert(if cv { c } else { !c });
+                    g.assert(if tv { t } else { !t });
+                    g.assert(if ev { e } else { !e });
+                    g.assert(o);
+                    let expect = if cv { tv } else { ev };
+                    assert_eq!(
+                        g.sat.solve(),
+                        if expect { SatResult::Sat } else { SatResult::Unsat },
+                        "({cv},{tv},{ev})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn and_many_matches_pairwise() {
+        let mut g = GateCtx::new();
+        let inputs: Vec<Lit> = (0..5).map(|_| g.fresh()).collect();
+        let big = g.and_many(&inputs);
+        let mut pair = inputs[0];
+        for &l in &inputs[1..] {
+            pair = g.and2(pair, l);
+        }
+        let same = g.iff(big, pair);
+        g.assert(!same);
+        assert_eq!(g.sat.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn or_many_of_nothing_is_false() {
+        let mut g = GateCtx::new();
+        let o = g.or_many(&[]);
+        assert_eq!(o, g.fls());
+        let a = g.and_many(&[]);
+        assert_eq!(a, g.tru());
+    }
+
+    #[test]
+    fn and_many_detects_complement() {
+        let mut g = GateCtx::new();
+        let a = g.fresh();
+        assert_eq!(g.and_many(&[a, !a]), g.fls());
+        let t = g.or_many(&[a, !a]);
+        assert_eq!(t, g.tru());
+    }
+}

@@ -1,0 +1,1101 @@
+//! A CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! Architecture follows MiniSat: two-watched-literal propagation,
+//! first-UIP conflict analysis with learned-clause minimization, VSIDS
+//! variable activities with phase saving, Luby-sequence restarts, and
+//! learned-clause garbage collection driven by clause activities.
+//!
+//! The public API is incremental: clauses may be added between `solve`
+//! calls, and each call may carry *assumptions* — literals that must
+//! hold for this query only. The bit-vector layer leans on assumptions
+//! to check thousands of contracts against one shared policy encoding.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `var << 1 | sign` where `sign == 1` means negated. This
+/// lets watch lists be indexed directly by literal code.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Build from a variable and a sign (`true` = negated).
+    pub fn new(v: Var, negated: bool) -> Lit {
+        Lit((v.0 << 1) | negated as u32)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Is the literal negated?
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The index used for watch lists.
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "¬x{}", self.var().0)
+        } else {
+            write!(f, "x{}", self.var().0)
+        }
+    }
+}
+
+/// Result of a `solve` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment exists (query the model).
+    Sat,
+    /// No satisfying assignment exists under the given assumptions.
+    Unsat,
+}
+
+/// Tri-valued assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+}
+
+const REASON_NONE: u32 = u32::MAX;
+
+/// The CDCL solver.
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    /// Indices of clauses freed by GC, available for reuse.
+    free_slots: Vec<u32>,
+    /// watches[lit.code()] = clause indices watching `lit`.
+    watches: Vec<Vec<u32>>,
+    assign: Vec<LBool>,
+    /// Saved phase for each variable (last assigned value).
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    /// Binary max-heap of variables ordered by activity.
+    heap: Vec<Var>,
+    heap_pos: Vec<usize>,
+    seen: Vec<bool>,
+    /// Number of top-level conflicts: the instance is UNSAT forever.
+    unsat_forever: bool,
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+    learnt_count: usize,
+    max_learnts: usize,
+}
+
+const HEAP_ABSENT: usize = usize::MAX;
+
+impl Default for SatSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SatSolver {
+    /// Create an empty solver.
+    pub fn new() -> Self {
+        SatSolver {
+            clauses: Vec::new(),
+            free_slots: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            seen: Vec::new(),
+            unsat_forever: false,
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+            learnt_count: 0,
+            max_learnts: 4000,
+        }
+    }
+
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(LBool::Undef);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(REASON_NONE);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.seen.push(false);
+        self.heap_pos.push(HEAP_ABSENT);
+        self.heap_insert(v);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of conflicts encountered so far (statistics).
+    pub fn num_conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of decisions made so far (statistics).
+    pub fn num_decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Number of literal propagations so far (statistics).
+    pub fn num_propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Add a clause (disjunction of literals). Returns `false` if the
+    /// solver is already known to be unsatisfiable at top level.
+    ///
+    /// Must be called at decision level 0 (i.e. between `solve` calls);
+    /// the solver backtracks to level 0 automatically after solving.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert!(self.trail_lim.is_empty());
+        if self.unsat_forever {
+            return false;
+        }
+        // Normalize: drop duplicate and false literals, detect tautology
+        // and already-true clauses.
+        let mut norm: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            debug_assert!((l.var().0 as usize) < self.num_vars(), "literal out of range");
+            match self.value(l) {
+                LBool::True => return true, // satisfied at top level
+                LBool::False => continue,   // can never help
+                LBool::Undef => {}
+            }
+            if norm.contains(&!l) {
+                return true; // tautology
+            }
+            if !norm.contains(&l) {
+                norm.push(l);
+            }
+        }
+        match norm.len() {
+            0 => {
+                self.unsat_forever = true;
+                false
+            }
+            1 => {
+                self.enqueue(norm[0], REASON_NONE);
+                if self.propagate().is_some() {
+                    self.unsat_forever = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                self.attach_clause(norm, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        let idx = match self.free_slots.pop() {
+            Some(i) => {
+                self.clauses[i as usize] = Clause {
+                    lits,
+                    learnt,
+                    activity: 0.0,
+                };
+                i
+            }
+            None => {
+                self.clauses.push(Clause {
+                    lits,
+                    learnt,
+                    activity: 0.0,
+                });
+                (self.clauses.len() - 1) as u32
+            }
+        };
+        let c = &self.clauses[idx as usize];
+        let (w0, w1) = (c.lits[0], c.lits[1]);
+        self.watches[(!w0).code()].push(idx);
+        self.watches[(!w1).code()].push(idx);
+        if learnt {
+            self.learnt_count += 1;
+        }
+        idx
+    }
+
+    fn value(&self, l: Lit) -> LBool {
+        value_of(&self.assign, l)
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        let v = l.var().0 as usize;
+        self.assign[v] = LBool::from_bool(!l.is_neg());
+        self.phase[v] = !l.is_neg();
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.prop_head < self.trail.len() {
+            let p = self.trail[self.prop_head];
+            self.prop_head += 1;
+            self.propagations += 1;
+            // Clauses watching ¬p must find a new watch or propagate.
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                let assign = &self.assign;
+                let clause = &mut self.clauses[ci as usize];
+                // Ensure the false literal is at position 1.
+                if clause.lits[0] == !p {
+                    clause.lits.swap(0, 1);
+                }
+                debug_assert_eq!(clause.lits[1], !p);
+                let first = clause.lits[0];
+                if value_of(assign, first) == LBool::True {
+                    i += 1;
+                    continue; // clause already satisfied
+                }
+                // Look for a non-false literal to watch instead.
+                let mut found = false;
+                for k in 2..clause.lits.len() {
+                    if value_of(assign, clause.lits[k]) != LBool::False {
+                        clause.lits.swap(1, k);
+                        let new_watch = clause.lits[1];
+                        self.watches[(!new_watch).code()].push(ci);
+                        ws.swap_remove(i);
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.value(first) == LBool::False {
+                    // Conflict: restore remaining watches and report.
+                    self.watches[p.code()] = ws;
+                    self.prop_head = self.trail.len();
+                    return Some(ci);
+                }
+                self.enqueue(first, ci);
+                i += 1;
+            }
+            self.watches[p.code()] = ws;
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit::pos(Var(0))]; // placeholder slot 0
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            let clause = &self.clauses[confl as usize];
+            let start = if p.is_some() { 1 } else { 0 };
+            // Bump clause activity for learnt clauses involved in conflicts.
+            if clause.lits.is_empty() {
+                unreachable!("empty clause in analyze");
+            }
+            let lits: Vec<Lit> = clause.lits[start..].to_vec();
+            if self.clauses[confl as usize].learnt {
+                self.bump_clause(confl);
+            }
+            for q in lits {
+                let v = q.var().0 as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Select next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().0 as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.unwrap().var().0 as usize;
+            self.seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = !p.unwrap();
+                break;
+            }
+            confl = self.reason[pv];
+            debug_assert_ne!(confl, REASON_NONE);
+        }
+
+        // Clause minimization: drop literals implied by the rest.
+        let mut minimized = vec![learned[0]];
+        for &l in &learned[1..] {
+            if !self.redundant(l, &learned) {
+                minimized.push(l);
+            }
+        }
+
+        // Compute backtrack level = second-highest level in the clause.
+        let bt = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().0 as usize]
+                    > self.level[minimized[max_i].var().0 as usize]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var().0 as usize]
+        };
+
+        for &l in &learned {
+            self.seen[l.var().0 as usize] = false;
+        }
+        (minimized, bt)
+    }
+
+    /// Is literal `l` redundant in the learned clause (its reason's
+    /// literals are all already in the clause)? A conservative one-step
+    /// version of recursive minimization.
+    fn redundant(&self, l: Lit, learned: &[Lit]) -> bool {
+        let r = self.reason[l.var().0 as usize];
+        if r == REASON_NONE {
+            return false;
+        }
+        self.clauses[r as usize].lits.iter().all(|&q| {
+            q == !l
+                || learned.contains(&q)
+                || self.level[q.var().0 as usize] == 0
+        })
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().unwrap();
+            for i in (lim..self.trail.len()).rev() {
+                let l = self.trail[i];
+                let v = l.var().0 as usize;
+                self.assign[v] = LBool::Undef;
+                self.reason[v] = REASON_NONE;
+                if self.heap_pos[v] == HEAP_ABSENT {
+                    self.heap_insert(l.var());
+                }
+            }
+            self.trail.truncate(lim);
+        }
+        self.prop_head = self.trail.len();
+    }
+
+    // ----- VSIDS activity heap -----
+
+    fn bump_var(&mut self, v: Var) {
+        let a = &mut self.activity[v.0 as usize];
+        *a += self.var_inc;
+        if *a > 1e100 {
+            for x in &mut self.activity {
+                *x *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.heap_pos[v.0 as usize] != HEAP_ABSENT {
+            self.heap_sift_up(self.heap_pos[v.0 as usize]);
+        }
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn bump_clause(&mut self, ci: u32) {
+        let a = &mut self.clauses[ci as usize].activity;
+        *a += self.cla_inc;
+        if *a > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_clause_activity(&mut self) {
+        self.cla_inc /= 0.999;
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        debug_assert_eq!(self.heap_pos[v.0 as usize], HEAP_ABSENT);
+        self.heap.push(v);
+        self.heap_pos[v.0 as usize] = self.heap.len() - 1;
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.activity[self.heap[i].0 as usize]
+                <= self.activity[self.heap[parent].0 as usize]
+            {
+                break;
+            }
+            self.heap_swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len()
+                && self.activity[self.heap[l].0 as usize]
+                    > self.activity[self.heap[best].0 as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && self.activity[self.heap[r].0 as usize]
+                    > self.activity[self.heap[best].0 as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_pos[self.heap[i].0 as usize] = i;
+        self.heap_pos[self.heap[j].0 as usize] = j;
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_pos[top.0 as usize] = HEAP_ABSENT;
+        let last = self.heap.pop().unwrap();
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last.0 as usize] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap_pop() {
+            if self.assign[v.0 as usize] == LBool::Undef {
+                return Some(Lit::new(v, !self.phase[v.0 as usize]));
+            }
+        }
+        None
+    }
+
+    // ----- learned clause DB reduction -----
+
+    fn reduce_db(&mut self) {
+        let mut learnt: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                self.clauses[i as usize].learnt
+                    && self.clauses[i as usize].lits.len() > 2
+                    && !self.is_reason(i)
+                    && !self.free_slots.contains(&i)
+            })
+            .collect();
+        learnt.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap()
+        });
+        let remove = learnt.len() / 2;
+        for &ci in &learnt[..remove] {
+            self.detach_clause(ci);
+        }
+    }
+
+    fn is_reason(&self, ci: u32) -> bool {
+        let first = self.clauses[ci as usize].lits[0];
+        self.assign[first.var().0 as usize] != LBool::Undef
+            && self.reason[first.var().0 as usize] == ci
+    }
+
+    fn detach_clause(&mut self, ci: u32) {
+        let (w0, w1) = {
+            let c = &self.clauses[ci as usize];
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!w0).code()].retain(|&x| x != ci);
+        self.watches[(!w1).code()].retain(|&x| x != ci);
+        self.clauses[ci as usize].lits.clear();
+        self.learnt_count -= 1;
+        self.free_slots.push(ci);
+    }
+
+    // ----- main search -----
+
+    /// Solve with no assumptions.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with(&[])
+    }
+
+    /// Solve under the given assumption literals. The assumptions hold
+    /// only for this call; learned clauses persist.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        if self.unsat_forever {
+            return SatResult::Unsat;
+        }
+        debug_assert!(self.trail_lim.is_empty());
+        if self.propagate().is_some() {
+            self.unsat_forever = true;
+            return SatResult::Unsat;
+        }
+
+        let mut conflicts_until_restart = luby(self.restart_count()) * 100;
+        let mut local_conflicts: u64 = 0;
+        let result = loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                local_conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.unsat_forever = true;
+                    break SatResult::Unsat;
+                }
+                // Conflict below the assumption frontier ⇒ UNSAT under
+                // the assumptions: learned clause would flip an assumption.
+                let (learned, bt) = self.analyze(confl);
+                if (bt as usize) < self.assumption_frontier(assumptions) {
+                    // Still record the learned clause at its natural level
+                    // if it is level-0 implied; then give up on this query.
+                    self.backtrack(0);
+                    if learned.len() == 1 {
+                        // A forced unit independent of assumptions.
+                        if self.value(learned[0]) == LBool::Undef {
+                            self.enqueue(learned[0], REASON_NONE);
+                            if self.propagate().is_some() {
+                                self.unsat_forever = true;
+                            }
+                        } else if self.value(learned[0]) == LBool::False {
+                            self.unsat_forever = true;
+                        }
+                        break SatResult::Unsat;
+                    }
+                    break SatResult::Unsat;
+                }
+                self.backtrack(bt);
+                if learned.len() == 1 {
+                    self.enqueue(learned[0], REASON_NONE);
+                } else {
+                    let ci = self.attach_clause(learned.clone(), true);
+                    self.enqueue(learned[0], ci);
+                }
+                self.decay_var_activity();
+                self.decay_clause_activity();
+                if self.learnt_count > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts += self.max_learnts / 10;
+                }
+            } else {
+                if local_conflicts >= conflicts_until_restart
+                    && self.decision_level() as usize > self.assumption_frontier(assumptions)
+                {
+                    local_conflicts = 0;
+                    conflicts_until_restart = luby(self.restart_count()) * 100;
+                    self.backtrack(self.assumption_frontier(assumptions) as u32);
+                    continue;
+                }
+                // Place assumptions as pseudo-decisions first.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.value(a) {
+                        LBool::True => {
+                            // Already satisfied: open an empty level so the
+                            // frontier math stays aligned.
+                            self.trail_lim.push(self.trail.len());
+                            continue;
+                        }
+                        LBool::False => break SatResult::Unsat,
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, REASON_NONE);
+                            continue;
+                        }
+                    }
+                }
+                match self.pick_branch() {
+                    None => break SatResult::Sat,
+                    Some(l) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, REASON_NONE);
+                    }
+                }
+            }
+        };
+        if result == SatResult::Unsat {
+            self.backtrack(0);
+        }
+        // On SAT we leave the trail intact so `model_value` can read it;
+        // the next add_clause/solve resets it.
+        if result == SatResult::Sat {
+            self.model_snapshot();
+        }
+        self.backtrack(0);
+        result
+    }
+
+    fn assumption_frontier(&self, assumptions: &[Lit]) -> usize {
+        assumptions.len()
+    }
+
+    fn restart_count(&self) -> u64 {
+        self.conflicts / 100 + 1
+    }
+
+    // ----- model -----
+
+    fn model_snapshot(&mut self) {
+        // Phases already record the last assignment of every assigned
+        // variable; copy assignments into phase for unassigned-at-0 vars.
+        for v in 0..self.num_vars() {
+            if let LBool::True = self.assign[v] {
+                self.phase[v] = true;
+            } else if let LBool::False = self.assign[v] {
+                self.phase[v] = false;
+            }
+        }
+    }
+
+    /// The value of `v` in the most recent satisfying assignment.
+    ///
+    /// Meaningful only after `solve`/`solve_with` returned [`SatResult::Sat`].
+    pub fn model_value(&self, v: Var) -> bool {
+        self.phase[v.0 as usize]
+    }
+}
+
+fn value_of(assign: &[LBool], l: Lit) -> LBool {
+    match assign[l.var().0 as usize] {
+        LBool::Undef => LBool::Undef,
+        LBool::True => {
+            if l.is_neg() {
+                LBool::False
+            } else {
+                LBool::True
+            }
+        }
+        LBool::False => {
+            if l.is_neg() {
+                LBool::True
+            } else {
+                LBool::False
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1-indexed): 1,1,2,1,1,2,4,…
+fn luby(i: u64) -> u64 {
+    debug_assert!(i >= 1);
+    let mut x = i - 1;
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver: &mut SatSolver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model_value(v[0]) || s.model_value(v[1]));
+    }
+
+    #[test]
+    fn unit_conflict_unsat() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[Lit::pos(v[0])]);
+        assert!(!s.add_clause(&[Lit::neg(v[0])]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = SatSolver::new();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_two_pigeons_one_hole() {
+        // p1 and p2 must each be in the single hole, but not both.
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::pos(v[1])]);
+        s.add_clause(&[Lit::neg(v[0]), Lit::neg(v[1])]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn chain_implication_propagates() {
+        // x0 ∧ (x0→x1) ∧ (x1→x2) ∧ … ∧ (x98→x99): SAT with all true.
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 100);
+        s.add_clause(&[Lit::pos(v[0])]);
+        for i in 0..99 {
+            s.add_clause(&[Lit::neg(v[i]), Lit::pos(v[i + 1])]);
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        for &x in &v {
+            assert!(s.model_value(x));
+        }
+    }
+
+    #[test]
+    fn xor_chain_unsat() {
+        // Parity constraints: x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, x0 ⊕ x2 = 1 is UNSAT.
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 3);
+        let xor1 = |s: &mut SatSolver, a: Var, b: Var| {
+            s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+            s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        };
+        xor1(&mut s, v[0], v[1]);
+        xor1(&mut s, v[1], v[2]);
+        xor1(&mut s, v[0], v[2]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_do_not_persist() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert_eq!(s.solve_with(&[Lit::neg(v[0]), Lit::neg(v[1])]), SatResult::Unsat);
+        // Without assumptions still SAT.
+        assert_eq!(s.solve(), SatResult::Sat);
+        // Contradictory assumption pair.
+        assert_eq!(s.solve_with(&[Lit::pos(v[0]), Lit::neg(v[0])]), SatResult::Unsat);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn assumptions_select_model() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+        assert_eq!(
+            s.solve_with(&[Lit::neg(v[0]), Lit::neg(v[1])]),
+            SatResult::Sat
+        );
+        assert!(s.model_value(v[2]));
+        assert!(!s.model_value(v[0]));
+        assert!(!s.model_value(v[1]));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.add_clause(&[Lit::neg(v[0])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model_value(v[1]));
+        s.add_clause(&[Lit::neg(v[1])]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        // Once top-level UNSAT, stays UNSAT.
+        assert_eq!(s.solve_with(&[Lit::pos(v[2])]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_php43_unsat_with_learning() {
+        // 4 pigeons, 3 holes: classic hard-ish UNSAT exercising analyze().
+        let mut s = SatSolver::new();
+        let n_p = 4;
+        let n_h = 3;
+        let mut x = vec![vec![Var(0); n_h]; n_p];
+        for p in 0..n_p {
+            for h in 0..n_h {
+                x[p][h] = s.new_var();
+            }
+        }
+        for p in 0..n_p {
+            let clause: Vec<Lit> = (0..n_h).map(|h| Lit::pos(x[p][h])).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..n_h {
+            for p1 in 0..n_p {
+                for p2 in (p1 + 1)..n_p {
+                    s.add_clause(&[Lit::neg(x[p1][h]), Lit::neg(x[p2][h])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.num_conflicts() > 0);
+    }
+
+    #[test]
+    fn graph_coloring_sat() {
+        // A 5-cycle is 3-colorable but not 2-colorable.
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+        for (colors, expect) in [(2usize, SatResult::Unsat), (3, SatResult::Sat)] {
+            let mut s = SatSolver::new();
+            let mut x = vec![vec![]; 5];
+            for node in x.iter_mut() {
+                *node = (0..colors).map(|_| s.new_var()).collect::<Vec<_>>();
+            }
+            for node in &x {
+                s.add_clause(&node.iter().map(|&v| Lit::pos(v)).collect::<Vec<_>>());
+            }
+            for &(a, b) in &edges {
+                for c in 0..colors {
+                    s.add_clause(&[Lit::neg(x[a][c]), Lit::neg(x[b][c])]);
+                }
+            }
+            assert_eq!(s.solve(), expect, "colors={colors}");
+        }
+    }
+
+    /// Brute-force reference: enumerate all assignments.
+    fn brute_force(num_vars: usize, clauses: &[Vec<Lit>]) -> SatResult {
+        for bits in 0u32..(1 << num_vars) {
+            let ok = clauses.iter().all(|c| {
+                c.iter().any(|l| {
+                    let val = (bits >> l.var().0) & 1 == 1;
+                    val != l.is_neg()
+                })
+            });
+            if ok {
+                return SatResult::Sat;
+            }
+        }
+        SatResult::Unsat
+    }
+
+    #[test]
+    fn differential_random_3sat() {
+        // Deterministic xorshift PRNG: no external crates in unit tests.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..300 {
+            let num_vars = 4 + (next() % 5) as usize; // 4..8
+            let num_clauses = 3 + (next() % 30) as usize;
+            let clauses: Vec<Vec<Lit>> = (0..num_clauses)
+                .map(|_| {
+                    let len = 1 + (next() % 3) as usize;
+                    (0..len)
+                        .map(|_| {
+                            let v = Var((next() % num_vars as u64) as u32);
+                            Lit::new(v, next() % 2 == 0)
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut s = SatSolver::new();
+            for _ in 0..num_vars {
+                s.new_var();
+            }
+            let mut early_unsat = false;
+            for c in &clauses {
+                if !s.add_clause(c) {
+                    early_unsat = true;
+                }
+            }
+            let got = if early_unsat { SatResult::Unsat } else { s.solve() };
+            let expect = brute_force(num_vars, &clauses);
+            assert_eq!(got, expect, "round {round}: clauses {clauses:?}");
+            // If SAT, the model must actually satisfy the clauses.
+            if got == SatResult::Sat {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|l| s.model_value(l.var()) != l.is_neg()),
+                        "model does not satisfy {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn differential_random_with_assumptions() {
+        let mut state = 0xdeadbeefcafef00du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..150 {
+            let num_vars = 4 + (next() % 4) as usize;
+            let num_clauses = 3 + (next() % 20) as usize;
+            let clauses: Vec<Vec<Lit>> = (0..num_clauses)
+                .map(|_| {
+                    let len = 1 + (next() % 3) as usize;
+                    (0..len)
+                        .map(|_| {
+                            let v = Var((next() % num_vars as u64) as u32);
+                            Lit::new(v, next() % 2 == 0)
+                        })
+                        .collect()
+                })
+                .collect();
+            let n_assume = (next() % 3) as usize;
+            let assumptions: Vec<Lit> = (0..n_assume)
+                .map(|_| Lit::new(Var((next() % num_vars as u64) as u32), next() % 2 == 0))
+                .collect();
+
+            let mut s = SatSolver::new();
+            for _ in 0..num_vars {
+                s.new_var();
+            }
+            let mut early_unsat = false;
+            for c in &clauses {
+                if !s.add_clause(c) {
+                    early_unsat = true;
+                }
+            }
+            let got = if early_unsat {
+                SatResult::Unsat
+            } else {
+                s.solve_with(&assumptions)
+            };
+            // Reference: assumptions become unit clauses.
+            let mut all = clauses.clone();
+            for &a in &assumptions {
+                all.push(vec![a]);
+            }
+            let expect = brute_force(num_vars, &all);
+            assert_eq!(got, expect, "round {round}: {clauses:?} assume {assumptions:?}");
+            // And solving again without assumptions matches the plain problem.
+            if !early_unsat {
+                let plain = s.solve();
+                assert_eq!(plain, brute_force(num_vars, &clauses), "round {round} plain");
+            }
+        }
+    }
+}

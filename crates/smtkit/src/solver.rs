@@ -1,0 +1,527 @@
+//! The user-facing SMT context.
+//!
+//! [`Solver`] lowers [`BoolExpr`]/[`BvTerm`] formulas onto the SAT core,
+//! interning named variables and memoizing shared sub-DAGs so repeated
+//! policy sub-formulas are encoded once. It supports:
+//!
+//! * `assert` — permanent assertions (the policy encoding);
+//! * `check_assuming` — satisfiability under per-query assumptions (the
+//!   contract under test), leaving the permanent encoding untouched;
+//! * model extraction — the witness packet header that the paper's
+//!   error reports surface when a contract fails.
+
+use crate::bv::{
+    blast_add, blast_and, blast_const, blast_eq, blast_extract, blast_fresh, blast_ite,
+    blast_not, blast_or, blast_sub, blast_ule, blast_xor, BNode, Bits, BoolExpr, BvOp, BvTerm,
+    TNode,
+};
+use crate::cnf::GateCtx;
+use crate::sat::{Lit, SatResult};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Result of an SMT query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmtResult {
+    /// Satisfiable; a model is available.
+    Sat,
+    /// Unsatisfiable under the current assertions and assumptions.
+    Unsat,
+}
+
+/// A satisfying assignment restricted to the named variables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: HashMap<String, u64>,
+    bools: HashMap<String, bool>,
+}
+
+impl Model {
+    /// Value of a named bit-vector variable, if it was declared.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+
+    /// Value of a named Boolean variable, if it was declared.
+    pub fn bool_value(&self, name: &str) -> Option<bool> {
+        self.bools.get(name).copied()
+    }
+}
+
+/// An SMT solver for quantifier-free bit-vector formulas.
+pub struct Solver {
+    g: GateCtx,
+    bv_vars: HashMap<String, Bits>,
+    bool_vars: HashMap<String, Lit>,
+    // Memo keys are node addresses. Each entry retains a clone of the
+    // node's Rc: without it, a dropped expression's allocation could be
+    // reused for a new node at the same address, and the memo would
+    // silently return the old encoding (observed as a soundness bug).
+    memo_bool: HashMap<*const BNode, (Lit, BoolExpr)>,
+    memo_term: HashMap<*const TNode, (Bits, BvTerm)>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Create an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            g: GateCtx::new(),
+            bv_vars: HashMap::new(),
+            bool_vars: HashMap::new(),
+            memo_bool: HashMap::new(),
+            memo_term: HashMap::new(),
+        }
+    }
+
+    /// Number of SAT variables allocated (statistics).
+    pub fn num_sat_vars(&self) -> usize {
+        self.g.sat.num_vars()
+    }
+
+    /// Assert a formula permanently.
+    pub fn assert(&mut self, e: &BoolExpr) {
+        let l = self.lower_bool(e);
+        self.g.assert(l);
+    }
+
+    /// Check satisfiability of the permanent assertions.
+    pub fn check(&mut self) -> SmtResult {
+        self.run(&[])
+    }
+
+    /// Check satisfiability under additional assumptions that do not
+    /// persist. Clause learning does persist, so sequences of related
+    /// queries (one per contract) get faster, not slower.
+    pub fn check_assuming(&mut self, assumptions: &[BoolExpr]) -> SmtResult {
+        let lits: Vec<Lit> = assumptions.iter().map(|e| self.lower_bool(e)).collect();
+        self.run(&lits)
+    }
+
+    fn run(&mut self, assumptions: &[Lit]) -> SmtResult {
+        match self.g.sat.solve_with(assumptions) {
+            SatResult::Sat => SmtResult::Sat,
+            SatResult::Unsat => SmtResult::Unsat,
+        }
+    }
+
+    /// Extract the model for every declared variable. Meaningful only
+    /// after a `Sat` result.
+    pub fn model(&self) -> Model {
+        let mut m = Model::default();
+        for (name, bits) in &self.bv_vars {
+            let mut v = 0u64;
+            for (i, &l) in bits.iter().enumerate() {
+                if self.g.sat.model_value(l.var()) != l.is_neg() {
+                    v |= 1 << i;
+                }
+            }
+            m.values.insert(name.clone(), v);
+        }
+        for (name, &l) in &self.bool_vars {
+            m.bools
+                .insert(name.clone(), self.g.sat.model_value(l.var()) != l.is_neg());
+        }
+        m
+    }
+
+    /// The literal vector backing a named bit-vector variable,
+    /// declaring it on first use.
+    fn bv_var(&mut self, name: &str, width: u32) -> Bits {
+        if let Some(bits) = self.bv_vars.get(name) {
+            assert_eq!(
+                bits.len(),
+                width as usize,
+                "variable {name} redeclared with different width"
+            );
+            return bits.clone();
+        }
+        let bits = blast_fresh(&mut self.g, width);
+        self.bv_vars.insert(name.to_string(), bits.clone());
+        bits
+    }
+
+    fn bool_var(&mut self, name: &str) -> Lit {
+        if let Some(&l) = self.bool_vars.get(name) {
+            return l;
+        }
+        let l = self.g.fresh();
+        self.bool_vars.insert(name.to_string(), l);
+        l
+    }
+
+    fn lower_bool(&mut self, e: &BoolExpr) -> Lit {
+        self.lower_all(Work::B(e.clone()));
+        self.memo_bool[&Rc::as_ptr(&e.0)].0
+    }
+
+    #[allow(dead_code)]
+    fn lower_term(&mut self, t: &BvTerm) -> Bits {
+        self.lower_all(Work::T(t.clone()));
+        self.memo_term[&Rc::as_ptr(&t.0)].0.clone()
+    }
+
+    /// Iterative post-order lowering with an explicit stack.
+    ///
+    /// Policy encodings are chains thousands of nodes deep (one node
+    /// per routing rule / ACL line); a recursive lowering would
+    /// overflow the thread stack, so children are scheduled explicitly
+    /// and a node is encoded only once all of its children are
+    /// memoized.
+    fn lower_all(&mut self, root: Work) {
+        let mut stack: Vec<(Work, bool)> = vec![(root, false)];
+        while let Some((work, expanded)) = stack.pop() {
+            match (&work, expanded) {
+                (Work::B(e), false) => {
+                    if self.memo_bool.contains_key(&Rc::as_ptr(&e.0)) {
+                        continue;
+                    }
+                    let mut children = Vec::new();
+                    bool_children(e, &mut children);
+                    stack.push((work.clone(), true));
+                    for c in children {
+                        if !self.is_memoized(&c) {
+                            stack.push((c, false));
+                        }
+                    }
+                }
+                (Work::T(t), false) => {
+                    if self.memo_term.contains_key(&Rc::as_ptr(&t.0)) {
+                        continue;
+                    }
+                    let mut children = Vec::new();
+                    term_children(t, &mut children);
+                    stack.push((work.clone(), true));
+                    for c in children {
+                        if !self.is_memoized(&c) {
+                            stack.push((c, false));
+                        }
+                    }
+                }
+                (Work::B(e), true) => {
+                    let key = Rc::as_ptr(&e.0);
+                    if self.memo_bool.contains_key(&key) {
+                        continue;
+                    }
+                    let l = self.encode_bool(e);
+                    self.memo_bool.insert(key, (l, e.clone()));
+                }
+                (Work::T(t), true) => {
+                    let key = Rc::as_ptr(&t.0);
+                    if self.memo_term.contains_key(&key) {
+                        continue;
+                    }
+                    let bits = self.encode_term(t);
+                    self.memo_term.insert(key, (bits, t.clone()));
+                }
+            }
+        }
+    }
+
+    fn is_memoized(&self, w: &Work) -> bool {
+        match w {
+            Work::B(e) => self.memo_bool.contains_key(&Rc::as_ptr(&e.0)),
+            Work::T(t) => self.memo_term.contains_key(&Rc::as_ptr(&t.0)),
+        }
+    }
+
+    /// Fetch an already-lowered child (post-order guarantees presence).
+    fn lit_of(&self, e: &BoolExpr) -> Lit {
+        self.memo_bool[&Rc::as_ptr(&e.0)].0
+    }
+
+    fn bits_of(&self, t: &BvTerm) -> Bits {
+        self.memo_term[&Rc::as_ptr(&t.0)].0.clone()
+    }
+
+    /// Encode one Boolean node whose children are all memoized.
+    fn encode_bool(&mut self, e: &BoolExpr) -> Lit {
+        match &*e.0 {
+            BNode::Const(b) => self.g.constant(*b),
+            BNode::Var(name) => self.bool_var(name),
+            BNode::Not(x) => !self.lit_of(x),
+            BNode::And(xs) => {
+                let lits: Vec<Lit> = xs.iter().map(|x| self.lit_of(x)).collect();
+                self.g.and_many(&lits)
+            }
+            BNode::Or(xs) => {
+                let lits: Vec<Lit> = xs.iter().map(|x| self.lit_of(x)).collect();
+                self.g.or_many(&lits)
+            }
+            BNode::Xor(a, b) => {
+                let (la, lb) = (self.lit_of(a), self.lit_of(b));
+                self.g.xor2(la, lb)
+            }
+            BNode::Ite { cond, then, els } => {
+                let (c, t, f) = (self.lit_of(cond), self.lit_of(then), self.lit_of(els));
+                self.g.ite(c, t, f)
+            }
+            BNode::Eq(a, b) => {
+                let (ba, bb) = (self.bits_of(a), self.bits_of(b));
+                blast_eq(&mut self.g, &ba, &bb)
+            }
+            BNode::Ule(a, b) => {
+                let (ba, bb) = (self.bits_of(a), self.bits_of(b));
+                blast_ule(&mut self.g, &ba, &bb)
+            }
+        }
+    }
+
+    /// Encode one term node whose children are all memoized.
+    fn encode_term(&mut self, t: &BvTerm) -> Bits {
+        match &*t.0 {
+            TNode::Const { width, value } => blast_const(&self.g, *width, *value),
+            TNode::Var { name, width } => self.bv_var(name, *width),
+            TNode::Bin { op, lhs, rhs } => {
+                let (a, b) = (self.bits_of(lhs), self.bits_of(rhs));
+                match op {
+                    BvOp::Add => blast_add(&mut self.g, &a, &b),
+                    BvOp::Sub => blast_sub(&mut self.g, &a, &b),
+                    BvOp::And => blast_and(&mut self.g, &a, &b),
+                    BvOp::Or => blast_or(&mut self.g, &a, &b),
+                    BvOp::Xor => blast_xor(&mut self.g, &a, &b),
+                }
+            }
+            TNode::Not(x) => blast_not(&self.bits_of(x)),
+            TNode::Ite { cond, then, els } => {
+                let c = self.lit_of(cond);
+                let (a, b) = (self.bits_of(then), self.bits_of(els));
+                blast_ite(&mut self.g, c, &a, &b)
+            }
+            TNode::Extract { term, hi, lo } => blast_extract(&self.bits_of(term), *hi, *lo),
+            TNode::Concat { hi, lo } => {
+                let h = self.bits_of(hi);
+                let mut out = self.bits_of(lo);
+                out.extend_from_slice(&h);
+                out
+            }
+        }
+    }
+}
+
+/// Unit of lowering work.
+#[derive(Clone)]
+enum Work {
+    B(BoolExpr),
+    T(BvTerm),
+}
+
+fn bool_children(e: &BoolExpr, out: &mut Vec<Work>) {
+    match &*e.0 {
+        BNode::Const(_) | BNode::Var(_) => {}
+        BNode::Not(a) => out.push(Work::B(a.clone())),
+        BNode::And(xs) | BNode::Or(xs) => out.extend(xs.iter().cloned().map(Work::B)),
+        BNode::Xor(a, b) => {
+            out.push(Work::B(a.clone()));
+            out.push(Work::B(b.clone()));
+        }
+        BNode::Ite { cond, then, els } => {
+            out.push(Work::B(cond.clone()));
+            out.push(Work::B(then.clone()));
+            out.push(Work::B(els.clone()));
+        }
+        BNode::Eq(a, b) | BNode::Ule(a, b) => {
+            out.push(Work::T(a.clone()));
+            out.push(Work::T(b.clone()));
+        }
+    }
+}
+
+fn term_children(t: &BvTerm, out: &mut Vec<Work>) {
+    match &*t.0 {
+        TNode::Const { .. } | TNode::Var { .. } => {}
+        TNode::Bin { lhs, rhs, .. } => {
+            out.push(Work::T(lhs.clone()));
+            out.push(Work::T(rhs.clone()));
+        }
+        TNode::Not(a) => out.push(Work::T(a.clone())),
+        TNode::Ite { cond, then, els } => {
+            out.push(Work::B(cond.clone()));
+            out.push(Work::T(then.clone()));
+            out.push(Work::T(els.clone()));
+        }
+        TNode::Extract { term, .. } => out.push(Work::T(term.clone())),
+        TNode::Concat { hi, lo } => {
+            out.push(Work::T(hi.clone()));
+            out.push(Work::T(lo.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_membership_sat_with_model() {
+        let mut s = Solver::new();
+        let x = BvTerm::var("x", 32);
+        // 10.20.20.0/24 as in the paper's §2.5.1 example.
+        let lo = u32::from_be_bytes([10, 20, 20, 0]) as u64;
+        let hi = u32::from_be_bytes([10, 20, 20, 255]) as u64;
+        s.assert(&x.in_range(lo, hi));
+        assert_eq!(s.check(), SmtResult::Sat);
+        let v = s.model().value("x").unwrap();
+        assert!(v >= lo && v <= hi);
+    }
+
+    #[test]
+    fn empty_range_unsat() {
+        let mut s = Solver::new();
+        let x = BvTerm::var("x", 16);
+        let five = BvTerm::constant(16, 5);
+        let three = BvTerm::constant(16, 3);
+        // x >= 5 ∧ x <= 3
+        s.assert(&five.ule(&x));
+        s.assert(&x.ule(&three));
+        assert_eq!(s.check(), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_do_not_persist() {
+        let mut s = Solver::new();
+        let x = BvTerm::var("x", 8);
+        s.assert(&x.ule(&BvTerm::constant(8, 100)));
+        let over = x.uge(&BvTerm::constant(8, 200));
+        assert_eq!(s.check_assuming(&[over]), SmtResult::Unsat);
+        assert_eq!(s.check(), SmtResult::Sat);
+        assert!(s.model().value("x").unwrap() <= 100);
+    }
+
+    #[test]
+    fn arithmetic_identity() {
+        // (x + y) - y == x is valid: its negation is UNSAT.
+        let mut s = Solver::new();
+        let x = BvTerm::var("x", 16);
+        let y = BvTerm::var("y", 16);
+        let lhs = x.add(&y).sub(&y);
+        s.assert(&lhs.ne(&x));
+        assert_eq!(s.check(), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn demorgan_is_valid() {
+        // ¬(a ∧ b) ↔ (¬a ∨ ¬b): negation UNSAT.
+        let mut s = Solver::new();
+        let a = BoolExpr::var("a");
+        let b = BoolExpr::var("b");
+        let lhs = a.and(&b).not();
+        let rhs = a.not().or(&b.not());
+        s.assert(&lhs.iff(&rhs).not());
+        assert_eq!(s.check(), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn bool_model_extraction() {
+        let mut s = Solver::new();
+        let a = BoolExpr::var("a");
+        let b = BoolExpr::var("b");
+        s.assert(&a);
+        s.assert(&b.not());
+        assert_eq!(s.check(), SmtResult::Sat);
+        let m = s.model();
+        assert_eq!(m.bool_value("a"), Some(true));
+        assert_eq!(m.bool_value("b"), Some(false));
+        assert_eq!(m.bool_value("missing"), None);
+    }
+
+    #[test]
+    fn shared_subterms_are_encoded_once() {
+        let mut s = Solver::new();
+        let x = BvTerm::var("x", 32);
+        let shared = x.add(&BvTerm::constant(32, 1));
+        // Use `shared` many times; variable count should not explode.
+        let mut e = BoolExpr::tru();
+        for k in 0..50 {
+            e = e.and(&shared.ule(&BvTerm::constant(32, 1000 + k)));
+        }
+        s.assert(&e);
+        let before = s.num_sat_vars();
+        assert_eq!(s.check(), SmtResult::Sat);
+        // One adder (~32*5 aux vars) plus comparator chains; far less
+        // than 50 adders.
+        assert!(before < 32 * 5 + 50 * 200, "vars = {before}");
+    }
+
+    #[test]
+    fn ite_term_selects_branch() {
+        let mut s = Solver::new();
+        let c = BoolExpr::var("c");
+        let t = BvTerm::constant(8, 11);
+        let e = BvTerm::constant(8, 22);
+        let x = BvTerm::var("x", 8);
+        s.assert(&x.eq(&BvTerm::ite(&c, &t, &e)));
+        s.assert(&c);
+        assert_eq!(s.check(), SmtResult::Sat);
+        assert_eq!(s.model().value("x"), Some(11));
+    }
+
+    #[test]
+    fn first_applicable_acl_semantics_example() {
+        // Mini version of paper §3.2: deny 10/8, then permit dst
+        // 104.208.32.0/24. A packet with src in 10/8 must be denied
+        // even when the dst matches the permit.
+        let src = BvTerm::var("srcIp", 32);
+        let dst = BvTerm::var("dstIp", 32);
+        let r3 = src.in_range(
+            u32::from_be_bytes([10, 0, 0, 0]) as u64,
+            u32::from_be_bytes([10, 255, 255, 255]) as u64,
+        );
+        let r13 = dst.in_range(
+            u32::from_be_bytes([104, 208, 32, 0]) as u64,
+            u32::from_be_bytes([104, 208, 32, 255]) as u64,
+        );
+        // First-applicable: P = ¬r3 ∧ (r13 ∨ false)
+        let policy = r3.not().and(&r13);
+
+        // Contract: traffic from 10/8 must be denied -> r3 ∧ P unsat.
+        let mut s = Solver::new();
+        s.assert(&r3.and(&policy));
+        assert_eq!(s.check(), SmtResult::Unsat);
+
+        // Traffic to the permitted /24 from elsewhere is allowed.
+        let mut s = Solver::new();
+        s.assert(&r3.not().and(&r13).and(&policy));
+        assert_eq!(s.check(), SmtResult::Sat);
+        let m = s.model();
+        let src_v = m.value("srcIp").unwrap() as u32;
+        let dst_v = m.value("dstIp").unwrap() as u32;
+        assert!(!(10 == (src_v >> 24)), "src must avoid 10/8");
+        assert_eq!(dst_v >> 8, u32::from_be_bytes([104, 208, 32, 0]) >> 8);
+    }
+
+    #[test]
+    fn extract_concat_round_trip() {
+        let mut s = Solver::new();
+        let x = BvTerm::var("x", 32);
+        let rebuilt = x.extract(31, 16).concat(&x.extract(15, 0));
+        s.assert(&rebuilt.ne(&x));
+        assert_eq!(s.check(), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn xor_and_bitwise_ops() {
+        let mut s = Solver::new();
+        let x = BvTerm::var("x", 8);
+        let y = BvTerm::var("y", 8);
+        // (x ^ y) ^ y == x
+        s.assert(&x.bvxor(&y).bvxor(&y).ne(&x));
+        assert_eq!(s.check(), SmtResult::Unsat);
+
+        let mut s = Solver::new();
+        // x & 0 == 0
+        let zero = BvTerm::constant(8, 0);
+        s.assert(&x.bvand(&zero).ne(&zero));
+        assert_eq!(s.check(), SmtResult::Unsat);
+
+        let mut s = Solver::new();
+        // x | ~x == 0xff
+        s.assert(&x.bvor(&x.bvnot()).ne(&BvTerm::constant(8, 0xff)));
+        assert_eq!(s.check(), SmtResult::Unsat);
+    }
+}

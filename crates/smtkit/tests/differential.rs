@@ -1,0 +1,230 @@
+//! Differential testing of the full SMT pipeline (AST → Tseitin → CDCL)
+//! against a direct evaluator over concrete environments.
+//!
+//! Strategy: generate a random formula over two 8-bit variables, pick a
+//! random environment, and check both directions:
+//!
+//! * pinning the variables to the environment and asserting the formula
+//!   (or its negation, whichever the evaluator says holds) must be SAT;
+//! * asserting the opposite must be UNSAT.
+//!
+//! Any soundness bug in the comparator/adder circuits, the Tseitin
+//! gates, or the CDCL core shows up as a verdict mismatch.
+
+use proptest::prelude::*;
+use smtkit::{BoolExpr, BvTerm, SmtResult, Solver};
+
+const W: u32 = 8;
+const MASK: u64 = 0xff;
+
+/// Term AST mirrored as plain data so proptest can generate it.
+#[derive(Debug, Clone)]
+enum T {
+    Const(u64),
+    X,
+    Y,
+    Add(Box<T>, Box<T>),
+    Sub(Box<T>, Box<T>),
+    And(Box<T>, Box<T>),
+    Or(Box<T>, Box<T>),
+    Xor(Box<T>, Box<T>),
+    Not(Box<T>),
+    Ite(Box<B>, Box<T>, Box<T>),
+}
+
+#[derive(Debug, Clone)]
+enum B {
+    Const(bool),
+    Eq(Box<T>, Box<T>),
+    Ule(Box<T>, Box<T>),
+    Not(Box<B>),
+    And(Box<B>, Box<B>),
+    Or(Box<B>, Box<B>),
+    Xor(Box<B>, Box<B>),
+}
+
+fn term_strategy() -> BoxedStrategy<T> {
+    let leaf = prop_oneof![
+        (0u64..=MASK).prop_map(T::Const),
+        Just(T::X),
+        Just(T::Y),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| T::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| T::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| T::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| T::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| T::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, a, b)| {
+                // Use an equality of subterms as the ITE condition so the
+                // condition exercises the Boolean layer too.
+                T::Ite(
+                    Box::new(B::Eq(Box::new(c.clone()), Box::new(c))),
+                    Box::new(a),
+                    Box::new(b),
+                )
+            }),
+            inner.prop_map(|a| T::Not(Box::new(a))),
+        ]
+    })
+    .boxed()
+}
+
+fn bool_strategy() -> BoxedStrategy<B> {
+    let t = term_strategy();
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(B::Const),
+        (t.clone(), t.clone()).prop_map(|(a, b)| B::Eq(Box::new(a), Box::new(b))),
+        (t.clone(), t).prop_map(|(a, b)| B::Ule(Box::new(a), Box::new(b))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| B::Not(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| B::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| B::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| B::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+    .boxed()
+}
+
+fn eval_t(t: &T, x: u64, y: u64) -> u64 {
+    match t {
+        T::Const(c) => *c,
+        T::X => x,
+        T::Y => y,
+        T::Add(a, b) => (eval_t(a, x, y) + eval_t(b, x, y)) & MASK,
+        T::Sub(a, b) => eval_t(a, x, y).wrapping_sub(eval_t(b, x, y)) & MASK,
+        T::And(a, b) => eval_t(a, x, y) & eval_t(b, x, y),
+        T::Or(a, b) => eval_t(a, x, y) | eval_t(b, x, y),
+        T::Xor(a, b) => eval_t(a, x, y) ^ eval_t(b, x, y),
+        T::Not(a) => !eval_t(a, x, y) & MASK,
+        T::Ite(c, a, b) => {
+            if eval_b(c, x, y) {
+                eval_t(a, x, y)
+            } else {
+                eval_t(b, x, y)
+            }
+        }
+    }
+}
+
+fn eval_b(b: &B, x: u64, y: u64) -> bool {
+    match b {
+        B::Const(c) => *c,
+        B::Eq(a, c) => eval_t(a, x, y) == eval_t(c, x, y),
+        B::Ule(a, c) => eval_t(a, x, y) <= eval_t(c, x, y),
+        B::Not(a) => !eval_b(a, x, y),
+        B::And(a, c) => eval_b(a, x, y) && eval_b(c, x, y),
+        B::Or(a, c) => eval_b(a, x, y) || eval_b(c, x, y),
+        B::Xor(a, c) => eval_b(a, x, y) ^ eval_b(c, x, y),
+    }
+}
+
+fn build_t(t: &T, x: &BvTerm, y: &BvTerm) -> BvTerm {
+    match t {
+        T::Const(c) => BvTerm::constant(W, *c),
+        T::X => x.clone(),
+        T::Y => y.clone(),
+        T::Add(a, b) => build_t(a, x, y).add(&build_t(b, x, y)),
+        T::Sub(a, b) => build_t(a, x, y).sub(&build_t(b, x, y)),
+        T::And(a, b) => build_t(a, x, y).bvand(&build_t(b, x, y)),
+        T::Or(a, b) => build_t(a, x, y).bvor(&build_t(b, x, y)),
+        T::Xor(a, b) => build_t(a, x, y).bvxor(&build_t(b, x, y)),
+        T::Not(a) => build_t(a, x, y).bvnot(),
+        T::Ite(c, a, b) => BvTerm::ite(
+            &build_b(c, x, y),
+            &build_t(a, x, y),
+            &build_t(b, x, y),
+        ),
+    }
+}
+
+fn build_b(b: &B, x: &BvTerm, y: &BvTerm) -> BoolExpr {
+    match b {
+        B::Const(c) => BoolExpr::constant(*c),
+        B::Eq(a, c) => build_t(a, x, y).eq(&build_t(c, x, y)),
+        B::Ule(a, c) => build_t(a, x, y).ule(&build_t(c, x, y)),
+        B::Not(a) => build_b(a, x, y).not(),
+        B::And(a, c) => build_b(a, x, y).and(&build_b(c, x, y)),
+        B::Or(a, c) => build_b(a, x, y).or(&build_b(c, x, y)),
+        B::Xor(a, c) => build_b(a, x, y).xor(&build_b(c, x, y)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn verdicts_match_evaluator(b in bool_strategy(), xv in 0u64..=MASK, yv in 0u64..=MASK) {
+        let x = BvTerm::var("x", W);
+        let y = BvTerm::var("y", W);
+        let expr = build_b(&b, &x, &y);
+        let truth = eval_b(&b, xv, yv);
+
+        let pin = x.eq(&BvTerm::constant(W, xv)).and(&y.eq(&BvTerm::constant(W, yv)));
+
+        // Agreeing assertion must be SAT, and the model must pin x,y.
+        let mut s = Solver::new();
+        s.assert(&pin);
+        if truth {
+            s.assert(&expr);
+        } else {
+            s.assert(&expr.not());
+        }
+        prop_assert_eq!(s.check(), SmtResult::Sat);
+        let m = s.model();
+        prop_assert_eq!(m.value("x"), Some(xv));
+        prop_assert_eq!(m.value("y"), Some(yv));
+
+        // …and the contradicting assertion must be UNSAT.
+        let mut s = Solver::new();
+        s.assert(&pin);
+        if truth {
+            s.assert(&expr.not());
+        } else {
+            s.assert(&expr);
+        }
+        prop_assert_eq!(s.check(), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn term_values_match_evaluator(t in term_strategy(), xv in 0u64..=MASK, yv in 0u64..=MASK) {
+        let x = BvTerm::var("x", W);
+        let y = BvTerm::var("y", W);
+        let term = build_t(&t, &x, &y);
+        let expect = eval_t(&t, xv, yv);
+
+        let mut s = Solver::new();
+        s.assert(&x.eq(&BvTerm::constant(W, xv)));
+        s.assert(&y.eq(&BvTerm::constant(W, yv)));
+        let out = BvTerm::var("out", W);
+        s.assert(&out.eq(&term));
+        prop_assert_eq!(s.check(), SmtResult::Sat);
+        prop_assert_eq!(s.model().value("out"), Some(expect));
+    }
+
+    #[test]
+    fn model_satisfies_formula(b in bool_strategy()) {
+        // If the solver says SAT, the model must evaluate to true.
+        let x = BvTerm::var("x", W);
+        let y = BvTerm::var("y", W);
+        let expr = build_b(&b, &x, &y);
+        let mut s = Solver::new();
+        s.assert(&expr);
+        if s.check() == SmtResult::Sat {
+            let m = s.model();
+            let xv = m.value("x").unwrap_or(0);
+            let yv = m.value("y").unwrap_or(0);
+            prop_assert!(eval_b(&b, xv, yv), "model x={xv} y={yv} does not satisfy {b:?}");
+        } else {
+            // UNSAT: no environment may satisfy it (spot-check corners).
+            for xv in [0, 1, MASK] {
+                for yv in [0, 1, MASK] {
+                    prop_assert!(!eval_b(&b, xv, yv));
+                }
+            }
+        }
+    }
+}

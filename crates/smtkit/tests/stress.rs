@@ -1,0 +1,189 @@
+//! Stress and regression tests for the SAT/SMT core under the load
+//! patterns the policy engines produce.
+
+use smtkit::{BoolExpr, BvTerm, Lit, SatResult, SatSolver, SmtResult, Solver, Var};
+
+/// A deterministic xorshift PRNG (tests must not depend on crate RNGs).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+#[test]
+fn long_ite_chain_policy_encoding_does_not_overflow_stack() {
+    // A 6k-rule longest-prefix-match-style chain: guard_i selects
+    // value_i. Both encoding and dropping must be iterative.
+    let x = BvTerm::var("x", 32);
+    let mut policy = BoolExpr::fls();
+    for i in (0..6_000u64).rev() {
+        let guard = x.in_range(i * 100, i * 100 + 99);
+        let value = BoolExpr::var(format!("out_{}", i % 7));
+        policy = BoolExpr::ite(&guard, &value, &policy);
+    }
+    let mut s = Solver::new();
+    // Query: in range of rule 1234, policy must imply out_{1234 % 7}.
+    let in_rule = x.in_range(123_400, 123_499);
+    let wrong = BoolExpr::var(format!("out_{}", 1234 % 7)).not();
+    // Force all other outputs false so the policy value is pinned.
+    for v in 0..7u64 {
+        if v != 1234 % 7 {
+            s.assert(&BoolExpr::var(format!("out_{v}")).not());
+        }
+    }
+    s.assert(&in_rule);
+    s.assert(&policy);
+    s.assert(&wrong);
+    assert_eq!(s.check(), SmtResult::Unsat);
+    // Dropping `policy` (6k-deep chain) must not overflow either.
+    drop(policy);
+    drop(s);
+}
+
+#[test]
+fn thousands_of_assumption_queries_reuse_learning() {
+    // One encoding, many queries — the RCDC contract pattern. The
+    // solver must stay sound across 2000 assumption-based calls.
+    let mut s = Solver::new();
+    let x = BvTerm::var("x", 32);
+    // Permanent constraint: x in [1000, 2000].
+    s.assert(&x.in_range(1000, 2000));
+    for i in 0..2000u64 {
+        let lo = i * 3;
+        let hi = lo + 2;
+        let expect_sat = hi >= 1000 && lo <= 2000;
+        let verdict = s.check_assuming(&[x.in_range(lo, hi)]);
+        assert_eq!(
+            verdict,
+            if expect_sat { SmtResult::Sat } else { SmtResult::Unsat },
+            "window [{lo},{hi}]"
+        );
+        if expect_sat {
+            let v = s.model().value("x").unwrap();
+            assert!(v >= 1000 && v <= 2000 && v >= lo && v <= hi);
+        }
+    }
+}
+
+#[test]
+fn clause_db_reduction_preserves_soundness() {
+    // Enough random hard-ish instances to trigger learned-clause GC,
+    // checked against brute force.
+    let mut rng = XorShift(0xABCDEF0123456789);
+    for round in 0..40 {
+        let num_vars = 10 + (rng.next() % 4) as usize; // 10..13
+        let num_clauses = 40 + (rng.next() % 30) as usize;
+        let clauses: Vec<Vec<Lit>> = (0..num_clauses)
+            .map(|_| {
+                (0..3)
+                    .map(|_| {
+                        Lit::new(
+                            Var((rng.next() % num_vars as u64) as u32),
+                            rng.next() % 2 == 0,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut s = SatSolver::new();
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        let mut early_unsat = false;
+        for c in &clauses {
+            if !s.add_clause(c) {
+                early_unsat = true;
+            }
+        }
+        let got = if early_unsat {
+            SatResult::Unsat
+        } else {
+            s.solve()
+        };
+        // Brute force over ≤ 2^13 assignments.
+        let mut expect = SatResult::Unsat;
+        'outer: for bits in 0u32..(1 << num_vars) {
+            for c in &clauses {
+                if !c
+                    .iter()
+                    .any(|l| ((bits >> l.var().0) & 1 == 1) != l.is_neg())
+                {
+                    continue 'outer;
+                }
+            }
+            expect = SatResult::Sat;
+            break;
+        }
+        assert_eq!(got, expect, "round {round}");
+    }
+}
+
+#[test]
+fn statistics_counters_advance() {
+    let mut s = SatSolver::new();
+    let vars: Vec<Var> = (0..30).map(|_| s.new_var()).collect();
+    // Pigeonhole 6 into 5 — needs real search.
+    let n_p = 6;
+    let n_h = 5;
+    for p in 0..n_p {
+        let clause: Vec<Lit> = (0..n_h).map(|h| Lit::pos(vars[p * n_h + h])).collect();
+        s.add_clause(&clause);
+    }
+    for h in 0..n_h {
+        for p1 in 0..n_p {
+            for p2 in (p1 + 1)..n_p {
+                s.add_clause(&[Lit::neg(vars[p1 * n_h + h]), Lit::neg(vars[p2 * n_h + h])]);
+            }
+        }
+    }
+    assert_eq!(s.solve(), SatResult::Unsat);
+    assert!(s.num_conflicts() > 0);
+    assert!(s.num_decisions() > 0);
+    assert!(s.num_propagations() > s.num_decisions());
+}
+
+#[test]
+fn wide_or_and_structures() {
+    // 1000-ary disjunction of equality atoms: exactly one can hold.
+    let x = BvTerm::var("x", 16);
+    let atoms: Vec<BoolExpr> = (0..1000u64)
+        .map(|i| x.eq(&BvTerm::constant(16, i * 60)))
+        .collect();
+    let any = BoolExpr::or_all(atoms.clone());
+    let mut s = Solver::new();
+    s.assert(&any);
+    assert_eq!(s.check(), SmtResult::Sat);
+    let v = s.model().value("x").unwrap();
+    assert_eq!(v % 60, 0);
+    assert!(v / 60 < 1000);
+
+    // Conjunction of two distinct equalities is unsat.
+    let mut s = Solver::new();
+    s.assert(&atoms[3]);
+    s.assert(&atoms[7]);
+    assert_eq!(s.check(), SmtResult::Unsat);
+}
+
+#[test]
+fn interleaved_assert_and_check() {
+    // Narrow the feasible window step by step; verdicts must track.
+    let mut s = Solver::new();
+    let x = BvTerm::var("x", 24);
+    s.assert(&x.in_range(0, 1 << 20));
+    assert_eq!(s.check(), SmtResult::Sat);
+    s.assert(&x.in_range(1 << 10, 1 << 19));
+    assert_eq!(s.check(), SmtResult::Sat);
+    s.assert(&x.in_range(1 << 18, 1 << 19));
+    assert_eq!(s.check(), SmtResult::Sat);
+    let v = s.model().value("x").unwrap();
+    assert!(v >= 1 << 18 && v <= 1 << 19);
+    s.assert(&x.in_range(0, (1 << 18) - 1));
+    assert_eq!(s.check(), SmtResult::Unsat);
+    // Once unsat at top level, stays unsat.
+    assert_eq!(s.check(), SmtResult::Unsat);
+}

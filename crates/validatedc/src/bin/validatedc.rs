@@ -1,0 +1,364 @@
+//! `validatedc` — command-line front end for the datacenter validation
+//! toolkit.
+//!
+//! ```text
+//! validatedc validate [--clusters N] [--tors N] [--leaves N] [--spines N]
+//!                     [--fail-links N] [--seed S] [--engine trie|smt]
+//!                     [--threads N]
+//!     Generate a Clos datacenter, optionally inject random link
+//!     faults, converge BGP, validate all local contracts, and print
+//!     the triaged report.
+//!
+//! validatedc check-acl <FILE> [--contract "<filter>;<permit|deny>"]...
+//!     Parse a Cisco-IOS-style ACL and check contracts against it.
+//!     With no contracts given, runs the built-in edge-ACL regression
+//!     suite.
+//!
+//! validatedc check-nsg <FILE> --db-subnet <PFX> --infra <PFX> --port <N>
+//!     Validate an NSG policy file against the auto-generated
+//!     database-backup reachability contracts (§3.4).
+//!
+//! validatedc diff-acl <OLD> <NEW>
+//!     Semantic diff of two ACL files: witnesses for newly-denied and
+//!     newly-permitted traffic, or a proof of equivalence.
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use secguru::diff::semantic_diff;
+use secguru::nsg_gate::{NsgApi, UpdateResult, VnetMetadata};
+use std::process::ExitCode;
+use validatedc::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "validate" => cmd_validate(rest),
+        "check-acl" => cmd_check_acl(rest),
+        "check-nsg" => cmd_check_nsg(rest),
+        "diff-acl" => cmd_diff_acl(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(true)
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(2), // checks ran; violations found
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  validatedc validate [--clusters N] [--tors N] [--leaves N] [--spines N]
+                      [--fail-links N] [--seed S] [--engine trie|smt] [--threads N]
+  validatedc check-acl <FILE> [--contract '<src>;<dst>;<dport>;<proto>;<permit|deny>']...
+  validatedc check-nsg <FILE> --db-subnet <PREFIX> --infra <PREFIX> --port <PORT>
+  validatedc diff-acl <OLD> <NEW>
+exit status: 0 = clean, 2 = violations found, 1 = error";
+
+/// Pull `--key value` options out of an argument list; returns
+/// (positional args, extractor closure results).
+struct Opts<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Opts<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Opts { args }
+    }
+
+    fn value(&self, key: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn values(&self, key: &str) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.args.len() {
+            if self.args[i] == key {
+                if let Some(v) = self.args.get(i + 1) {
+                    out.push(v.as_str());
+                }
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.value(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for {key}: {v:?}")),
+        }
+    }
+
+    fn positional(&self) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.args.len() {
+            if self.args[i].starts_with("--") {
+                i += 2;
+            } else {
+                out.push(self.args[i].as_str());
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+fn cmd_validate(args: &[String]) -> Result<bool, String> {
+    let opts = Opts::new(args);
+    let params = ClosParams {
+        clusters: opts.parsed("--clusters", 4u32)?,
+        tors_per_cluster: opts.parsed("--tors", 8u32)?,
+        leaves_per_cluster: opts.parsed("--leaves", 4u32)?,
+        spines: opts.parsed("--spines", 8u32)?,
+        regional_spines: 4,
+        regional_groups: 2,
+        prefixes_per_tor: 1,
+    };
+    let fail_links: usize = opts.parsed("--fail-links", 0usize)?;
+    let seed: u64 = opts.parsed("--seed", 7u64)?;
+    let threads: usize = opts.parsed("--threads", 0usize)?;
+    let engine = match opts.value("--engine").unwrap_or("trie") {
+        "trie" => EngineChoice::Trie,
+        "smt" => EngineChoice::Smt,
+        other => return Err(format!("unknown engine {other:?}")),
+    };
+
+    let mut topology = build_clos(&params);
+    eprintln!(
+        "generated {} devices / {} links",
+        topology.devices().len(),
+        topology.links().len()
+    );
+    if fail_links > 0 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = topology.links().len() as u32;
+        for _ in 0..fail_links {
+            let l = dctopo::LinkId(rng.gen_range(0..n));
+            topology.set_link_state(l, LinkState::OperDown);
+            eprintln!("failed link {}", l.0);
+        }
+    }
+    let fibs = simulate(&topology, &SimConfig::healthy());
+    let meta = MetadataService::from_topology(&topology);
+    let contracts = generate_contracts(&meta);
+    let report = validate_datacenter(&fibs, &contracts, RunnerOptions { engine, threads });
+    println!(
+        "checked {} contracts on {} devices in {:?}: {} violations on {} devices",
+        report.contracts_checked(),
+        topology.devices().len(),
+        report.elapsed,
+        report.total_violations(),
+        report.dirty_devices()
+    );
+    let mut shown = 0;
+    for (i, r) in report.reports.iter().enumerate() {
+        if r.is_clean() {
+            continue;
+        }
+        let device = DeviceId(i as u32);
+        let risk = r
+            .violations
+            .iter()
+            .map(|v| risk_of(v, &meta))
+            .max()
+            .unwrap();
+        let cause = classify_device(device, r, &topology, &meta)
+            .map(|c| format!("{:?}", c.cause))
+            .unwrap_or_default();
+        println!(
+            "  [{risk:?}] {} — {} violations — {}",
+            meta.device(device).name,
+            r.violations.len(),
+            cause
+        );
+        shown += 1;
+        if shown >= 20 {
+            println!("  … ({} more dirty devices)", report.dirty_devices() - shown);
+            break;
+        }
+    }
+    Ok(report.is_clean())
+}
+
+fn parse_inline_contract(spec: &str) -> Result<Contract, String> {
+    // "<src>;<dst>;<dport>;<proto>;<permit|deny>", each field may be "any".
+    let parts: Vec<&str> = spec.split(';').map(str::trim).collect();
+    if parts.len() != 5 {
+        return Err(format!(
+            "contract {spec:?}: expected 5 ';'-separated fields (src;dst;dport;proto;action)"
+        ));
+    }
+    let parse_side = |tok: &str| -> Result<IpRange, String> {
+        if tok.eq_ignore_ascii_case("any") {
+            Ok(IpRange::ALL)
+        } else {
+            tok.parse::<Prefix>()
+                .map(|p| p.range())
+                .map_err(|e| e.to_string())
+        }
+    };
+    let src = parse_side(parts[0])?;
+    let dst = parse_side(parts[1])?;
+    let dst_ports = if parts[2].eq_ignore_ascii_case("any") {
+        PortRange::ALL
+    } else {
+        let p: u16 = parts[2].parse().map_err(|_| format!("bad port {:?}", parts[2]))?;
+        PortRange::single(p)
+    };
+    let protocol: Protocol = parts[3].parse().map_err(|e| format!("{e}"))?;
+    let expect = match parts[4].to_ascii_lowercase().as_str() {
+        "permit" | "allow" => Action::Permit,
+        "deny" => Action::Deny,
+        other => return Err(format!("bad action {other:?}")),
+    };
+    Ok(Contract::new(
+        spec.to_string(),
+        HeaderSpace {
+            src,
+            src_ports: PortRange::ALL,
+            dst,
+            dst_ports,
+            protocol,
+        },
+        expect,
+    ))
+}
+
+fn cmd_check_acl(args: &[String]) -> Result<bool, String> {
+    let opts = Opts::new(args);
+    let files = opts.positional();
+    let [file] = files.as_slice() else {
+        return Err("check-acl needs exactly one ACL file".into());
+    };
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let policy = parse_acl(file, &text).map_err(|e| e.to_string())?;
+    eprintln!("parsed {} rules from {file}", policy.len());
+
+    let contracts: Vec<Contract> = {
+        let specs = opts.values("--contract");
+        if specs.is_empty() {
+            eprintln!("no contracts given; running the built-in edge-ACL suite");
+            secguru::refactor::edge_contracts()
+        } else {
+            specs
+                .iter()
+                .map(|s| parse_inline_contract(s))
+                .collect::<Result<_, _>>()?
+        }
+    };
+
+    let mut sg = SecGuru::new(policy);
+    let failures = sg.check_all(&contracts);
+    if failures.is_empty() {
+        println!("all {} contracts hold", contracts.len());
+        return Ok(true);
+    }
+    for f in &failures {
+        println!(
+            "VIOLATED {} — rule {} — witness {}",
+            f.contract,
+            f.violating_rule.as_deref().unwrap_or("?"),
+            f.witness
+                .map(|w| w.to_string())
+                .unwrap_or_default()
+        );
+    }
+    Ok(false)
+}
+
+fn cmd_check_nsg(args: &[String]) -> Result<bool, String> {
+    let opts = Opts::new(args);
+    let files = opts.positional();
+    let [file] = files.as_slice() else {
+        return Err("check-nsg needs exactly one NSG file".into());
+    };
+    let db: Prefix = opts
+        .value("--db-subnet")
+        .ok_or("--db-subnet required")?
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let infra: Prefix = opts
+        .value("--infra")
+        .ok_or("--infra required")?
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let port: u16 = opts.parsed("--port", 1433u16)?;
+
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let nsg = parse_nsg(file, &text).map_err(|e| e.to_string())?;
+    let mut api = NsgApi::new(
+        VnetMetadata {
+            database_subnet: Some(db),
+            infra_service: infra,
+            backup_port: port,
+        },
+        true,
+    );
+    match api.update_policy(nsg) {
+        UpdateResult::Accepted => {
+            println!("NSG accepted: backup path preserved");
+            Ok(true)
+        }
+        UpdateResult::Rejected(failures) => {
+            for f in failures {
+                println!(
+                    "REJECTED {} — rule {} — witness {}",
+                    f.contract,
+                    f.violating_rule.as_deref().unwrap_or("?"),
+                    f.witness.map(|w| w.to_string()).unwrap_or_default()
+                );
+            }
+            Ok(false)
+        }
+    }
+}
+
+fn cmd_diff_acl(args: &[String]) -> Result<bool, String> {
+    let opts = Opts::new(args);
+    let files = opts.positional();
+    let [old_file, new_file] = files.as_slice() else {
+        return Err("diff-acl needs two ACL files".into());
+    };
+    let old_text = std::fs::read_to_string(old_file).map_err(|e| format!("{old_file}: {e}"))?;
+    let new_text = std::fs::read_to_string(new_file).map_err(|e| format!("{new_file}: {e}"))?;
+    let old = parse_acl(old_file, &old_text).map_err(|e| e.to_string())?;
+    let new = parse_acl(new_file, &new_text).map_err(|e| e.to_string())?;
+    let diff = semantic_diff(&old, &new);
+    match (&diff.newly_denied, &diff.newly_permitted) {
+        (None, None) => {
+            println!("policies are semantically equivalent");
+            Ok(true)
+        }
+        (denied, permitted) => {
+            if let Some(w) = denied {
+                println!("newly DENIED traffic exists, e.g. {w}");
+            }
+            if let Some(w) = permitted {
+                println!("newly PERMITTED traffic exists, e.g. {w}");
+            }
+            Ok(false)
+        }
+    }
+}

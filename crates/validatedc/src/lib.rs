@@ -1,0 +1,62 @@
+//! # validatedc — validating datacenters at scale, in Rust
+//!
+//! Umbrella crate re-exporting the full reproduction of *Validating
+//! Datacenters At Scale* (SIGCOMM 2019): the RCDC forwarding-state
+//! checker, the SecGuru connectivity-policy checker, and every
+//! substrate they run on.
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`netprim`] | addresses, prefixes, header spaces, FIB wire codec |
+//! | [`smtkit`] | from-scratch QF_BV SMT solver (CDCL + bit-blasting) |
+//! | [`dctopo`] | Clos topology model, metadata service, generator, faults |
+//! | [`bgpsim`] | EBGP convergence producing per-device FIBs |
+//! | [`rcdc`] | local contracts, verification engines, monitoring pipeline |
+//! | [`secguru`] | ACL/NSG/firewall verification and change gating |
+//! | [`dcemu`] | emulated-network pre-checks for configuration changes |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use validatedc::prelude::*;
+//!
+//! // A small Clos datacenter with healthy state.
+//! let topology = build_clos(&ClosParams::default());
+//! let fibs = simulate(&topology, &SimConfig::healthy());
+//!
+//! // Intent is derived from architecture, not from network state.
+//! let meta = MetadataService::from_topology(&topology);
+//! let contracts = generate_contracts(&meta);
+//!
+//! // Local validation: every device independently.
+//! let report = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+//! assert!(report.is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bgpsim;
+pub use dcemu;
+pub use dctopo;
+pub use netprim;
+pub use rcdc;
+pub use secguru;
+pub use smtkit;
+
+/// Commonly used items, for `use validatedc::prelude::*`.
+pub mod prelude {
+    pub use bgpsim::{simulate, DeviceOverride, Fib, FibBuilder, SimConfig};
+    pub use dcemu::{ChangeWorkflow, ConfigChange, ManagedNetwork, WorkflowOutcome};
+    pub use dctopo::generator::figure3;
+    pub use dctopo::{build_clos, ClosParams, DeviceId, LinkState, MetadataService, Role, Topology};
+    pub use netprim::{HeaderSpace, HeaderTuple, IpRange, Ipv4, PortRange, Prefix, Protocol};
+    pub use rcdc::classify::{classify_device, Classification, RootCause};
+    pub use rcdc::contracts::generate_contracts;
+    pub use rcdc::engine::{smt::SmtEngine, trie::TrieEngine, Engine};
+    pub use rcdc::report::{risk_of, Risk, ValidationReport, Violation};
+    pub use rcdc::runner::{validate_datacenter, EngineChoice, RunnerOptions};
+    pub use secguru::engine::{IntervalEngine, SecGuru};
+    pub use secguru::model::{Action, Contract, Convention, Policy, Rule};
+    pub use secguru::parser::{parse_acl, parse_nsg};
+}

@@ -1,0 +1,92 @@
+//! Legacy Edge-ACL refactoring (§3.3): phased changes with SecGuru
+//! prechecks and staged, postchecked deployment — the Figure 11 story.
+//!
+//! ```sh
+//! cargo run --release -p validatedc --example acl_refactoring
+//! ```
+
+use secguru::refactor::{
+    edge_contracts, execute_plan, synthesize_legacy_acl, Change, ChangeOutcome, DeviceGroup,
+    RefactorPlan,
+};
+use validatedc::prelude::*;
+
+fn main() {
+    // An inorganically grown edge ACL: Figure-8 skeleton + 2000 service
+    // whitelists + 80 interspersed zero-day denies.
+    let legacy = synthesize_legacy_acl(2000, 80);
+    println!("legacy edge ACL: {} rules", legacy.len());
+
+    // The regression contracts (§3.3): private isolation,
+    // anti-spoofing, standard port blocks, service reachability.
+    let contracts = edge_contracts();
+    println!("regression contracts: {}", contracts.len());
+
+    // Phase plan: move service rules to host firewalls, drop stale
+    // zero-day denies, in batches.
+    let removable: Vec<String> = legacy
+        .rules()
+        .iter()
+        .filter(|r| r.name.starts_with("svc-") || r.name.starts_with("zeroday-"))
+        .map(|r| r.name.clone())
+        .collect();
+    let mut changes: Vec<Change> = removable
+        .chunks(400)
+        .enumerate()
+        .map(|(i, chunk)| Change {
+            description: format!("phase {i}: retire {} rules", chunk.len()),
+            remove: chunk.to_vec(),
+            add: vec![],
+        })
+        .collect();
+
+    // Sneak in a bad change (a typo'd prefix) to show prechecks firing.
+    changes.insert(
+        2,
+        Change {
+            description: "phase X: replace broad permit (TYPO)".into(),
+            remove: vec!["permit-0".into()],
+            add: vec![Rule {
+                name: "permit-0-typo".into(),
+                priority: 99999,
+                filter: HeaderSpace::to_dst("104.209.32.0/20".parse().unwrap()),
+                action: Action::Permit,
+            }],
+        },
+    );
+
+    let plan = RefactorPlan {
+        changes,
+        contracts,
+    };
+    let mut groups = vec![
+        DeviceGroup {
+            name: "region-a".into(),
+            deployed: legacy.clone(),
+        },
+        DeviceGroup {
+            name: "region-b".into(),
+            deployed: legacy.clone(),
+        },
+    ];
+
+    println!("\n{:<44} {:>9} {:>10}", "change", "outcome", "rule count");
+    let records = execute_plan(&legacy, &plan, &mut groups, |_, p| p.clone());
+    for r in &records {
+        let outcome = match &r.outcome {
+            ChangeOutcome::Deployed => "deployed".to_string(),
+            ChangeOutcome::PrecheckRejected(fails) => {
+                format!("REJECTED ({} contracts)", fails.len())
+            }
+            ChangeOutcome::RolledBack { group, .. } => format!("ROLLBACK in {group}"),
+        };
+        println!("{:<44} {:>9} {:>10}", r.description, outcome, r.rule_count);
+    }
+    let final_size = records.last().unwrap().rule_count;
+    println!(
+        "\nACL reduced from {} to {} rules with zero contract regressions",
+        legacy.len(),
+        final_size
+    );
+    assert!(final_size < 1000, "Figure 11 target");
+}

@@ -1,0 +1,73 @@
+//! Safeguarding NSGs (§3.4): the gated policy-update API that keeps
+//! customers from breaking their own database backups.
+//!
+//! ```sh
+//! cargo run --release -p validatedc --example nsg_gatekeeper
+//! ```
+
+use secguru::nsg_gate::{NsgApi, UpdateResult, VnetMetadata};
+use validatedc::prelude::*;
+
+fn main() {
+    // Infrastructure metadata for one customer vnet with a managed
+    // database instance.
+    let metadata = VnetMetadata {
+        database_subnet: Some("10.1.9.0/24".parse().unwrap()),
+        infra_service: "20.40.0.0/16".parse().unwrap(),
+        backup_port: 1433,
+    };
+    println!("auto-added contracts:");
+    for c in metadata.auto_contracts() {
+        println!("  {} ({:?}): {}", c.name, c.expect, c.filter);
+    }
+
+    let mut api = NsgApi::new(metadata, true);
+
+    // The customer's security team locks the vnet down, unaware of the
+    // backup orchestration path.
+    let locked_down = parse_nsg(
+        "customer-nsg",
+        "
+        100; AllowWeb;  Any; Any; 10.1.0.0/16; 443; tcp; Allow
+        200; AllowSsh;  20.0.0.0/8; Any; 10.1.0.0/16; 22; tcp; Allow
+        4000; DenyAll;  Any; Any; Any; Any; Any; Deny
+        ",
+    )
+    .unwrap();
+
+    println!("\nsubmitting locked-down NSG…");
+    match api.update_policy(locked_down) {
+        UpdateResult::Rejected(failures) => {
+            println!("REJECTED by the validation API:");
+            for f in failures {
+                println!(
+                    "  invariant {:?} fails; violating rule {:?}; witness {}",
+                    f.contract,
+                    f.violating_rule.unwrap(),
+                    f.witness.unwrap()
+                );
+            }
+        }
+        UpdateResult::Accepted => unreachable!("the gate must reject"),
+    }
+
+    // The fixed policy carves the backup path out explicitly.
+    let fixed = parse_nsg(
+        "customer-nsg",
+        "
+        90;  AllowBackupIn;  20.40.0.0/16; Any; 10.1.9.0/24; 1433; tcp; Allow
+        95;  AllowBackupOut; 10.1.9.0/24; Any; 20.40.0.0/16; 1433; tcp; Allow
+        100; AllowWeb;  Any; Any; 10.1.0.0/16; 443; tcp; Allow
+        200; AllowSsh;  20.0.0.0/8; Any; 10.1.0.0/16; 22; tcp; Allow
+        4000; DenyAll;  Any; Any; Any; Any; Any; Deny
+        ",
+    )
+    .unwrap();
+
+    println!("\nsubmitting fixed NSG…");
+    match api.update_policy(fixed) {
+        UpdateResult::Accepted => println!("ACCEPTED — backups stay healthy."),
+        UpdateResult::Rejected(f) => unreachable!("{f:?}"),
+    }
+    assert!(!api.backups_broken());
+}

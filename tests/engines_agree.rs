@@ -1,0 +1,263 @@
+//! Cross-engine differential testing.
+//!
+//! Each check has (at least) two independent implementations in this
+//! workspace, and the paper's guarantees only hold if they agree:
+//!
+//! * RCDC: the trie engine (§2.5.2) vs the bit-vector SMT engine
+//!   (§2.5.1), over randomly mutated FIBs;
+//! * SecGuru: the SMT engine vs the interval (box-algebra) baseline,
+//!   over randomly generated policies and contracts, with every
+//!   violation witness re-validated against the reference
+//!   `Policy::allows` semantics.
+
+use proptest::prelude::*;
+use validatedc::prelude::*;
+
+// ---------------------------------------------------------------------------
+// RCDC: trie vs SMT under random FIB mutations
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum FibMutation {
+    /// Remove the entry for prefix #k on device #d.
+    DropEntry { device: usize, prefix: usize },
+    /// Truncate next hops of prefix #k on device #d to one.
+    TruncateHops { device: usize, prefix: usize },
+    /// Remove the default route on device #d.
+    DropDefault { device: usize },
+    /// Truncate the default route's hops on device #d.
+    TruncateDefault { device: usize },
+}
+
+fn mutation_strategy() -> BoxedStrategy<Vec<FibMutation>> {
+    let one = prop_oneof![
+        (0usize..16, 0usize..4)
+            .prop_map(|(device, prefix)| FibMutation::DropEntry { device, prefix }),
+        (0usize..16, 0usize..4)
+            .prop_map(|(device, prefix)| FibMutation::TruncateHops { device, prefix }),
+        (0usize..16).prop_map(|device| FibMutation::DropDefault { device }),
+        (0usize..16).prop_map(|device| FibMutation::TruncateDefault { device }),
+    ];
+    proptest::collection::vec(one, 0..5).boxed()
+}
+
+fn apply_mutations(
+    f: &dctopo::generator::Figure3,
+    fibs: &mut Vec<bgpsim::Fib>,
+    mutations: &[FibMutation],
+) {
+    for m in mutations {
+        let (device, drop_prefix, truncate_prefix) = match *m {
+            FibMutation::DropEntry { device, prefix } => {
+                (device, Some(f.prefixes[prefix]), None)
+            }
+            FibMutation::TruncateHops { device, prefix } => {
+                (device, None, Some(f.prefixes[prefix]))
+            }
+            FibMutation::DropDefault { device } => (device, Some(Prefix::DEFAULT), None),
+            FibMutation::TruncateDefault { device } => (device, None, Some(Prefix::DEFAULT)),
+        };
+        let original = &fibs[device];
+        let mut b = FibBuilder::new(original.device());
+        for e in original.entries() {
+            if Some(e.prefix) == drop_prefix {
+                continue;
+            }
+            let mut hops = original.next_hops(e).to_vec();
+            if Some(e.prefix) == truncate_prefix {
+                hops.truncate(1);
+            }
+            b.push(e.prefix, hops, e.local);
+        }
+        fibs[device] = b.finish();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rcdc_engines_agree_on_mutated_fibs(mutations in mutation_strategy()) {
+        let f = figure3();
+        let mut fibs = simulate(&f.topology, &SimConfig::healthy());
+        apply_mutations(&f, &mut fibs, &mutations);
+        let meta = MetadataService::from_topology(&f.topology);
+        let contracts = generate_contracts(&meta);
+
+        for (trie, smt) in [
+            (TrieEngine::new(), SmtEngine::new()),
+            (TrieEngine::semantic(), SmtEngine::semantic()),
+        ] {
+            for (fib, dc) in fibs.iter().zip(&contracts) {
+                let rt = trie.validate_device(fib, dc);
+                let rs = smt.validate_device(fib, dc);
+                let mut kt: Vec<_> = rt.violations.iter().map(|v| (v.prefix, v.kind)).collect();
+                let mut ks: Vec<_> = rs.violations.iter().map(|v| (v.prefix, v.kind)).collect();
+                kt.sort(); kt.dedup();
+                ks.sort(); ks.dedup();
+                prop_assert_eq!(
+                    kt, ks,
+                    "engine disagreement on device {:?} under {:?}",
+                    fib.device(), mutations
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SecGuru: SMT vs interval baseline on random policies
+// ---------------------------------------------------------------------------
+
+fn arb_range() -> BoxedStrategy<IpRange> {
+    prop_oneof![
+        Just(IpRange::ALL),
+        (0u8..4).prop_map(|i| {
+            Prefix::new(Ipv4::new(10, i * 16, 0, 0), 12).unwrap().range()
+        }),
+        (0u8..4).prop_map(|i| {
+            Prefix::new(Ipv4::new(104, 208, i * 8, 0), 21).unwrap().range()
+        }),
+    ]
+    .boxed()
+}
+
+fn arb_ports() -> BoxedStrategy<PortRange> {
+    prop_oneof![
+        Just(PortRange::ALL),
+        prop_oneof![Just(80u16), Just(443), Just(445), Just(22)]
+            .prop_map(PortRange::single),
+        Just(PortRange::new(1024, 65535).unwrap()),
+    ]
+    .boxed()
+}
+
+fn arb_protocol() -> BoxedStrategy<Protocol> {
+    prop_oneof![
+        Just(Protocol::Any),
+        Just(Protocol::Tcp),
+        Just(Protocol::Udp),
+    ]
+    .boxed()
+}
+
+fn arb_space() -> BoxedStrategy<HeaderSpace> {
+    (arb_range(), arb_ports(), arb_range(), arb_ports(), arb_protocol())
+        .prop_map(|(src, src_ports, dst, dst_ports, protocol)| HeaderSpace {
+            src,
+            src_ports,
+            dst,
+            dst_ports,
+            protocol,
+        })
+        .boxed()
+}
+
+fn arb_policy(convention: Convention) -> BoxedStrategy<Policy> {
+    proptest::collection::vec((arb_space(), any::<bool>()), 1..12)
+        .prop_map(move |rules| {
+            let rules: Vec<Rule> = rules
+                .into_iter()
+                .enumerate()
+                .map(|(i, (filter, permit))| Rule {
+                    name: format!("r{i}"),
+                    priority: i as u32,
+                    filter,
+                    action: if permit { Action::Permit } else { Action::Deny },
+                })
+                .collect();
+            Policy::new("random", convention, rules)
+        })
+        .boxed()
+}
+
+fn arb_contract() -> BoxedStrategy<Contract> {
+    (arb_space(), any::<bool>())
+        .prop_map(|(filter, permit)| {
+            Contract::new(
+                "c",
+                filter,
+                if permit { Action::Permit } else { Action::Deny },
+            )
+        })
+        .boxed()
+}
+
+fn check_agreement(policy: Policy, contract: Contract) -> Result<(), TestCaseError> {
+    let interval = IntervalEngine::new();
+    let iv = interval.check(&policy, &contract);
+    let mut sg = SecGuru::new(policy.clone());
+    let sv = sg.check(&contract);
+    prop_assert_eq!(
+        iv.holds,
+        sv.holds,
+        "engines disagree: policy {:?} contract {:?}",
+        policy,
+        contract
+    );
+    // Witness soundness against the reference evaluator.
+    for outcome in [&iv, &sv] {
+        if let Some(w) = &outcome.witness {
+            prop_assert!(contract.filter.contains(w), "witness outside contract");
+            let allowed = policy.allows(w);
+            match contract.expect {
+                Action::Permit => prop_assert!(!allowed, "permit-contract witness must be denied"),
+                Action::Deny => prop_assert!(allowed, "deny-contract witness must be allowed"),
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn secguru_engines_agree_first_applicable(
+        policy in arb_policy(Convention::FirstApplicable),
+        contract in arb_contract(),
+    ) {
+        check_agreement(policy, contract)?;
+    }
+
+    #[test]
+    fn secguru_engines_agree_deny_overrides(
+        policy in arb_policy(Convention::DenyOverrides),
+        contract in arb_contract(),
+    ) {
+        check_agreement(policy, contract)?;
+    }
+
+    #[test]
+    fn passing_contracts_hold_on_sampled_packets(
+        policy in arb_policy(Convention::FirstApplicable),
+        contract in arb_contract(),
+    ) {
+        // When both engines say the contract holds, random packets from
+        // the contract space must behave as promised.
+        let mut sg = SecGuru::new(policy.clone());
+        if sg.check(&contract).holds {
+            // Deterministic corner samples of the contract space.
+            let f = &contract.filter;
+            let corners = [
+                (f.src.start(), f.src_ports.start(), f.dst.start(), f.dst_ports.start()),
+                (f.src.end(), f.src_ports.end(), f.dst.end(), f.dst_ports.end()),
+                (f.src.start(), f.src_ports.end(), f.dst.end(), f.dst_ports.start()),
+            ];
+            for (src_ip, src_port, dst_ip, dst_port) in corners {
+                let h = HeaderTuple {
+                    src_ip,
+                    src_port,
+                    dst_ip,
+                    dst_port,
+                    protocol: f.protocol.number().unwrap_or(99),
+                };
+                let allowed = policy.allows(&h);
+                match contract.expect {
+                    Action::Permit => prop_assert!(allowed, "{h} must be allowed"),
+                    Action::Deny => prop_assert!(!allowed, "{h} must be denied"),
+                }
+            }
+        }
+    }
+}

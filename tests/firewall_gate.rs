@@ -1,0 +1,127 @@
+//! E12 — §3.5 distributed firewall templates: deny-overrides policies
+//! derived from templates, gated at deployment. "Incorporating
+//! validation as part of the deployment process eradicated the previous
+//! case when restrictions would accidentally be omitted."
+
+use secguru::firewall::{
+    deployment_gate, standard_template, DeploymentDecision, FirewallTemplate,
+};
+use validatedc::prelude::*;
+
+#[test]
+fn healthy_template_deploys() {
+    let t = standard_template();
+    assert!(matches!(
+        deployment_gate(&t.render(), &t.security_contracts()),
+        DeploymentDecision::Deployed
+    ));
+}
+
+#[test]
+fn every_omitted_deny_is_blocked() {
+    let t = standard_template();
+    let policy = t.render();
+    let contracts = t.security_contracts();
+    for r in policy.rules().iter().filter(|r| r.action == Action::Deny) {
+        let mutant = policy.without_rule(&r.name);
+        assert!(
+            matches!(
+                deployment_gate(&mutant, &contracts),
+                DeploymentDecision::Blocked(_)
+            ),
+            "omitting {} must block deployment",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn weakened_deny_is_blocked_too() {
+    // Automation bug variant: the deny range is narrowed instead of
+    // dropped entirely.
+    let t = standard_template();
+    let policy = t.render();
+    let contracts = t.security_contracts();
+    let weakened: Vec<Rule> = policy
+        .rules()
+        .iter()
+        .map(|r| {
+            if r.name == "deny-infra-168.63.129.0/24" {
+                let mut r = r.clone();
+                // Narrow /24 deny to a /25: half the range escapes.
+                r.filter.dst = "168.63.129.0/25".parse::<Prefix>().unwrap().range();
+                r
+            } else {
+                r.clone()
+            }
+        })
+        .collect();
+    let mutant = Policy::new(policy.name.clone(), policy.convention, weakened);
+    match deployment_gate(&mutant, &contracts) {
+        DeploymentDecision::Blocked(failures) => {
+            let w = failures[0].witness.unwrap();
+            // The witness escapes through the upper half of the /24.
+            assert!(w.dst_ip >= Ipv4::new(168, 63, 129, 128));
+        }
+        DeploymentDecision::Deployed => panic!("must block"),
+    }
+}
+
+#[test]
+fn template_scales_with_many_tenants() {
+    // Larger template: many tenant ranges; everything still checks.
+    let t = FirewallTemplate {
+        vm_range: "10.44.0.0/16".parse().unwrap(),
+        infra_ranges: vec![
+            "168.63.129.0/24".parse().unwrap(),
+            "169.254.169.0/24".parse().unwrap(),
+        ],
+        tenant_ranges: (0..40)
+            .map(|i| {
+                Prefix::new(Ipv4::new(10, 50 + i as u8, 0, 0), 16).unwrap()
+            })
+            .collect(),
+        allowed_outbound: vec![
+            "0.0.0.0/1".parse().unwrap(),
+            "128.0.0.0/1".parse().unwrap(),
+        ],
+    };
+    let policy = t.render();
+    assert!(policy.len() > 40);
+    assert!(matches!(
+        deployment_gate(&policy, &t.security_contracts()),
+        DeploymentDecision::Deployed
+    ));
+    // And a single omitted tenant deny among the 40 is still caught.
+    let victim = "deny-tenant-10.70.0.0/16";
+    let mutant = policy.without_rule(victim);
+    assert!(matches!(
+        deployment_gate(&mutant, &t.security_contracts()),
+        DeploymentDecision::Blocked(_)
+    ));
+}
+
+#[test]
+fn deny_overrides_order_independence_under_the_gate() {
+    // Deny-overrides means rule order must not matter; shuffle the
+    // priorities and verify the gate's verdict is unchanged.
+    let t = standard_template();
+    let policy = t.render();
+    let contracts = t.security_contracts();
+    let reversed: Vec<Rule> = policy
+        .rules()
+        .iter()
+        .rev()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut r = r.clone();
+            r.priority = i as u32;
+            r
+        })
+        .collect();
+    let shuffled = Policy::new(policy.name.clone(), Convention::DenyOverrides, reversed);
+    assert!(matches!(
+        deployment_gate(&shuffled, &contracts),
+        DeploymentDecision::Deployed
+    ));
+}

@@ -1,0 +1,115 @@
+//! E11 — the §2.7 change-validation pipeline (Figure 7): bad changes
+//! are blocked before production, good changes flow through, and the
+//! emulator reports the same error classes as live monitoring.
+
+use validatedc::prelude::*;
+
+#[test]
+fn route_map_bug_blocked_before_production() {
+    let f = figure3();
+    let mut w = ChangeWorkflow::new(ManagedNetwork::new(f.topology.clone()));
+    let mut bad = DeviceOverride::default();
+    bad.reject_default_import = true;
+    let outcome = w.submit(&[ConfigChange::SetOverride {
+        device: f.tors[0],
+        config: bad,
+    }]);
+    assert!(matches!(outcome, WorkflowOutcome::RejectedAtPrecheck(_)));
+    assert!(w.production.validate(w.contracts()).is_empty());
+}
+
+#[test]
+fn interop_style_bug_mix_blocked() {
+    // A change batch mixing an ECMP misconfiguration with an ASN
+    // override — the multi-root-cause change the pre-check pipeline is
+    // built to catch.
+    let f = figure3();
+    let mut w = ChangeWorkflow::new(ManagedNetwork::new(f.topology.clone()));
+    let mut ecmp = DeviceOverride::default();
+    ecmp.max_ecmp = Some(1);
+    let mut asn = DeviceOverride::default();
+    asn.asn_override = Some(f.topology.device(f.a[0]).asn);
+    let outcome = w.submit(&[
+        ConfigChange::SetOverride {
+            device: f.tors[2],
+            config: ecmp,
+        },
+        ConfigChange::SetOverride {
+            device: f.b[0],
+            config: asn,
+        },
+    ]);
+    match outcome {
+        WorkflowOutcome::RejectedAtPrecheck(report) => {
+            let regs = report.regressions();
+            assert!(regs.iter().any(|v| v.device == f.tors[2]));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn benign_then_restore_deploys_cleanly() {
+    let f = figure3();
+    let mut w = ChangeWorkflow::new(ManagedNetwork::new(f.topology.clone()));
+    // Benign no-op.
+    assert!(matches!(
+        w.submit(&[ConfigChange::SetOverride {
+            device: f.d[0],
+            config: DeviceOverride::default(),
+        }]),
+        WorkflowOutcome::Deployed
+    ));
+    assert!(w.production.validate(w.contracts()).is_empty());
+}
+
+#[test]
+fn repair_change_on_faulted_network_deploys() {
+    // Production has an admin-shut link (drift). The change that
+    // restores it must pass the pre-check (it removes violations).
+    let f = figure3();
+    let mut production = ManagedNetwork::new(f.topology.clone());
+    let link = production
+        .topology
+        .link_between(f.tors[0], f.a[0])
+        .unwrap()
+        .id;
+    production.topology.set_link_state(link, LinkState::AdminShut);
+    let mut w = ChangeWorkflow::new(production);
+    assert!(!w.production.validate(w.contracts()).is_empty());
+
+    let outcome = w.submit(&[ConfigChange::SetLinkState {
+        link,
+        state: LinkState::Up,
+    }]);
+    assert!(matches!(outcome, WorkflowOutcome::Deployed));
+    assert!(w.production.validate(w.contracts()).is_empty());
+}
+
+#[test]
+fn emulated_and_live_error_classes_match() {
+    // §2.7: "RCDC is then used on FIBs extracted from these networks,
+    // reporting the same class of errors as on the live network."
+    let f = figure3();
+    for scenario in 0..3u32 {
+        let mut live = ManagedNetwork::new(f.topology.clone());
+        match scenario {
+            0 => {
+                live.config = std::mem::take(&mut live.config).with_rib_fib_bug(f.tors[0], 1)
+            }
+            1 => live.config = std::mem::take(&mut live.config).with_l2_port_bug(f.a[2]),
+            _ => {
+                let l = live.topology.link_between(f.tors[1], f.a[1]).unwrap().id;
+                live.topology.set_link_state(l, LinkState::OperDown);
+            }
+        }
+        let emulated = live.clone();
+        let meta = MetadataService::from_topology(&f.topology);
+        let contracts = generate_contracts(&meta);
+        assert_eq!(
+            live.validate(&contracts),
+            emulated.validate(&contracts),
+            "scenario {scenario}"
+        );
+    }
+}
