@@ -9,8 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bgpsim::{simulate, SimConfig};
 use dcbench::scale_shapes;
 use dctopo::{build_clos, MetadataService};
-use rcdc::contracts::generate_contracts;
-use rcdc::runner::{validate_datacenter, RunnerOptions};
+use rcdc::Validator;
 
 fn datacenter_scale(c: &mut Criterion) {
     let mut group = c.benchmark_group("E2/datacenter_validation");
@@ -19,10 +18,10 @@ fn datacenter_scale(c: &mut Criterion) {
         let topology = build_clos(&params);
         let fibs = simulate(&topology, &SimConfig::healthy());
         let meta = MetadataService::from_topology(&topology);
-        let contracts = generate_contracts(&meta);
+        let validator = Validator::new(&meta).build();
         group.bench_with_input(BenchmarkId::new("trie_1cpu", label), &label, |b, _| {
             b.iter(|| {
-                let r = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+                let r = validator.run(&fibs);
                 assert!(r.is_clean());
             })
         });

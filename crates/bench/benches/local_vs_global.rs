@@ -12,9 +12,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bgpsim::{simulate, SimConfig};
 use dctopo::{build_clos, ClosParams, MetadataService, Role};
-use rcdc::contracts::generate_contracts;
 use rcdc::global_baseline::all_pairs_paths_naive;
-use rcdc::runner::{validate_datacenter, RunnerOptions};
+use rcdc::Validator;
 
 fn shapes() -> Vec<(&'static str, ClosParams)> {
     vec![
@@ -44,13 +43,13 @@ fn local_vs_global(c: &mut Criterion) {
         let topology = build_clos(&params);
         let fibs = simulate(&topology, &SimConfig::healthy());
         let meta = MetadataService::from_topology(&topology);
-        let contracts = generate_contracts(&meta);
+        let validator = Validator::new(&meta).build();
         let tors: Vec<_> = topology.devices_with_role(Role::Tor).map(|d| d.id).collect();
         let prefixes: Vec<_> = meta.prefix_facts().to_vec();
 
         group.bench_with_input(BenchmarkId::new("local_all_pairs", label), &label, |b, _| {
             b.iter(|| {
-                let r = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+                let r = validator.run(&fibs);
                 assert!(r.is_clean());
             })
         });

@@ -10,7 +10,9 @@
 use bgpsim::{simulate, SimConfig};
 use dctopo::{build_clos, ClosParams, DeviceId, MetadataService};
 use rcdc::contracts::generate_contracts;
-use rcdc::pipeline::{run_sweep, ContractStore, FibStore, SimulatedSource, StreamAnalytics};
+use rcdc::pipeline::{
+    run_sweep, ContractStore, FibStore, SimulatedSource, StreamAnalytics, VerdictCache,
+};
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -40,6 +42,7 @@ fn main() {
         let source = SimulatedSource::new(fibs.clone())
             .with_latency(Duration::from_millis(20), Duration::from_millis(80));
         let fib_store = FibStore::default();
+        let cache = VerdictCache::default();
         let analytics = StreamAnalytics::default();
         let t0 = Instant::now();
         run_sweep(
@@ -47,6 +50,7 @@ fn main() {
             &source,
             &contract_store,
             &fib_store,
+            &cache,
             &analytics,
             pull_workers,
             2,

@@ -25,7 +25,7 @@ fn main() {
     println!("== Figure 4: generated contracts ==");
     for &(d, label) in &[(f.tors[0], "ToR1"), (f.a[0], "A1"), (f.d[0], "D1")] {
         println!("\n{label} ({}) contracts:", name(d));
-        println!("  {:<10} {}", "prefix", "next hops");
+        println!("  {:<10} next hops", "prefix");
         for c in &contracts[d.0 as usize].contracts {
             let hops: Vec<String> = c
                 .next_hops()
@@ -53,7 +53,7 @@ fn main() {
     println!("\n== §2.4.4: four link failures injected ==");
     let fibs = simulate(&f.topology, &SimConfig::healthy());
     let engine = TrieEngine::new();
-    println!("{:<12} {:<10} {}", "device", "prefix", "violation");
+    println!("{:<12} {:<10} violation", "device", "prefix");
     for d in f.topology.devices() {
         let r = engine.validate_device(&fibs[d.id.0 as usize], &contracts[d.id.0 as usize]);
         for v in &r.violations {

@@ -137,8 +137,10 @@ mod tests {
     #[test]
     fn default_override_is_noop() {
         assert!(DeviceOverride::default().is_noop());
-        let mut o = DeviceOverride::default();
-        o.asn_override = Some(Asn(65533));
+        let o = DeviceOverride {
+            asn_override: Some(Asn(65533)),
+            ..DeviceOverride::default()
+        };
         assert!(!o.is_noop());
     }
 }

@@ -8,7 +8,7 @@
 //! sets — this is what keeps the 10⁴-router experiment within memory.
 
 use dctopo::DeviceId;
-use netprim::wire::{WireEntry, WireSnapshot};
+use netprim::wire::{DeltaRule, FibDelta, WireEntry, WireSnapshot};
 use netprim::{Ipv4, ParseError, Prefix};
 use std::collections::HashMap;
 
@@ -199,6 +199,128 @@ impl Fib {
     pub fn set_pool_len(&self) -> usize {
         self.sets.len()
     }
+
+    /// Stable content hash of the table.
+    ///
+    /// Covers the device id and every entry (prefix, locality, next
+    /// hops) in the canonical sort order, so two `Fib`s built by any
+    /// route — simulation, wire decode, delta application — hash equal
+    /// iff they forward identically. This is the identity the
+    /// incremental pipeline keys on: an unchanged snapshot costs one
+    /// hash comparison instead of a validation pass.
+    pub fn content_hash(&self) -> u64 {
+        // FNV-1a over 64-bit words; stability across runs is what
+        // matters (hashes travel inside [`FibDelta`]s), not diffusion.
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |word: u64| h = (h ^ word).wrapping_mul(PRIME);
+        mix(u64::from(self.device.0));
+        mix(self.entries.len() as u64);
+        for e in &self.entries {
+            mix((u64::from(e.prefix.addr().0) << 8) | u64::from(e.prefix.len()));
+            let hops = &self.sets[e.set as usize];
+            mix((u64::from(e.local) << 32) | hops.len() as u64);
+            for nh in hops {
+                mix(u64::from(nh.0));
+            }
+        }
+        h
+    }
+
+    /// Compute the [`FibDelta`] turning `old` into `new`.
+    ///
+    /// A merge walk over the shared canonical entry order; rules whose
+    /// next hops or locality changed land in `modified`, rules on one
+    /// side only in `added`/`removed`. The delta is anchored to both
+    /// tables' [`content_hash`](Self::content_hash)es.
+    ///
+    /// Panics when the two tables belong to different devices.
+    pub fn delta(old: &Fib, new: &Fib) -> FibDelta {
+        assert_eq!(
+            old.device, new.device,
+            "delta requires snapshots of the same device"
+        );
+        let mut delta = FibDelta {
+            device: old.device.0,
+            base_hash: old.content_hash(),
+            new_hash: new.content_hash(),
+            ..FibDelta::default()
+        };
+        let rule = |fib: &Fib, e: &FibEntry| DeltaRule {
+            prefix: e.prefix,
+            next_hops: fib.next_hops(e).to_vec(),
+            local: e.local,
+        };
+        let (mut i, mut j) = (0, 0);
+        while i < old.entries.len() && j < new.entries.len() {
+            let (a, b) = (&old.entries[i], &new.entries[j]);
+            let ord = b
+                .prefix
+                .len()
+                .cmp(&a.prefix.len())
+                .then(a.prefix.addr().cmp(&b.prefix.addr()));
+            match ord {
+                std::cmp::Ordering::Equal => {
+                    if a.local != b.local || old.next_hops(a) != new.next_hops(b) {
+                        delta.modified.push(rule(new, b));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    delta.removed.push(a.prefix);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    delta.added.push(rule(new, b));
+                    j += 1;
+                }
+            }
+        }
+        delta.removed.extend(old.entries[i..].iter().map(|e| e.prefix));
+        delta
+            .added
+            .extend(new.entries[j..].iter().map(|e| rule(new, e)));
+        delta
+    }
+
+    /// Apply a delta, producing the successor table.
+    ///
+    /// Fails when the delta was computed against a different base
+    /// (hash mismatch — e.g. the device republished between pull and
+    /// apply), when it targets another device, or when the result does
+    /// not hash to the delta's `new_hash`.
+    pub fn apply_delta(&self, delta: &FibDelta) -> Result<Fib, ParseError> {
+        let err = |reason: &str| ParseError::new("fib delta", "<apply>", reason);
+        if delta.device != self.device.0 {
+            return Err(err("delta targets a different device"));
+        }
+        if delta.base_hash != self.content_hash() {
+            return Err(err("base hash mismatch: delta is stale"));
+        }
+        let changed: HashMap<Prefix, &DeltaRule> = delta
+            .added
+            .iter()
+            .chain(&delta.modified)
+            .map(|r| (r.prefix, r))
+            .collect();
+        let removed: std::collections::HashSet<Prefix> = delta.removed.iter().copied().collect();
+        let mut b = FibBuilder::new(self.device);
+        for e in &self.entries {
+            if removed.contains(&e.prefix) || changed.contains_key(&e.prefix) {
+                continue;
+            }
+            b.push(e.prefix, self.next_hops(e).to_vec(), e.local);
+        }
+        for r in delta.added.iter().chain(&delta.modified) {
+            b.push(r.prefix, r.next_hops.clone(), r.local);
+        }
+        let next = b.finish();
+        if next.content_hash() != delta.new_hash {
+            return Err(err("applied delta does not reproduce the target table"));
+        }
+        Ok(next)
+    }
 }
 
 #[cfg(test)]
@@ -291,5 +413,127 @@ mod tests {
         let f = sample();
         assert!(f.entry_for(p("10.0.0.0/16")).is_some());
         assert!(f.entry_for(p("10.0.0.0/20")).is_none());
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_discriminating() {
+        let f = sample();
+        assert_eq!(f.content_hash(), sample().content_hash());
+        // Insertion order does not matter (finish() canonicalizes).
+        let mut b = FibBuilder::new(DeviceId(9));
+        b.push(p("10.0.0.0/16"), hops(&[[30, 0, 0, 5]]), false);
+        b.push(p("10.0.0.0/24"), vec![], true);
+        b.push(p("10.0.1.0/24"), hops(&[[30, 0, 0, 1], [30, 0, 0, 3]]), false);
+        b.push(p("0.0.0.0/0"), hops(&[[30, 0, 0, 1], [30, 0, 0, 3]]), false);
+        assert_eq!(b.finish().content_hash(), f.content_hash());
+        // Device, hops, locality, and membership all discriminate.
+        let mut b = FibBuilder::new(DeviceId(10));
+        for e in f.entries() {
+            b.push(e.prefix, f.next_hops(e).to_vec(), e.local);
+        }
+        assert_ne!(b.finish().content_hash(), f.content_hash());
+        let mut b = FibBuilder::new(DeviceId(9));
+        for e in f.entries() {
+            let mut h = f.next_hops(e).to_vec();
+            if e.prefix == p("10.0.0.0/16") {
+                h.pop();
+            }
+            b.push(e.prefix, h, e.local);
+        }
+        assert_ne!(b.finish().content_hash(), f.content_hash());
+        let mut b = FibBuilder::new(DeviceId(9));
+        for e in f.entries() {
+            b.push(
+                e.prefix,
+                f.next_hops(e).to_vec(),
+                e.local ^ (e.prefix == p("10.0.0.0/24")),
+            );
+        }
+        assert_ne!(b.finish().content_hash(), f.content_hash());
+        assert_ne!(Fib::empty(DeviceId(9)).content_hash(), f.content_hash());
+    }
+
+    fn modified_sample() -> Fib {
+        let mut b = FibBuilder::new(DeviceId(9));
+        // default unchanged
+        b.push(p("0.0.0.0/0"), hops(&[[30, 0, 0, 1], [30, 0, 0, 3]]), false);
+        // 10.0.1.0/24 modified (hops truncated)
+        b.push(p("10.0.1.0/24"), hops(&[[30, 0, 0, 1]]), false);
+        // 10.0.0.0/24 local unchanged
+        b.push(p("10.0.0.0/24"), vec![], true);
+        // 10.0.0.0/16 removed; 10.2.0.0/16 added
+        b.push(p("10.2.0.0/16"), hops(&[[30, 0, 0, 7]]), false);
+        b.finish()
+    }
+
+    #[test]
+    fn delta_classifies_changes() {
+        let old = sample();
+        let new = modified_sample();
+        let d = Fib::delta(&old, &new);
+        assert_eq!(d.device, 9);
+        assert_eq!(d.base_hash, old.content_hash());
+        assert_eq!(d.new_hash, new.content_hash());
+        assert_eq!(
+            d.added.iter().map(|r| r.prefix).collect::<Vec<_>>(),
+            vec![p("10.2.0.0/16")]
+        );
+        assert_eq!(
+            d.modified.iter().map(|r| r.prefix).collect::<Vec<_>>(),
+            vec![p("10.0.1.0/24")]
+        );
+        assert_eq!(d.removed, vec![p("10.0.0.0/16")]);
+        // Self-delta is empty.
+        assert!(Fib::delta(&old, &old).is_empty());
+    }
+
+    #[test]
+    fn apply_delta_reproduces_target() {
+        let old = sample();
+        let new = modified_sample();
+        let d = Fib::delta(&old, &new);
+        // Round-trip through the wire format, like the live pipeline.
+        let d = netprim::wire::FibDelta::decode(&d.encode()).unwrap();
+        let applied = old.apply_delta(&d).unwrap();
+        // Same forwarding content (set-pool indices may differ).
+        assert_eq!(applied.content_hash(), new.content_hash());
+        for (a, b) in applied.entries().iter().zip(new.entries()) {
+            assert_eq!(a.prefix, b.prefix);
+            assert_eq!(applied.next_hops(a), new.next_hops(b));
+            assert_eq!(a.local, b.local);
+        }
+    }
+
+    #[test]
+    fn apply_delta_rejects_stale_or_foreign_deltas() {
+        let old = sample();
+        let new = modified_sample();
+        let d = Fib::delta(&old, &new);
+        // Wrong base: applying to the target instead of the base.
+        assert!(new.apply_delta(&d).is_err());
+        // Wrong device.
+        let other = Fib::empty(DeviceId(3));
+        assert!(other.apply_delta(&d).is_err());
+        // Tampered target hash.
+        let mut bad = d.clone();
+        bad.new_hash ^= 1;
+        assert!(old.apply_delta(&bad).is_err());
+    }
+
+    #[test]
+    fn delta_preserves_locality_with_hops() {
+        // A locally originated rule that records next hops survives a
+        // delta round trip (full snapshots cannot express this; deltas
+        // carry locality explicitly).
+        let mut b = FibBuilder::new(DeviceId(1));
+        b.push(p("10.0.0.0/24"), hops(&[[30, 0, 0, 9]]), true);
+        let old = b.finish();
+        let mut b = FibBuilder::new(DeviceId(1));
+        b.push(p("10.0.0.0/24"), hops(&[[30, 0, 0, 9]]), false);
+        let new = b.finish();
+        let d = Fib::delta(&old, &new);
+        assert_eq!(d.modified.len(), 1);
+        assert!(!d.modified[0].local);
+        assert_eq!(old.apply_delta(&d).unwrap(), new);
     }
 }

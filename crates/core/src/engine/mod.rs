@@ -20,12 +20,33 @@ pub mod trie;
 use crate::contracts::DeviceContracts;
 use crate::report::ValidationReport;
 use bgpsim::Fib;
+use netprim::wire::FibDelta;
 
 /// A verification engine validating one device at a time — the unit of
 /// parallelism in local validation (§2.4).
 pub trait Engine {
     /// Validate a device's FIB against its contract set.
     fn validate_device(&self, fib: &Fib, contracts: &DeviceContracts) -> ValidationReport;
+
+    /// Revalidate after an incremental FIB change.
+    ///
+    /// `fib` is the *new* table, `delta` the change that produced it
+    /// from the table `prior` was computed against, and `prior` the
+    /// report of the old table under the *same* contract set (epoch
+    /// checks are the caller's job — see `rcdc::pipeline`). The result
+    /// must be identical to `validate_device(fib, contracts)`; engines
+    /// without an incremental path inherit this default, which simply
+    /// revalidates in full.
+    fn validate_delta(
+        &self,
+        fib: &Fib,
+        contracts: &DeviceContracts,
+        delta: &FibDelta,
+        prior: &ValidationReport,
+    ) -> ValidationReport {
+        let _ = (delta, prior);
+        self.validate_device(fib, contracts)
+    }
 
     /// Engine name for logs and benchmark labels.
     fn name(&self) -> &'static str;

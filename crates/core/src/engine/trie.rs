@@ -14,7 +14,9 @@ use crate::contracts::{Contract, ContractKind, DeviceContracts, Expectation};
 use crate::engine::Engine;
 use crate::report::{ValidationReport, Violation, ViolationReason};
 use bgpsim::{Fib, FibEntry};
+use netprim::wire::FibDelta;
 use netprim::{IpRange, Prefix};
+use std::collections::HashMap;
 
 /// Binary prefix trie over FIB entries.
 struct Trie {
@@ -275,6 +277,20 @@ impl TrieEngine {
     }
 }
 
+impl TrieEngine {
+    /// A contract's verdict can only change if the delta touched a rule
+    /// inside its candidate set `{r | C ⊆ r ∨ r ⊆ C}` — i.e. a rule
+    /// whose prefix overlaps the contract's (ancestor or descendant).
+    /// Default contracts are special-cased: [`Self::check_default`]
+    /// reads nothing but the `0.0.0.0/0` entry.
+    fn contract_affected(c: &Contract, touched: &[Prefix]) -> bool {
+        match c.kind {
+            ContractKind::Default => touched.iter().any(|p| p.is_default()),
+            ContractKind::Specific => touched.iter().any(|p| p.overlaps(c.prefix)),
+        }
+    }
+}
+
 impl Engine for TrieEngine {
     fn validate_device(&self, fib: &Fib, contracts: &DeviceContracts) -> ValidationReport {
         let trie = Trie::build(fib);
@@ -283,6 +299,57 @@ impl Engine for TrieEngine {
             match c.kind {
                 ContractKind::Default => Self::check_default(fib, c, &mut violations),
                 ContractKind::Specific => self.check_specific(fib, &trie, c, &mut violations),
+            }
+        }
+        ValidationReport {
+            violations,
+            contracts_checked: contracts.len(),
+        }
+    }
+
+    /// The incremental path (§2.6.1's continuous monitoring workload):
+    /// re-check only contracts whose prefix space the delta touched and
+    /// carry every other contract's verdict over from `prior`. Verdicts
+    /// are emitted in contract order either way, so the result is
+    /// identical — violation for violation — to a full pass.
+    fn validate_delta(
+        &self,
+        fib: &Fib,
+        contracts: &DeviceContracts,
+        delta: &FibDelta,
+        prior: &ValidationReport,
+    ) -> ValidationReport {
+        // A churn that rewrote a large share of the table re-checks
+        // most contracts anyway; skip the bookkeeping and go full. The
+        // same fallback covers a prior report from a different contract
+        // set (republished contracts change the count).
+        if delta.rule_count() * 4 > fib.len().max(1)
+            || prior.contracts_checked != contracts.len()
+        {
+            return self.validate_device(fib, contracts);
+        }
+        let touched: Vec<Prefix> = delta.touched_prefixes().collect();
+        // Prior verdicts by contract identity, in prior (= contract)
+        // order within each group.
+        let mut carry: HashMap<(Prefix, ContractKind), Vec<&Violation>> = HashMap::new();
+        for v in &prior.violations {
+            carry.entry((v.prefix, v.kind)).or_default().push(v);
+        }
+        // The trie costs O(table); build it only if some specific
+        // contract actually needs re-checking.
+        let mut trie = None;
+        let mut violations = Vec::new();
+        for c in &contracts.contracts {
+            if Self::contract_affected(c, &touched) {
+                match c.kind {
+                    ContractKind::Default => Self::check_default(fib, c, &mut violations),
+                    ContractKind::Specific => {
+                        let trie = trie.get_or_insert_with(|| Trie::build(fib));
+                        self.check_specific(fib, trie, c, &mut violations);
+                    }
+                }
+            } else if let Some(prev) = carry.get(&(c.prefix, c.kind)) {
+                violations.extend(prev.iter().map(|&v| v.clone()));
             }
         }
         ValidationReport {
@@ -501,6 +568,112 @@ mod tests {
         let r = TrieEngine::semantic().validate_device(&fib, &dc);
         assert_eq!(r.violations.len(), 1);
         assert_eq!(r.violations[0].reason, VR::MissingRoute);
+    }
+
+    #[test]
+    fn incremental_matches_full_across_fault_transition() {
+        // Healthy → faulted and faulted → healthy: revalidating via the
+        // delta must reproduce the full report exactly, both directions,
+        // in both engine modes.
+        let (_f, healthy, contracts, _meta) = fig3_healthy();
+        let (_f2, faulted, _c2, _m2) = fig3_faulted();
+        for eng in [TrieEngine::new(), TrieEngine::semantic()] {
+            for (old_fibs, new_fibs) in [(&healthy, &faulted), (&faulted, &healthy)] {
+                for ((old, new), dc) in old_fibs.iter().zip(new_fibs.iter()).zip(&contracts) {
+                    let delta = Fib::delta(old, new);
+                    let prior = eng.validate_device(old, dc);
+                    let incremental = eng.validate_delta(new, dc, &delta, &prior);
+                    let full = eng.validate_device(new, dc);
+                    assert_eq!(incremental, full, "device {:?}", new.device());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_delta_returns_prior_verbatim() {
+        let (_f, fibs, contracts, _meta) = fig3_faulted();
+        let eng = TrieEngine::new();
+        for (fib, dc) in fibs.iter().zip(&contracts) {
+            let prior = eng.validate_device(fib, dc);
+            let delta = Fib::delta(fib, fib);
+            assert!(delta.is_empty());
+            let r = eng.validate_delta(fib, dc, &delta, &prior);
+            assert_eq!(r, prior);
+        }
+    }
+
+    #[test]
+    fn single_rule_churn_rechecks_only_overlapping_contracts() {
+        // Drop one specific from a ToR: the delta path must flag exactly
+        // that contract while carrying every other verdict over.
+        use bgpsim::FibBuilder;
+        let (f, fibs, contracts, _meta) = fig3_healthy();
+        let tor = f.tors[0];
+        let old = &fibs[tor.0 as usize];
+        let dc = &contracts[tor.0 as usize];
+        let mut b = FibBuilder::new(tor);
+        for e in old.entries() {
+            if e.prefix == f.prefixes[1] {
+                continue;
+            }
+            b.push(e.prefix, old.next_hops(e).to_vec(), e.local);
+        }
+        let new = b.finish();
+        let delta = Fib::delta(old, &new);
+        assert_eq!(delta.rule_count(), 1);
+        let eng = TrieEngine::new();
+        let prior = eng.validate_device(old, dc);
+        let r = eng.validate_delta(&new, dc, &delta, &prior);
+        assert_eq!(r, eng.validate_device(&new, dc));
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].prefix, f.prefixes[1]);
+    }
+
+    #[test]
+    fn large_delta_falls_back_to_full_validation() {
+        // Replacing the whole table is a "large" delta; the fallback
+        // must still produce the exact full report.
+        let (f, fibs, contracts, _meta) = fig3_healthy();
+        let tor = f.tors[0];
+        let old = &fibs[tor.0 as usize];
+        let new = Fib::empty(tor);
+        let delta = Fib::delta(old, &new);
+        assert!(delta.rule_count() * 4 > new.len().max(1));
+        let eng = TrieEngine::new();
+        let prior = eng.validate_device(old, &contracts[tor.0 as usize]);
+        let r = eng.validate_delta(&new, &contracts[tor.0 as usize], &delta, &prior);
+        assert_eq!(r, eng.validate_device(&new, &contracts[tor.0 as usize]));
+    }
+
+    #[test]
+    fn default_route_churn_rechecks_default_contract() {
+        // Truncating the default route's hops affects the default
+        // contract and every specific (the default is an ancestor
+        // candidate of all of them): incremental == full, and the
+        // default contract's fresh verdict shows the truncation.
+        use bgpsim::FibBuilder;
+        let (f, fibs, contracts, _meta) = fig3_healthy();
+        let tor = f.tors[0];
+        let old = &fibs[tor.0 as usize];
+        let dc = &contracts[tor.0 as usize];
+        let mut b = FibBuilder::new(tor);
+        for e in old.entries() {
+            let mut hops = old.next_hops(e).to_vec();
+            if e.prefix.is_default() {
+                hops.truncate(1);
+            }
+            b.push(e.prefix, hops, e.local);
+        }
+        let new = b.finish();
+        let delta = Fib::delta(old, &new);
+        let eng = TrieEngine::new();
+        let prior = eng.validate_device(old, dc);
+        let r = eng.validate_delta(&new, dc, &delta, &prior);
+        assert_eq!(r, eng.validate_device(&new, dc));
+        assert!(r
+            .by_kind(ContractKind::Default)
+            .any(|v| matches!(&v.reason, VR::DefaultMismatch { actual, .. } if actual.len() == 1)));
     }
 
     #[test]

@@ -274,19 +274,18 @@ mod tests {
     fn dropped_when_no_route_exists() {
         let (f, mut fibs, _c, meta) = fig3_healthy();
         // Remove every route everywhere for Prefix_A except at its host.
-        for d in 0..fibs.len() {
+        for (d, fib) in fibs.iter_mut().enumerate() {
             if d == f.tors[0].0 as usize {
                 continue;
             }
-            let original = &fibs[d];
-            let mut b = bgpsim::FibBuilder::new(original.device());
-            for e in original.entries() {
+            let mut b = bgpsim::FibBuilder::new(fib.device());
+            for e in fib.entries() {
                 if e.prefix == f.prefixes[0] || e.prefix.is_default() {
                     continue;
                 }
-                b.push(e.prefix, original.next_hops(e).to_vec(), e.local);
+                b.push(e.prefix, fib.next_hops(e).to_vec(), e.local);
             }
-            fibs[d] = b.finish();
+            *fib = b.finish();
         }
         let analysis = forwarding_analysis(&fibs, &meta, f.prefixes[0]);
         assert_eq!(analysis.from_device(f.tors[2]), PathInfo::Dropped);

@@ -18,9 +18,12 @@
 //! 3. **Reports, severity, classification** ([`report`], [`classify`]):
 //!    violations are ranked by risk (§2.6.4) and correlated with
 //!    operational metadata to recover the §2.6.2 root causes.
-//! 4. **Datacenter runner** ([`runner`]): validates every device
-//!    independently — the embarrassingly parallel structure that local
-//!    validation buys (§2.4).
+//! 4. **Datacenter runner** ([`runner`], [`validator`]): validates
+//!    every device independently — the embarrassingly parallel
+//!    structure that local validation buys (§2.4). The [`Validator`]
+//!    facade is the entry point: cold passes check everything, warm
+//!    passes ([`Validator::run_incremental`]) revalidate only churned
+//!    devices.
 //! 5. **Global baseline** ([`global_baseline`]): an independent
 //!    all-pairs reachability checker over merged FIBs. It serves two
 //!    purposes: the comparison baseline of experiment E8, and the
@@ -49,8 +52,12 @@ pub mod pipeline;
 pub mod report;
 pub mod runner;
 pub mod triage;
+pub mod validator;
 
 pub use contracts::{generate_contracts, Contract, ContractKind, DeviceContracts};
 pub use engine::{trie::TrieEngine, smt::SmtEngine, Engine};
 pub use report::{Risk, ValidationReport, Violation, ViolationReason};
-pub use runner::{validate_datacenter, RunnerOptions};
+pub use runner::{DatacenterReport, EngineChoice, RunnerOptions};
+#[allow(deprecated)]
+pub use runner::validate_datacenter;
+pub use validator::{Validator, ValidatorBuilder};

@@ -14,6 +14,17 @@
 //! * [`StreamAnalytics`] — the queryable result store that alerting and
 //!   the triage process (see [`crate::classify`]) read from.
 //!
+//! The steady-state workload is dominated by *unchanged* snapshots —
+//! a healthy device republishes the same table sweep after sweep — so
+//! validators consult a [`VerdictCache`] keyed by
+//! `(fib content hash, contract epoch)` first: an unchanged snapshot
+//! costs one hash comparison instead of a validation pass. A churned
+//! snapshot whose predecessor is still in the [`FibStore`] takes the
+//! incremental path ([`crate::Engine::validate_delta`]), re-checking
+//! only contracts the [`netprim::wire::FibDelta`] touches. Republishing
+//! a device's contracts bumps its epoch in the [`ContractStore`],
+//! which invalidates every cached verdict for it.
+//!
 //! The pipeline is horizontally scalable: one instance is "configured
 //! to monitor O(10K) devices"; scaling out is running more instances
 //! over disjoint device sets.
@@ -27,24 +38,36 @@ use dctopo::{DeviceId, MetadataService};
 use netprim::wire::WireSnapshot;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Contract store: device → contract set (written once by the
-/// generator, read by validators).
+/// Contract store: device → contract set (written by the generator,
+/// read by validators). Every write is stamped with a fresh epoch so
+/// downstream verdict caches can tell "same contracts" from
+/// "republished contracts" without comparing contract contents.
 #[derive(Default)]
 pub struct ContractStore {
-    inner: RwLock<HashMap<DeviceId, Arc<DeviceContracts>>>,
+    inner: RwLock<HashMap<DeviceId, (Arc<DeviceContracts>, u64)>>,
+    counter: AtomicU64,
 }
 
 impl ContractStore {
-    /// Publish contracts for a device.
+    /// Publish contracts for a device, stamping a new epoch.
     pub fn put(&self, device: DeviceId, contracts: DeviceContracts) {
-        self.inner.write().insert(device, Arc::new(contracts));
+        let epoch = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner
+            .write()
+            .insert(device, (Arc::new(contracts), epoch));
     }
 
     /// Fetch contracts for a device.
     pub fn get(&self, device: DeviceId) -> Option<Arc<DeviceContracts>> {
+        self.inner.read().get(&device).map(|(c, _)| c.clone())
+    }
+
+    /// Fetch contracts plus the epoch they were published under.
+    pub fn get_versioned(&self, device: DeviceId) -> Option<(Arc<DeviceContracts>, u64)> {
         self.inner.read().get(&device).cloned()
     }
 
@@ -59,21 +82,132 @@ impl ContractStore {
     }
 }
 
-/// FIB snapshot store: device → latest pulled snapshot.
+/// FIB snapshot store: device → latest pulled snapshot, plus the one
+/// before it — the base the incremental validator computes its
+/// [`netprim::wire::FibDelta`] against.
 #[derive(Default)]
 pub struct FibStore {
-    inner: RwLock<HashMap<DeviceId, Arc<Fib>>>,
+    inner: RwLock<HashMap<DeviceId, FibVersions>>,
+}
+
+#[derive(Clone)]
+struct FibVersions {
+    current: Arc<Fib>,
+    previous: Option<Arc<Fib>>,
 }
 
 impl FibStore {
-    /// Park a pulled snapshot.
+    /// Park a pulled snapshot; the snapshot it replaces is retained as
+    /// the device's previous version.
     pub fn put(&self, fib: Fib) {
-        self.inner.write().insert(fib.device(), Arc::new(fib));
+        let mut inner = self.inner.write();
+        let device = fib.device();
+        let previous = inner.remove(&device).map(|v| v.current);
+        inner.insert(
+            device,
+            FibVersions {
+                current: Arc::new(fib),
+                previous,
+            },
+        );
     }
 
     /// Latest snapshot for a device.
     pub fn get(&self, device: DeviceId) -> Option<Arc<Fib>> {
+        self.inner.read().get(&device).map(|v| v.current.clone())
+    }
+
+    /// The snapshot the latest one replaced, if any.
+    pub fn previous(&self, device: DeviceId) -> Option<Arc<Fib>> {
+        self.inner.read().get(&device).and_then(|v| v.previous.clone())
+    }
+}
+
+/// A cached per-device verdict, keyed by the pair that fully determines
+/// it: the FIB's content hash and the contract epoch it was validated
+/// under.
+#[derive(Debug, Clone)]
+pub struct CachedVerdict {
+    /// Content hash of the validated FIB.
+    pub fib_hash: u64,
+    /// Contract epoch the verdict was computed under.
+    pub contract_epoch: u64,
+    /// The verdict itself.
+    pub report: ValidationReport,
+}
+
+/// Verdict cache for the validator workers.
+///
+/// `lookup` hits when *both* key halves match: a republished FIB with
+/// identical content is a hit (validation is pure in the FIB), while a
+/// contract republish changes the epoch and misses — the §2.6.1
+/// pipeline regenerates contracts when the intended topology changes,
+/// and stale verdicts must not outlive that.
+#[derive(Default)]
+pub struct VerdictCache {
+    inner: RwLock<HashMap<DeviceId, CachedVerdict>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VerdictCache {
+    /// Look up a verdict for exactly this (hash, epoch) pair, counting
+    /// a hit or miss.
+    pub fn lookup(
+        &self,
+        device: DeviceId,
+        fib_hash: u64,
+        contract_epoch: u64,
+    ) -> Option<ValidationReport> {
+        let hit = self.inner.read().get(&device).and_then(|c| {
+            (c.fib_hash == fib_hash && c.contract_epoch == contract_epoch)
+                .then(|| c.report.clone())
+        });
+        match hit {
+            Some(r) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(r)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The device's latest cached verdict regardless of key — the
+    /// prior report the incremental path carries verdicts over from.
+    /// (Not counted as a hit or miss.)
+    pub fn prior(&self, device: DeviceId) -> Option<CachedVerdict> {
         self.inner.read().get(&device).cloned()
+    }
+
+    /// Insert or replace the verdict for a device.
+    pub fn store(
+        &self,
+        device: DeviceId,
+        fib_hash: u64,
+        contract_epoch: u64,
+        report: ValidationReport,
+    ) {
+        self.inner.write().insert(
+            device,
+            CachedVerdict {
+                fib_hash,
+                contract_epoch,
+                report,
+            },
+        );
+    }
+
+    /// Lookups answered from cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required validation so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
@@ -156,6 +290,19 @@ impl<'a> FibPuller<'a> {
     }
 }
 
+/// How a validator worker arrived at a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidateMode {
+    /// Full validation of every contract.
+    Full,
+    /// Incremental revalidation of the delta against the previous
+    /// snapshot; unaffected contracts carried over.
+    Incremental,
+    /// Snapshot and contracts unchanged: verdict served from the
+    /// [`VerdictCache`] after one hash comparison.
+    CacheHit,
+}
+
 /// One validated result flowing into stream analytics.
 #[derive(Debug, Clone)]
 pub struct PipelineResult {
@@ -165,6 +312,8 @@ pub struct PipelineResult {
     pub report: ValidationReport,
     /// Time spent validating (excludes pull latency).
     pub validate_time: Duration,
+    /// How the verdict was produced.
+    pub mode: ValidateMode,
 }
 
 /// The stream-analytics sink: collects results and answers the alert
@@ -231,17 +380,41 @@ impl StreamAnalytics {
         let total: Duration = results.values().map(|r| r.validate_time).sum();
         total / results.len() as u32
     }
+
+    /// The latest result for one device.
+    pub fn result(&self, device: DeviceId) -> Option<PipelineResult> {
+        self.results.read().get(&device).cloned()
+    }
+
+    /// How many of the latest results were produced each way.
+    pub fn mode_counts(&self) -> (usize, usize, usize) {
+        let results = self.results.read();
+        let count = |m: ValidateMode| results.values().filter(|r| r.mode == m).count();
+        (
+            count(ValidateMode::Full),
+            count(ValidateMode::Incremental),
+            count(ValidateMode::CacheHit),
+        )
+    }
 }
 
 /// Run one full monitoring sweep over `devices`: pull every device's
 /// FIB, validate against stored contracts, ingest into analytics.
 /// `pull_workers` and `validate_workers` control the two thread pools.
+///
+/// Validators consult `cache` before doing any work: an unchanged
+/// snapshot under unchanged contracts is a cache hit (one hash
+/// comparison); a churned snapshot whose predecessor is known takes
+/// the incremental delta path; everything else is validated in full.
+/// Passing a fresh [`VerdictCache`] per sweep degrades gracefully to
+/// all-full validation.
 #[allow(clippy::too_many_arguments)]
 pub fn run_sweep(
     devices: &[DeviceId],
     source: &dyn SnapshotSource,
     contract_store: &ContractStore,
     fib_store: &FibStore,
+    cache: &VerdictCache,
     analytics: &StreamAnalytics,
     pull_workers: usize,
     validate_workers: usize,
@@ -273,18 +446,51 @@ pub fn run_sweep(
             scope.spawn(move |_| {
                 let engine = TrieEngine::new();
                 while let Ok(device) = rx.recv() {
-                    let Some(contracts) = contract_store.get(device) else {
+                    let Some((contracts, epoch)) = contract_store.get_versioned(device) else {
                         continue; // e.g. regional spines: nothing to check
                     };
                     let Some(fib) = fib_store.get(device) else {
                         continue;
                     };
                     let t0 = Instant::now();
-                    let report = engine.validate_device(&fib, &contracts);
+                    let fib_hash = fib.content_hash();
+                    let (report, mode) = match cache.lookup(device, fib_hash, epoch) {
+                        Some(report) => (report, ValidateMode::CacheHit),
+                        None => {
+                            let prior = cache.prior(device).zip(fib_store.previous(device));
+                            let (report, mode) = match prior {
+                                // The incremental path needs the prior
+                                // verdict to belong to the previous
+                                // snapshot under the *current* epoch.
+                                Some((cached, prev))
+                                    if cached.contract_epoch == epoch
+                                        && cached.fib_hash == prev.content_hash() =>
+                                {
+                                    let delta = Fib::delta(&prev, &fib);
+                                    (
+                                        engine.validate_delta(
+                                            &fib,
+                                            &contracts,
+                                            &delta,
+                                            &cached.report,
+                                        ),
+                                        ValidateMode::Incremental,
+                                    )
+                                }
+                                _ => (
+                                    engine.validate_device(&fib, &contracts),
+                                    ValidateMode::Full,
+                                ),
+                            };
+                            cache.store(device, fib_hash, epoch, report.clone());
+                            (report, mode)
+                        }
+                    };
                     analytics.ingest(PipelineResult {
                         device,
                         report,
                         validate_time: t0.elapsed(),
+                        mode,
                     });
                 }
             });
@@ -301,12 +507,17 @@ mod tests {
 
     fn stores_for(
         contracts: Vec<DeviceContracts>,
-    ) -> (ContractStore, FibStore, StreamAnalytics) {
+    ) -> (ContractStore, FibStore, VerdictCache, StreamAnalytics) {
         let cs = ContractStore::default();
         for (i, dc) in contracts.into_iter().enumerate() {
             cs.put(DeviceId(i as u32), dc);
         }
-        (cs, FibStore::default(), StreamAnalytics::default())
+        (
+            cs,
+            FibStore::default(),
+            VerdictCache::default(),
+            StreamAnalytics::default(),
+        )
     }
 
     #[test]
@@ -314,8 +525,8 @@ mod tests {
         let (f, fibs, contracts, _meta) = fig3_healthy();
         let devices: Vec<DeviceId> = f.topology.devices().iter().map(|d| d.id).collect();
         let source = SimulatedSource::new(fibs);
-        let (cs, fs, analytics) = stores_for(contracts);
-        run_sweep(&devices, &source, &cs, &fs, &analytics, 2, 2);
+        let (cs, fs, cache, analytics) = stores_for(contracts);
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics, 2, 2);
         assert_eq!(analytics.len(), devices.len());
         assert!(analytics.dirty_devices().is_empty());
     }
@@ -325,8 +536,8 @@ mod tests {
         let (f, fibs, contracts, meta) = fig3_faulted();
         let devices: Vec<DeviceId> = f.topology.devices().iter().map(|d| d.id).collect();
         let source = SimulatedSource::new(fibs);
-        let (cs, fs, analytics) = stores_for(contracts);
-        run_sweep(&devices, &source, &cs, &fs, &analytics, 3, 2);
+        let (cs, fs, cache, analytics) = stores_for(contracts);
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics, 3, 2);
         let dirty = analytics.dirty_devices();
         assert_eq!(dirty.len(), 16);
         // High-risk alerts must include both ToRs (default degraded to
@@ -339,6 +550,107 @@ mod tests {
         let medium = analytics.alerts(&meta, Risk::Medium);
         assert!(medium.contains(&f.tors[0]));
         assert!(medium.contains(&f.tors[1]));
+    }
+
+    #[test]
+    fn repeated_sweep_is_served_from_the_verdict_cache() {
+        let (f, fibs, contracts, _meta) = fig3_healthy();
+        let devices: Vec<DeviceId> = f.topology.devices().iter().map(|d| d.id).collect();
+        let source = SimulatedSource::new(fibs);
+        let (cs, fs, cache, analytics) = stores_for(contracts);
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics, 2, 2);
+        let contracted = devices.iter().filter(|d| cs.get(**d).is_some()).count();
+        let (full, incr, hit) = analytics.mode_counts();
+        assert_eq!((full, incr, hit), (contracted, 0, 0));
+
+        // Same snapshots, same contracts: every verdict is one hash
+        // comparison away.
+        let analytics2 = StreamAnalytics::default();
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics2, 2, 2);
+        let (full, incr, hit) = analytics2.mode_counts();
+        assert_eq!((full, incr, hit), (0, 0, contracted));
+        assert_eq!(cache.hits(), contracted as u64);
+        for d in &devices {
+            let (a, b) = (analytics.result(*d), analytics2.result(*d));
+            assert_eq!(a.map(|r| r.report), b.map(|r| r.report));
+        }
+    }
+
+    #[test]
+    fn churned_device_takes_the_incremental_path() {
+        let (f, fibs, contracts, _meta) = fig3_healthy();
+        let devices: Vec<DeviceId> = f.topology.devices().iter().map(|d| d.id).collect();
+        let (cs, fs, cache, analytics) = stores_for(contracts);
+        run_sweep(
+            &devices,
+            &SimulatedSource::new(fibs.clone()),
+            &cs,
+            &fs,
+            &cache,
+            &analytics,
+            2,
+            2,
+        );
+
+        // Drop one specific from one ToR between sweeps.
+        let tor = f.tors[0];
+        let mut churned = fibs.clone();
+        let old = &fibs[tor.0 as usize];
+        let mut b = bgpsim::FibBuilder::new(tor);
+        for e in old.entries() {
+            if e.prefix == f.prefixes[1] {
+                continue;
+            }
+            b.push(e.prefix, old.next_hops(e).to_vec(), e.local);
+        }
+        churned[tor.0 as usize] = b.finish();
+
+        let analytics2 = StreamAnalytics::default();
+        run_sweep(
+            &devices,
+            &SimulatedSource::new(churned.clone()),
+            &cs,
+            &fs,
+            &cache,
+            &analytics2,
+            2,
+            2,
+        );
+        let (full, incr, hit) = analytics2.mode_counts();
+        assert_eq!((full, incr), (0, 1));
+        assert!(hit > 0);
+        let r = analytics2.result(tor).unwrap();
+        assert_eq!(r.mode, ValidateMode::Incremental);
+        // The incremental verdict matches a from-scratch validation.
+        let fresh = TrieEngine::new()
+            .validate_device(&churned[tor.0 as usize], &cs.get(tor).unwrap());
+        assert_eq!(r.report, fresh);
+        assert!(!r.report.is_clean());
+    }
+
+    #[test]
+    fn republished_contracts_invalidate_cached_verdicts() {
+        let (f, fibs, contracts, _meta) = fig3_healthy();
+        let devices: Vec<DeviceId> = f.topology.devices().iter().map(|d| d.id).collect();
+        let source = SimulatedSource::new(fibs);
+        let (cs, fs, cache, analytics) = stores_for(contracts.clone());
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics, 2, 2);
+
+        // Republishing bumps the device's contract epoch, so the cached
+        // verdict — keyed on (fib hash, epoch) — no longer applies even
+        // though the FIB is unchanged.
+        let tor = f.tors[0];
+        cs.put(tor, contracts[tor.0 as usize].clone());
+        let analytics2 = StreamAnalytics::default();
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics2, 2, 2);
+        let r = analytics2.result(tor).unwrap();
+        assert_eq!(r.mode, ValidateMode::Full);
+        let (_, _, hit) = analytics2.mode_counts();
+        assert_eq!(hit, analytics2.len() - 1);
+        // The re-check under the fresh epoch repopulates the cache.
+        let analytics3 = StreamAnalytics::default();
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics3, 2, 2);
+        assert_eq!(analytics3.result(tor).unwrap().mode, ValidateMode::CacheHit);
     }
 
     #[test]
@@ -382,7 +694,7 @@ mod tests {
             cs.put(DeviceId(i as u32), dc);
         }
         assert_eq!(cs.len(), f.topology.len());
-        assert!(cs.get(f.tors[0]).unwrap().len() > 0);
+        assert!(!cs.get(f.tors[0]).unwrap().is_empty());
         assert!(cs.get(DeviceId(9999)).is_none());
     }
 }

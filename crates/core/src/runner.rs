@@ -5,12 +5,19 @@
 //! device independently — sequentially on one CPU (the configuration
 //! behind the paper's "10⁴ routers in less than 3 minutes on a single
 //! CPU" claim, experiment E2) or across worker threads.
+//!
+//! Passes come in two temperatures. A **cold** pass validates every
+//! device. A **warm** pass (see [`crate::Validator::run_incremental`])
+//! is seeded with the previous pass's [`DatacenterReport`]: devices
+//! whose FIB content hash is unchanged carry their verdict over at the
+//! cost of one hash comparison, and only churned devices are
+//! revalidated — the steady-state workload of §2.6.1's continuous
+//! monitoring, where most snapshots between sweeps are identical.
 
 use crate::contracts::DeviceContracts;
 use crate::engine::{smt::SmtEngine, trie::TrieEngine, Engine};
 use crate::report::ValidationReport;
 use bgpsim::Fib;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Which verification engine the runner uses.
@@ -19,11 +26,45 @@ pub enum EngineChoice {
     /// The specialized trie algorithm (§2.5.2) — production default.
     #[default]
     Trie,
+    /// The trie algorithm in semantic mode (Definition 2.1 only; no
+    /// strict missing-specific check).
+    TrieSemantic,
     /// The bit-vector SMT encoding (§2.5.1).
     Smt,
+    /// The SMT encoding in semantic mode.
+    SmtSemantic,
 }
 
-/// Runner configuration.
+impl EngineChoice {
+    /// The engine registry: construct the backend for this choice.
+    ///
+    /// This is the single place an [`Engine`] implementation is chosen
+    /// at runtime; everything downstream (the [`crate::Validator`],
+    /// the deprecated [`validate_datacenter`], benchmark harnesses)
+    /// goes through it rather than naming concrete engine types.
+    pub fn instantiate(self) -> Box<dyn Engine + Sync> {
+        match self {
+            EngineChoice::Trie => Box::new(TrieEngine::new()),
+            EngineChoice::TrieSemantic => Box::new(TrieEngine::semantic()),
+            EngineChoice::Smt => Box::new(SmtEngine::new()),
+            EngineChoice::SmtSemantic => Box::new(SmtEngine::semantic()),
+        }
+    }
+
+    /// Stable name of the backend (matches [`Engine::name`] plus a
+    /// `-semantic` suffix for the non-strict variants).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineChoice::Trie => "trie",
+            EngineChoice::TrieSemantic => "trie-semantic",
+            EngineChoice::Smt => "smt",
+            EngineChoice::SmtSemantic => "smt-semantic",
+        }
+    }
+}
+
+/// Runner configuration (used by the deprecated [`validate_datacenter`]
+/// entry point; new code configures a [`crate::Validator`] instead).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunnerOptions {
     /// Engine backend.
@@ -33,12 +74,26 @@ pub struct RunnerOptions {
 }
 
 /// Aggregate result of a datacenter validation pass.
-#[derive(Debug)]
+///
+/// Besides the per-device verdicts, the report records each FIB's
+/// content hash and the contract epoch it was validated under, which
+/// is exactly the state a later warm pass needs to decide what to skip
+/// (`(fib_hash, contract_epoch)` is the verdict-cache key throughout
+/// the codebase — see `rcdc::pipeline::VerdictCache`).
+#[derive(Debug, Clone)]
 pub struct DatacenterReport {
     /// Per-device reports, indexed by device id.
     pub reports: Vec<ValidationReport>,
     /// Wall-clock duration of the pass.
     pub elapsed: Duration,
+    /// Per-device FIB content hashes, indexed like `reports`.
+    pub fib_hashes: Vec<u64>,
+    /// Contract epoch the pass validated against (0 for the deprecated
+    /// free-function entry point; republishing contracts bumps it).
+    pub contract_epoch: u64,
+    /// Devices whose verdict was carried over from the warm-start
+    /// report instead of revalidated (0 on a cold pass).
+    pub reused: usize,
 }
 
 impl DatacenterReport {
@@ -63,10 +118,92 @@ impl DatacenterReport {
     }
 }
 
-fn engine_of(choice: EngineChoice) -> Box<dyn Engine + Sync> {
-    match choice {
-        EngineChoice::Trie => Box::new(TrieEngine::new()),
-        EngineChoice::Smt => Box::new(SmtEngine::new()),
+/// Validate `jobs` (device FIB + contracts pairs), returning reports in
+/// job order.
+///
+/// The parallel path splits the output buffer into per-worker chunks
+/// with `chunks_mut`, so every worker owns a disjoint slice and writes
+/// results without locks or claim counters — device checks are
+/// independent and uniform enough that a static partition beats the
+/// old per-slot mutex vector (which serialized on lock metadata and
+/// put every report behind a lock nobody contended).
+fn validate_jobs(
+    engine: &(dyn Engine + Sync),
+    threads: usize,
+    jobs: &[(&Fib, &DeviceContracts)],
+) -> Vec<ValidationReport> {
+    let mut out = vec![ValidationReport::default(); jobs.len()];
+    if threads <= 1 || jobs.len() <= 1 {
+        for (slot, (fib, dc)) in out.iter_mut().zip(jobs) {
+            *slot = engine.validate_device(fib, dc);
+        }
+    } else {
+        let chunk = jobs.len().div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (out_chunk, job_chunk) in out.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (slot, (fib, dc)) in out_chunk.iter_mut().zip(job_chunk) {
+                        *slot = engine.validate_device(fib, dc);
+                    }
+                });
+            }
+        })
+        .expect("validation worker panicked");
+    }
+    out
+}
+
+/// One validation pass, cold or warm. Shared implementation behind the
+/// [`crate::Validator`] facade and the deprecated [`validate_datacenter`].
+pub(crate) fn run_pass(
+    engine: &(dyn Engine + Sync),
+    threads: usize,
+    fibs: &[Fib],
+    contracts: &[DeviceContracts],
+    contract_epoch: u64,
+    warm: Option<&DatacenterReport>,
+) -> DatacenterReport {
+    assert_eq!(fibs.len(), contracts.len(), "fibs and contracts must align");
+    let start = Instant::now();
+    let n = fibs.len();
+    let fib_hashes: Vec<u64> = fibs.iter().map(Fib::content_hash).collect();
+
+    // A warm-start report is only usable if it covers the same device
+    // range and the same contract epoch; otherwise run cold.
+    let warm = warm.filter(|w| {
+        w.contract_epoch == contract_epoch && w.fib_hashes.len() == n && w.reports.len() == n
+    });
+
+    let mut reports: Vec<ValidationReport> = vec![ValidationReport::default(); n];
+    let mut todo_idx: Vec<usize> = Vec::new();
+    let mut jobs: Vec<(&Fib, &DeviceContracts)> = Vec::new();
+    match warm {
+        Some(w) => {
+            for i in 0..n {
+                if w.fib_hashes[i] == fib_hashes[i] {
+                    reports[i] = w.reports[i].clone();
+                } else {
+                    todo_idx.push(i);
+                    jobs.push((&fibs[i], &contracts[i]));
+                }
+            }
+        }
+        None => {
+            todo_idx.extend(0..n);
+            jobs.extend(fibs.iter().zip(contracts));
+        }
+    }
+    let reused = n - jobs.len();
+    for (i, r) in todo_idx.into_iter().zip(validate_jobs(engine, threads, &jobs)) {
+        reports[i] = r;
+    }
+
+    DatacenterReport {
+        reports,
+        elapsed: start.elapsed(),
+        fib_hashes,
+        contract_epoch,
+        reused,
     }
 }
 
@@ -74,91 +211,49 @@ fn engine_of(choice: EngineChoice) -> Box<dyn Engine + Sync> {
 ///
 /// `fibs` and `contracts` are both indexed by device id (as produced by
 /// [`bgpsim::simulate`] and [`crate::generate_contracts`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Validator` facade: `Validator::with_contracts(contracts).engine(...).threads(...).build().run(fibs)`"
+)]
 pub fn validate_datacenter(
     fibs: &[Fib],
     contracts: &[DeviceContracts],
     options: RunnerOptions,
 ) -> DatacenterReport {
-    assert_eq!(fibs.len(), contracts.len(), "fibs and contracts must align");
-    let start = Instant::now();
-    let engine = engine_of(options.engine);
-    let n = fibs.len();
-    let mut reports: Vec<ValidationReport> = vec![ValidationReport::default(); n];
-
-    if options.threads <= 1 {
-        for i in 0..n {
-            reports[i] = engine.validate_device(&fibs[i], &contracts[i]);
-        }
-    } else {
-        // Work-stealing over a shared atomic cursor: device checks are
-        // independent, so the only coordination is the claim index;
-        // results land in disjoint slots.
-        let cursor = AtomicUsize::new(0);
-        let engine_ref: &(dyn Engine + Sync) = engine.as_ref();
-        let slots: Vec<parking_lot::Mutex<ValidationReport>> = (0..n)
-            .map(|_| parking_lot::Mutex::new(ValidationReport::default()))
-            .collect();
-        crossbeam::scope(|scope| {
-            for _ in 0..options.threads {
-                scope.spawn(|_| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let r = engine_ref.validate_device(&fibs[i], &contracts[i]);
-                    *slots[i].lock() = r;
-                });
-            }
-        })
-        .expect("validation worker panicked");
-        for (i, slot) in slots.into_iter().enumerate() {
-            reports[i] = slot.into_inner();
-        }
-    }
-
-    DatacenterReport {
-        reports,
-        elapsed: start.elapsed(),
-    }
+    let engine = options.engine.instantiate();
+    run_pass(engine.as_ref(), options.threads, fibs, contracts, 0, None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::contracts::generate_contracts;
     use crate::engine::testutil::{fig3_faulted, fig3_healthy};
-    use bgpsim::{simulate, SimConfig};
-    use dctopo::{build_clos, ClosParams, MetadataService};
+    use crate::validator::Validator;
 
     #[test]
     fn healthy_datacenter_is_clean_with_both_engines() {
         let (_f, fibs, contracts, _meta) = fig3_healthy();
         for engine in [EngineChoice::Trie, EngineChoice::Smt] {
-            let r = validate_datacenter(
-                &fibs,
-                &contracts,
-                RunnerOptions { engine, threads: 0 },
-            );
+            let v = Validator::with_contracts(contracts.clone()).engine(engine).build();
+            let r = v.run(&fibs);
             assert!(r.is_clean(), "{engine:?}");
             assert_eq!(r.total_violations(), 0);
             assert!(r.contracts_checked() > 0);
+            assert_eq!(r.fib_hashes.len(), fibs.len());
+            assert_eq!(r.reused, 0);
         }
     }
 
     #[test]
     fn faulted_datacenter_reports_same_total_across_thread_counts() {
         let (_f, fibs, contracts, _meta) = fig3_faulted();
-        let sequential = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+        let sequential = Validator::with_contracts(contracts.clone()).build().run(&fibs);
         assert!(!sequential.is_clean());
         for threads in [2, 4] {
-            let parallel = validate_datacenter(
-                &fibs,
-                &contracts,
-                RunnerOptions {
-                    engine: EngineChoice::Trie,
-                    threads,
-                },
-            );
+            let parallel = Validator::with_contracts(contracts.clone())
+                .threads(threads)
+                .build()
+                .run(&fibs);
             assert_eq!(parallel.reports.len(), sequential.reports.len());
             for (a, b) in parallel.reports.iter().zip(&sequential.reports) {
                 assert_eq!(a, b);
@@ -169,7 +264,7 @@ mod tests {
     #[test]
     fn faulted_dirty_device_count_matches_2_4_4() {
         let (_f, fibs, contracts, _meta) = fig3_faulted();
-        let r = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+        let r = Validator::with_contracts(contracts).build().run(&fibs);
         // The narrative of §2.4.4 names ToR1, ToR2, A1..A4, D1..D4 and
         // the two default failures. Strict checking also surfaces the
         // real ripple effects the narrative omits: cluster-B leaves
@@ -179,28 +274,34 @@ mod tests {
     }
 
     #[test]
-    fn medium_datacenter_end_to_end_clean() {
-        let p = ClosParams::default();
-        let t = build_clos(&p);
-        let fibs = simulate(&t, &SimConfig::healthy());
-        let meta = MetadataService::from_topology(&t);
-        let contracts = generate_contracts(&meta);
-        let r = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
-        assert!(r.is_clean());
-        // 32 prefixes: ToRs check 32 contracts (own prefix skipped),
-        // leaves and spines 33, regional spines none.
-        let tors = (p.clusters * p.tors_per_cluster) as usize;
-        let regionals = p.regional_spines as usize;
-        assert_eq!(
-            r.contracts_checked(),
-            (t.devices().len() - regionals) * 33 - tors
-        );
+    fn engine_registry_instantiates_every_backend() {
+        for (choice, name) in [
+            (EngineChoice::Trie, "trie"),
+            (EngineChoice::TrieSemantic, "trie"),
+            (EngineChoice::Smt, "smt"),
+            (EngineChoice::SmtSemantic, "smt"),
+        ] {
+            assert_eq!(choice.instantiate().name(), name);
+            assert!(choice.name().starts_with(name));
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_validator() {
+        let (_f, fibs, contracts, _meta) = fig3_faulted();
+        let shim = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+        let v = Validator::with_contracts(contracts).build();
+        let new = v.run(&fibs);
+        assert_eq!(shim.reports, new.reports);
+        assert_eq!(shim.fib_hashes, new.fib_hashes);
+        assert_eq!(shim.contract_epoch, 0);
     }
 
     #[test]
     #[should_panic(expected = "must align")]
     fn mismatched_inputs_rejected() {
         let (_f, fibs, contracts, _meta) = fig3_healthy();
-        validate_datacenter(&fibs[..2], &contracts, RunnerOptions::default());
+        Validator::with_contracts(contracts).build().run(&fibs[..2]);
     }
 }

@@ -1,0 +1,256 @@
+//! The unified entry point for datacenter validation.
+//!
+//! [`Validator`] bundles what the scattered free functions used to
+//! take separately — contracts, engine backend, thread count — behind
+//! one builder, and owns the contract epoch that anchors incremental
+//! revalidation:
+//!
+//! ```
+//! use rcdc::{Validator, EngineChoice};
+//! use dctopo::MetadataService;
+//!
+//! let f = dctopo::generator::figure3();
+//! let fibs = bgpsim::simulate(&f.topology, &bgpsim::SimConfig::healthy());
+//! let meta = MetadataService::from_topology(&f.topology);
+//!
+//! let validator = Validator::new(&meta)
+//!     .engine(EngineChoice::Trie)
+//!     .threads(8)
+//!     .build();
+//! let cold = validator.run(&fibs);
+//! assert!(cold.is_clean());
+//!
+//! // Steady state: unchanged devices cost one hash comparison each.
+//! let warm = validator.run_incremental(&fibs, &cold);
+//! assert_eq!(warm.reused, fibs.len());
+//! assert_eq!(warm.reports, cold.reports);
+//! ```
+//!
+//! Reports from [`run_incremental`](Validator::run_incremental) are
+//! identical — violation for violation — to a cold pass over the same
+//! inputs; the warm start only changes how much work it takes to
+//! produce them.
+
+use crate::contracts::{generate_contracts, DeviceContracts};
+use crate::engine::Engine;
+use crate::runner::{run_pass, DatacenterReport, EngineChoice};
+use bgpsim::Fib;
+use dctopo::MetadataService;
+
+/// Configured datacenter validator. Build one with
+/// [`Validator::new`] (contracts generated from metadata) or
+/// [`Validator::with_contracts`] (pre-built contracts).
+pub struct Validator {
+    contracts: Vec<DeviceContracts>,
+    engine: Box<dyn Engine + Sync>,
+    choice: EngineChoice,
+    threads: usize,
+    epoch: u64,
+}
+
+/// Builder returned by [`Validator::new`] / [`Validator::with_contracts`].
+pub struct ValidatorBuilder {
+    contracts: Vec<DeviceContracts>,
+    engine: EngineChoice,
+    threads: usize,
+}
+
+impl ValidatorBuilder {
+    /// Select the verification engine (default: [`EngineChoice::Trie`]).
+    pub fn engine(mut self, choice: EngineChoice) -> Self {
+        self.engine = choice;
+        self
+    }
+
+    /// Worker threads; 0 or 1 = current thread only (default).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Finish: instantiate the engine and fix the initial contract
+    /// epoch.
+    pub fn build(self) -> Validator {
+        Validator {
+            contracts: self.contracts,
+            engine: self.engine.instantiate(),
+            choice: self.engine,
+            threads: self.threads,
+            epoch: 1,
+        }
+    }
+}
+
+impl Validator {
+    /// Start a builder with contracts generated from the metadata
+    /// service (the §2.3 contract generator).
+    // `new` deliberately returns the builder: construction always goes
+    // through `.build()`.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(meta: &MetadataService) -> ValidatorBuilder {
+        Self::with_contracts(generate_contracts(meta))
+    }
+
+    /// Start a builder over pre-built contracts (indexed by device id,
+    /// like [`generate_contracts`]'s output).
+    pub fn with_contracts(contracts: Vec<DeviceContracts>) -> ValidatorBuilder {
+        ValidatorBuilder {
+            contracts,
+            engine: EngineChoice::default(),
+            threads: 0,
+        }
+    }
+
+    /// Cold pass: validate every device.
+    pub fn run(&self, fibs: &[Fib]) -> DatacenterReport {
+        run_pass(
+            self.engine.as_ref(),
+            self.threads,
+            fibs,
+            &self.contracts,
+            self.epoch,
+            None,
+        )
+    }
+
+    /// Warm pass: carry verdicts over from `warm` for every device
+    /// whose FIB content hash is unchanged and revalidate the rest.
+    ///
+    /// The result is identical to [`run`](Self::run) on the same
+    /// `fibs`. A `warm` report from different contracts (another
+    /// epoch — e.g. taken before [`republish`](Self::republish)) or a
+    /// different device range is ignored and the pass runs cold.
+    pub fn run_incremental(&self, fibs: &[Fib], warm: &DatacenterReport) -> DatacenterReport {
+        run_pass(
+            self.engine.as_ref(),
+            self.threads,
+            fibs,
+            &self.contracts,
+            self.epoch,
+            Some(warm),
+        )
+    }
+
+    /// Replace the contract set, bumping the epoch: reports produced
+    /// under the old contracts stop being valid warm starts.
+    pub fn republish(&mut self, contracts: Vec<DeviceContracts>) {
+        self.contracts = contracts;
+        self.epoch += 1;
+    }
+
+    /// The contracts being validated against, indexed by device id.
+    pub fn contracts(&self) -> &[DeviceContracts] {
+        &self.contracts
+    }
+
+    /// Current contract epoch (starts at 1; [`republish`](Self::republish)
+    /// increments it).
+    pub fn contract_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The configured engine backend.
+    pub fn engine_choice(&self) -> EngineChoice {
+        self.choice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::testutil::{fig3_faulted, fig3_healthy};
+    use bgpsim::{simulate, FibBuilder, SimConfig};
+    use dctopo::{build_clos, ClosParams};
+
+    #[test]
+    fn builder_configures_engine_and_threads() {
+        let (_f, fibs, _contracts, meta) = fig3_healthy();
+        let v = Validator::new(&meta)
+            .engine(EngineChoice::Smt)
+            .threads(4)
+            .build();
+        assert_eq!(v.engine_choice(), EngineChoice::Smt);
+        assert_eq!(v.contract_epoch(), 1);
+        assert!(v.run(&fibs).is_clean());
+    }
+
+    #[test]
+    fn medium_datacenter_end_to_end_clean() {
+        let p = ClosParams::default();
+        let t = build_clos(&p);
+        let fibs = simulate(&t, &SimConfig::healthy());
+        let meta = MetadataService::from_topology(&t);
+        let r = Validator::new(&meta).build().run(&fibs);
+        assert!(r.is_clean());
+        // 32 prefixes: ToRs check 32 contracts (own prefix skipped),
+        // leaves and spines 33, regional spines none.
+        let tors = (p.clusters * p.tors_per_cluster) as usize;
+        let regionals = p.regional_spines as usize;
+        assert_eq!(
+            r.contracts_checked(),
+            (t.devices().len() - regionals) * 33 - tors
+        );
+    }
+
+    #[test]
+    fn unchanged_fibs_are_fully_reused() {
+        let (_f, fibs, _contracts, meta) = fig3_faulted();
+        let v = Validator::new(&meta).build();
+        let cold = v.run(&fibs);
+        let warm = v.run_incremental(&fibs, &cold);
+        assert_eq!(warm.reused, fibs.len());
+        assert_eq!(warm.reports, cold.reports);
+        assert_eq!(warm.fib_hashes, cold.fib_hashes);
+    }
+
+    #[test]
+    fn churned_device_is_revalidated_exactly() {
+        let (f, fibs, _contracts, meta) = fig3_healthy();
+        let v = Validator::new(&meta).build();
+        let cold = v.run(&fibs);
+        // Drop one specific from one ToR.
+        let tor = f.tors[0];
+        let mut churned = fibs.clone();
+        let old = &fibs[tor.0 as usize];
+        let mut b = FibBuilder::new(tor);
+        for e in old.entries() {
+            if e.prefix == f.prefixes[1] {
+                continue;
+            }
+            b.push(e.prefix, old.next_hops(e).to_vec(), e.local);
+        }
+        churned[tor.0 as usize] = b.finish();
+        let warm = v.run_incremental(&churned, &cold);
+        assert_eq!(warm.reused, fibs.len() - 1);
+        // Byte-equal to a cold pass over the churned network.
+        let cold2 = v.run(&churned);
+        assert_eq!(warm.reports, cold2.reports);
+        assert_eq!(warm.dirty_devices(), 1);
+    }
+
+    #[test]
+    fn republish_invalidates_warm_start() {
+        let (_f, fibs, contracts, meta) = fig3_healthy();
+        let mut v = Validator::new(&meta).build();
+        let cold = v.run(&fibs);
+        v.republish(contracts);
+        assert_eq!(v.contract_epoch(), 2);
+        // Epoch mismatch: nothing is reused, but the pass still runs.
+        let r = v.run_incremental(&fibs, &cold);
+        assert_eq!(r.reused, 0);
+        assert_eq!(r.reports, cold.reports);
+        assert_eq!(r.contract_epoch, 2);
+    }
+
+    #[test]
+    fn mismatched_warm_report_is_ignored() {
+        let (_f, fibs, _contracts, meta) = fig3_healthy();
+        let v = Validator::new(&meta).build();
+        let cold = v.run(&fibs);
+        let mut truncated = cold.clone();
+        truncated.fib_hashes.pop();
+        let r = v.run_incremental(&fibs, &truncated);
+        assert_eq!(r.reused, 0);
+        assert_eq!(r.reports, cold.reports);
+    }
+}

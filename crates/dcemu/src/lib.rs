@@ -26,7 +26,7 @@ use bgpsim::{simulate, DeviceOverride, SimConfig};
 use dctopo::{DeviceId, LinkId, LinkState, MetadataService, Topology};
 use rcdc::contracts::{generate_contracts, DeviceContracts};
 use rcdc::report::Violation;
-use rcdc::runner::{validate_datacenter, RunnerOptions};
+use rcdc::Validator;
 
 /// One configuration change under review.
 #[derive(Debug, Clone)]
@@ -86,7 +86,7 @@ impl ManagedNetwork {
     /// all violations (the flattened datacenter report).
     pub fn validate(&self, contracts: &[DeviceContracts]) -> Vec<Violation> {
         let fibs = simulate(&self.topology, &self.config);
-        let report = validate_datacenter(&fibs, contracts, RunnerOptions::default());
+        let report = Validator::with_contracts(contracts.to_vec()).build().run(&fibs);
         report
             .reports
             .into_iter()
@@ -229,8 +229,10 @@ mod tests {
         // The §2.6.2 "policy error": a route map rejecting default
         // announcements. The pre-check must block it.
         let (f, mut w) = workflow();
-        let mut cfg = DeviceOverride::default();
-        cfg.reject_default_import = true;
+        let cfg = DeviceOverride {
+            reject_default_import: true,
+            ..DeviceOverride::default()
+        };
         let outcome = w.submit(&[ConfigChange::SetOverride {
             device: f.tors[0],
             config: cfg,
@@ -257,8 +259,10 @@ mod tests {
             .b
             .iter()
             .map(|&leaf| {
-                let mut cfg = DeviceOverride::default();
-                cfg.asn_override = Some(asn);
+                let cfg = DeviceOverride {
+                    asn_override: Some(asn),
+                    ..DeviceOverride::default()
+                };
                 ConfigChange::SetOverride {
                     device: leaf,
                     config: cfg,

@@ -68,12 +68,12 @@ impl ClosParams {
         assert!(self.regional_spines >= 1 && self.regional_groups >= 1);
         assert!(self.prefixes_per_tor >= 1);
         assert!(
-            self.spines % self.leaves_per_cluster == 0,
+            self.spines.is_multiple_of(self.leaves_per_cluster),
             "spines must divide evenly into {} planes",
             self.leaves_per_cluster
         );
         assert!(
-            self.regional_spines % self.regional_groups == 0,
+            self.regional_spines.is_multiple_of(self.regional_groups),
             "regional spines must divide evenly into groups"
         );
         assert!(self.clusters <= 400, "leaf ASN band supports <= 400 clusters");

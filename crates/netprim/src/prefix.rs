@@ -78,6 +78,10 @@ impl Prefix {
     }
 
     /// The mask length in bits.
+    ///
+    /// (Not a container length — `/0` is the default route, not an
+    /// "empty" prefix — so there is deliberately no `is_empty`.)
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(self) -> u8 {
         self.len
     }

@@ -14,6 +14,26 @@
 //! entry   : addr u32 | len u8 | nhops u16 | nhop u32 * nhops
 //! ```
 //!
+//! Incremental pulls ship a [`FibDelta`] instead of a full snapshot:
+//! only the rules that changed between two table versions, anchored to
+//! the content hashes of both versions so a stale or misapplied delta
+//! is detected at application time:
+//!
+//! ```text
+//! magic   : b"FIBD"
+//! device  : u32
+//! base    : u64   (content hash of the table the delta applies to)
+//! target  : u64   (content hash of the table after application)
+//! n_add   : u32 | rule * n_add      (rules absent from base)
+//! n_mod   : u32 | rule * n_mod      (rules present in both, changed)
+//! n_rm    : u32 | (addr u32 | len u8) * n_rm
+//! rule    : addr u32 | len u8 | flags u8 | nhops u16 | nhop u32 * nhops
+//! ```
+//!
+//! `flags` bit 0 marks a locally originated rule (full snapshots infer
+//! locality from an empty next-hop list; deltas carry it explicitly so
+//! applying a delta reproduces the target table bit-for-bit).
+//!
 //! All integers are big-endian.
 
 use crate::error::ParseError;
@@ -23,6 +43,9 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Magic bytes identifying a FIB snapshot, version 1.
 pub const MAGIC: &[u8; 4] = b"FIB1";
+
+/// Magic bytes identifying a FIB delta, version 1.
+pub const DELTA_MAGIC: &[u8; 4] = b"FIBD";
 
 /// One routing entry in the transfer format: destination prefix plus
 /// the resolved set of next-hop addresses.
@@ -101,6 +124,173 @@ impl WireSnapshot {
     }
 }
 
+/// One changed rule inside a [`FibDelta`]: the rule's new contents.
+///
+/// Unlike [`WireEntry`], locality is carried explicitly (the `flags`
+/// byte on the wire) so delta application is lossless even for locally
+/// originated rules that happen to have next hops recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRule {
+    /// Destination prefix of the rule.
+    pub prefix: Prefix,
+    /// The rule's (new) next-hop addresses.
+    pub next_hops: Vec<Ipv4>,
+    /// The rule is locally originated.
+    pub local: bool,
+}
+
+/// The difference between two FIB snapshots of one device.
+///
+/// Anchored by content hashes on both sides: `base_hash` names the
+/// table the delta applies to and `new_hash` the table that applying it
+/// must produce, so stale deltas are rejected instead of silently
+/// corrupting the store (§2.6.1's pipeline pulls continuously; a device
+/// can republish between pull and apply).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FibDelta {
+    /// Numeric id of the source device.
+    pub device: u32,
+    /// Content hash of the base table.
+    pub base_hash: u64,
+    /// Content hash of the table after application.
+    pub new_hash: u64,
+    /// Rules present only in the new table.
+    pub added: Vec<DeltaRule>,
+    /// Rules present in both tables whose next hops or locality changed.
+    pub modified: Vec<DeltaRule>,
+    /// Prefixes whose rules exist only in the base table.
+    pub removed: Vec<Prefix>,
+}
+
+impl FibDelta {
+    /// True when the two tables are identical.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.modified.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total number of changed rules.
+    pub fn rule_count(&self) -> usize {
+        self.added.len() + self.modified.len() + self.removed.len()
+    }
+
+    /// Every prefix the delta touches (added, modified, or removed) —
+    /// the input to contract-affectedness tests in incremental
+    /// revalidation.
+    pub fn touched_prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.added
+            .iter()
+            .chain(&self.modified)
+            .map(|r| r.prefix)
+            .chain(self.removed.iter().copied())
+    }
+
+    /// Serialize the delta into a freshly allocated buffer.
+    pub fn encode(&self) -> Bytes {
+        let rules = self.added.len() + self.modified.len();
+        let mut buf = BytesMut::with_capacity(36 + rules * 16 + self.removed.len() * 5);
+        buf.put_slice(DELTA_MAGIC);
+        buf.put_u32(self.device);
+        buf.put_u64(self.base_hash);
+        buf.put_u64(self.new_hash);
+        for rules in [&self.added, &self.modified] {
+            buf.put_u32(rules.len() as u32);
+            for r in rules {
+                buf.put_u32(r.prefix.addr().0);
+                buf.put_u8(r.prefix.len());
+                buf.put_u8(u8::from(r.local));
+                buf.put_u16(r.next_hops.len() as u16);
+                for nh in &r.next_hops {
+                    buf.put_u32(nh.0);
+                }
+            }
+        }
+        buf.put_u32(self.removed.len() as u32);
+        for p in &self.removed {
+            buf.put_u32(p.addr().0);
+            buf.put_u8(p.len());
+        }
+        buf.freeze()
+    }
+
+    /// Decode a delta, validating magic, lengths, and prefix
+    /// canonicality. Trailing bytes are rejected.
+    pub fn decode(mut buf: &[u8]) -> Result<FibDelta, ParseError> {
+        let err = |reason: &str| ParseError::new("fib delta", "<binary>", reason);
+        if buf.remaining() < 24 {
+            return Err(err("truncated header"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != DELTA_MAGIC {
+            return Err(err("bad magic"));
+        }
+        let device = buf.get_u32();
+        let base_hash = buf.get_u64();
+        let new_hash = buf.get_u64();
+        let mut rule_lists = [Vec::new(), Vec::new()];
+        for rules in &mut rule_lists {
+            if buf.remaining() < 4 {
+                return Err(err("truncated rule count"));
+            }
+            let count = buf.get_u32() as usize;
+            rules.reserve(count.min(1 << 20));
+            for _ in 0..count {
+                if buf.remaining() < 8 {
+                    return Err(err("truncated rule header"));
+                }
+                let addr = Ipv4(buf.get_u32());
+                let len = buf.get_u8();
+                let flags = buf.get_u8();
+                if flags > 1 {
+                    return Err(err("unknown rule flags"));
+                }
+                let nh_count = buf.get_u16() as usize;
+                if buf.remaining() < nh_count * 4 {
+                    return Err(err("truncated next-hop list"));
+                }
+                let prefix = Prefix::new(addr, len)
+                    .map_err(|e| err(&format!("bad prefix in rule: {e}")))?;
+                let mut next_hops = Vec::with_capacity(nh_count);
+                for _ in 0..nh_count {
+                    next_hops.push(Ipv4(buf.get_u32()));
+                }
+                rules.push(DeltaRule {
+                    prefix,
+                    next_hops,
+                    local: flags & 1 == 1,
+                });
+            }
+        }
+        let [added, modified] = rule_lists;
+        if buf.remaining() < 4 {
+            return Err(err("truncated removal count"));
+        }
+        let count = buf.get_u32() as usize;
+        let mut removed = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            if buf.remaining() < 5 {
+                return Err(err("truncated removal"));
+            }
+            let addr = Ipv4(buf.get_u32());
+            let len = buf.get_u8();
+            removed.push(
+                Prefix::new(addr, len).map_err(|e| err(&format!("bad removed prefix: {e}")))?,
+            );
+        }
+        if buf.has_remaining() {
+            return Err(err("trailing bytes after last removal"));
+        }
+        Ok(FibDelta {
+            device,
+            base_hash,
+            new_hash,
+            added,
+            modified,
+            removed,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +355,85 @@ mod tests {
         let mut bytes = snapshot().encode().to_vec();
         bytes.push(0);
         assert!(WireSnapshot::decode(&bytes).is_err());
+    }
+
+    fn delta() -> FibDelta {
+        FibDelta {
+            device: 42,
+            base_hash: 0xDEAD_BEEF_0BAD_F00D,
+            new_hash: 0x1234_5678_9ABC_DEF0,
+            added: vec![DeltaRule {
+                prefix: "10.3.129.224/28".parse().unwrap(),
+                next_hops: vec![Ipv4::new(10, 10, 192, 12), Ipv4::new(10, 10, 192, 16)],
+                local: false,
+            }],
+            modified: vec![
+                DeltaRule {
+                    prefix: "0.0.0.0/0".parse().unwrap(),
+                    next_hops: vec![Ipv4::new(30, 10, 192, 12)],
+                    local: false,
+                },
+                DeltaRule {
+                    prefix: "10.4.0.0/16".parse().unwrap(),
+                    next_hops: vec![],
+                    local: true,
+                },
+            ],
+            removed: vec!["10.9.0.0/16".parse().unwrap()],
+        }
+    }
+
+    #[test]
+    fn delta_round_trip() {
+        let d = delta();
+        assert_eq!(FibDelta::decode(&d.encode()).unwrap(), d);
+        assert_eq!(d.rule_count(), 4);
+        assert_eq!(d.touched_prefixes().count(), 4);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn empty_delta_round_trips() {
+        let d = FibDelta {
+            device: 7,
+            base_hash: 1,
+            new_hash: 1,
+            ..FibDelta::default()
+        };
+        assert_eq!(FibDelta::decode(&d.encode()).unwrap(), d);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn delta_rejects_truncation_everywhere() {
+        let bytes = delta().encode().to_vec();
+        for cut in 0..bytes.len() {
+            assert!(
+                FibDelta::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_rejects_bad_magic_and_trailing_bytes() {
+        let mut bytes = delta().encode().to_vec();
+        bytes[3] = b'X';
+        assert!(FibDelta::decode(&bytes).is_err());
+        let mut bytes = delta().encode().to_vec();
+        bytes.push(0);
+        assert!(FibDelta::decode(&bytes).is_err());
+        // A snapshot is not a delta.
+        assert!(FibDelta::decode(&snapshot().encode()).is_err());
+    }
+
+    #[test]
+    fn delta_rejects_unknown_flags() {
+        let mut bytes = delta().encode().to_vec();
+        // First rule's flags byte: magic(4) + device(4) + hashes(16) +
+        // add count(4) + addr(4) + len(1) = offset 33.
+        bytes[33] = 0x80;
+        assert!(FibDelta::decode(&bytes).is_err());
     }
 
     #[test]

@@ -183,7 +183,7 @@ pub struct BvTerm(pub(crate) Rc<TNode>);
 impl BvTerm {
     /// A constant of `width` bits. Panics if the value does not fit.
     pub fn constant(width: u32, value: u64) -> BvTerm {
-        assert!(width >= 1 && width <= 64);
+        assert!((1..=64).contains(&width));
         if width < 64 {
             assert!(value < (1u64 << width), "constant wider than {width} bits");
         }
@@ -193,7 +193,7 @@ impl BvTerm {
     /// A named free variable of `width` bits. Variables with equal
     /// names denote the same solver variable.
     pub fn var(name: impl Into<String>, width: u32) -> BvTerm {
-        assert!(width >= 1 && width <= 64);
+        assert!((1..=64).contains(&width));
         BvTerm(Rc::new(TNode::Var {
             name: name.into(),
             width,

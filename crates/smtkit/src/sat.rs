@@ -934,19 +934,19 @@ mod tests {
         let n_p = 4;
         let n_h = 3;
         let mut x = vec![vec![Var(0); n_h]; n_p];
-        for p in 0..n_p {
-            for h in 0..n_h {
-                x[p][h] = s.new_var();
+        for row in x.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
             }
         }
-        for p in 0..n_p {
-            let clause: Vec<Lit> = (0..n_h).map(|h| Lit::pos(x[p][h])).collect();
+        for row in &x {
+            let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
             s.add_clause(&clause);
         }
-        for h in 0..n_h {
-            for p1 in 0..n_p {
-                for p2 in (p1 + 1)..n_p {
-                    s.add_clause(&[Lit::neg(x[p1][h]), Lit::neg(x[p2][h])]);
+        for p1 in 0..n_p {
+            for p2 in (p1 + 1)..n_p {
+                for (&a, &b) in x[p1].iter().zip(&x[p2]) {
+                    s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
                 }
             }
         }
@@ -968,8 +968,8 @@ mod tests {
                 s.add_clause(&node.iter().map(|&v| Lit::pos(v)).collect::<Vec<_>>());
             }
             for &(a, b) in &edges {
-                for c in 0..colors {
-                    s.add_clause(&[Lit::neg(x[a][c]), Lit::neg(x[b][c])]);
+                for (&ca, &cb) in x[a].iter().zip(&x[b]) {
+                    s.add_clause(&[Lit::neg(ca), Lit::neg(cb)]);
                 }
             }
             assert_eq!(s.solve(), expect, "colors={colors}");

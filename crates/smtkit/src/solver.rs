@@ -491,7 +491,7 @@ mod tests {
         let m = s.model();
         let src_v = m.value("srcIp").unwrap() as u32;
         let dst_v = m.value("dstIp").unwrap() as u32;
-        assert!(!(10 == (src_v >> 24)), "src must avoid 10/8");
+        assert!((10 != (src_v >> 24)), "src must avoid 10/8");
         assert_eq!(dst_v >> 8, u32::from_be_bytes([104, 208, 32, 0]) >> 8);
     }
 

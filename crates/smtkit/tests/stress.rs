@@ -65,7 +65,7 @@ fn thousands_of_assumption_queries_reuse_learning() {
         );
         if expect_sat {
             let v = s.model().value("x").unwrap();
-            assert!(v >= 1000 && v <= 2000 && v >= lo && v <= hi);
+            assert!((1000..=2000).contains(&v) && v >= lo && v <= hi);
         }
     }
 }
@@ -84,7 +84,7 @@ fn clause_db_reduction_preserves_soundness() {
                     .map(|_| {
                         Lit::new(
                             Var((rng.next() % num_vars as u64) as u32),
-                            rng.next() % 2 == 0,
+                            rng.next().is_multiple_of(2),
                         )
                     })
                     .collect()
@@ -181,7 +181,7 @@ fn interleaved_assert_and_check() {
     s.assert(&x.in_range(1 << 18, 1 << 19));
     assert_eq!(s.check(), SmtResult::Sat);
     let v = s.model().value("x").unwrap();
-    assert!(v >= 1 << 18 && v <= 1 << 19);
+    assert!((1 << 18..=1 << 19).contains(&v));
     s.assert(&x.in_range(0, (1 << 18) - 1));
     assert_eq!(s.check(), SmtResult::Unsat);
     // Once unsat at top level, stays unsat.

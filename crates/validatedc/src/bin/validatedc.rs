@@ -162,8 +162,8 @@ fn cmd_validate(args: &[String]) -> Result<bool, String> {
     }
     let fibs = simulate(&topology, &SimConfig::healthy());
     let meta = MetadataService::from_topology(&topology);
-    let contracts = generate_contracts(&meta);
-    let report = validate_datacenter(&fibs, &contracts, RunnerOptions { engine, threads });
+    let validator = Validator::new(&meta).engine(engine).threads(threads).build();
+    let report = validator.run(&fibs);
     println!(
         "checked {} contracts on {} devices in {:?}: {} violations on {} devices",
         report.contracts_checked(),

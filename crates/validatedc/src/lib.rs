@@ -26,11 +26,15 @@
 //!
 //! // Intent is derived from architecture, not from network state.
 //! let meta = MetadataService::from_topology(&topology);
-//! let contracts = generate_contracts(&meta);
 //!
 //! // Local validation: every device independently.
-//! let report = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+//! let validator = Validator::new(&meta).engine(EngineChoice::Trie).build();
+//! let report = validator.run(&fibs);
 //! assert!(report.is_clean());
+//!
+//! // Steady state: warm passes reuse verdicts for unchanged devices.
+//! let warm = validator.run_incremental(&fibs, &report);
+//! assert_eq!(warm.reused, fibs.len());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -55,7 +59,8 @@ pub mod prelude {
     pub use rcdc::contracts::generate_contracts;
     pub use rcdc::engine::{smt::SmtEngine, trie::TrieEngine, Engine};
     pub use rcdc::report::{risk_of, Risk, ValidationReport, Violation};
-    pub use rcdc::runner::{validate_datacenter, EngineChoice, RunnerOptions};
+    pub use rcdc::runner::{DatacenterReport, EngineChoice};
+    pub use rcdc::validator::{Validator, ValidatorBuilder};
     pub use secguru::engine::{IntervalEngine, SecGuru};
     pub use secguru::model::{Action, Contract, Convention, Policy, Rule};
     pub use secguru::parser::{parse_acl, parse_nsg};

@@ -5,7 +5,9 @@
 //! cargo run --release -p validatedc --example live_monitoring
 //! ```
 
-use rcdc::pipeline::{run_sweep, ContractStore, FibStore, SimulatedSource, StreamAnalytics};
+use rcdc::pipeline::{
+    run_sweep, ContractStore, FibStore, SimulatedSource, StreamAnalytics, VerdictCache,
+};
 use validatedc::prelude::*;
 
 fn main() {
@@ -42,6 +44,7 @@ fn main() {
     let fibs = simulate(&topology, &config);
     let source = SimulatedSource::new(fibs);
     let fib_store = FibStore::default();
+    let cache = VerdictCache::default();
     let analytics = StreamAnalytics::default();
     let devices: Vec<DeviceId> = topology.devices().iter().map(|d| d.id).collect();
     run_sweep(
@@ -49,6 +52,7 @@ fn main() {
         &source,
         &contract_store,
         &fib_store,
+        &cache,
         &analytics,
         4, // pull workers
         2, // validate workers
@@ -57,6 +61,24 @@ fn main() {
         "swept {} devices, mean validation time {:?}",
         analytics.len(),
         analytics.mean_validate_time()
+    );
+
+    // Steady state: the same snapshots arrive again; every verdict is
+    // served from the cache at the cost of one hash comparison.
+    let analytics2 = StreamAnalytics::default();
+    run_sweep(
+        &devices,
+        &source,
+        &contract_store,
+        &fib_store,
+        &cache,
+        &analytics2,
+        4,
+        2,
+    );
+    let (full, incremental, cached) = analytics2.mode_counts();
+    println!(
+        "second sweep: {full} full / {incremental} incremental / {cached} cached verdicts"
     );
 
     println!("\n== alerts (high risk first) ==");

@@ -19,8 +19,10 @@ fn main() {
     // Change 1: a route-map update with a §2.6.2-style bug (rejects
     // default announcements on ToR1).
     println!("\n[change 1] route-map update on tor-c0-t0 (buggy)");
-    let mut bad = DeviceOverride::default();
-    bad.reject_default_import = true;
+    let bad = DeviceOverride {
+        reject_default_import: true,
+        ..DeviceOverride::default()
+    };
     match workflow.submit(&[ConfigChange::SetOverride {
         device: f.tors[0],
         config: bad,

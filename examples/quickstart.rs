@@ -29,7 +29,8 @@ fn main() {
     println!("intent:   {total_contracts} local contracts");
 
     // 4. Local validation: healthy network, everything green.
-    let report = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+    let validator = Validator::new(&meta).build();
+    let report = validator.run(&fibs);
     println!(
         "validate: {} contracts checked in {:?} -> {} violations",
         report.contracts_checked(),
@@ -50,10 +51,17 @@ fn main() {
     }
     println!("\ninjected: 2 uplink failures on {}", meta.device(tor).name);
 
-    // 6. Revalidate. Contracts are unchanged — they come from expected
-    //    topology — but reality drifted.
+    // 6. Revalidate with a warm start. Contracts are unchanged — they
+    //    come from expected topology — but reality drifted, so only the
+    //    churned devices are actually re-checked.
     let fibs = simulate(&topology, &SimConfig::healthy());
-    let report = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+    let cold = report;
+    let report = validator.run_incremental(&fibs, &cold);
+    println!(
+        "warm:     {} of {} verdicts reused",
+        report.reused,
+        fibs.len()
+    );
     println!(
         "validate: {} violations on {} devices",
         report.total_violations(),

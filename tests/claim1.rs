@@ -59,10 +59,9 @@ fn clean_local_contracts_imply_maximal_global_reachability() {
         let topology = build_clos(&params);
         let fibs = simulate(&topology, &SimConfig::healthy());
         let meta = MetadataService::from_topology(&topology);
-        let contracts = generate_contracts(&meta);
 
         // Local: contracts and formal obligations all hold.
-        let report = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+        let report = Validator::new(&meta).build().run(&fibs);
         assert!(report.is_clean(), "{params:?}");
         assert!(check_local_obligations(&fibs, &meta).is_empty());
 
@@ -128,8 +127,7 @@ fn redundancy_loss_always_surfaces_as_a_local_violation() {
         }
         let fibs = simulate(&topology, &SimConfig::healthy());
         let meta = MetadataService::from_topology(&topology);
-        let contracts = generate_contracts(&meta);
-        let report = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+        let report = Validator::new(&meta).build().run(&fibs);
 
         let mut degraded = false;
         for fact in meta.prefix_facts() {
@@ -197,8 +195,7 @@ fn contract_violations_dominate_framework_obligations() {
         }
         let fibs = simulate(&topology, &SimConfig::healthy());
         let meta = MetadataService::from_topology(&topology);
-        let contracts = generate_contracts(&meta);
-        let report = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+        let report = Validator::new(&meta).build().run(&fibs);
         let obligations = check_local_obligations(&fibs, &meta);
         if report.is_clean() {
             assert!(obligations.is_empty(), "clean contracts imply obligations hold");

@@ -168,8 +168,7 @@ fn healthy_figure3_has_zero_violations_and_maximal_paths() {
     let f = figure3();
     let fibs = simulate(&f.topology, &SimConfig::healthy());
     let meta = MetadataService::from_topology(&f.topology);
-    let contracts = generate_contracts(&meta);
-    let report = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+    let report = Validator::new(&meta).build().run(&fibs);
     assert!(report.is_clean());
     // Redundant shortest paths: 4 per ToR pair (Intent 3).
     for (pi, &prefix) in f.prefixes.iter().enumerate() {

@@ -43,7 +43,7 @@ fn mutation_strategy() -> BoxedStrategy<Vec<FibMutation>> {
 
 fn apply_mutations(
     f: &dctopo::generator::Figure3,
-    fibs: &mut Vec<bgpsim::Fib>,
+    fibs: &mut [bgpsim::Fib],
     mutations: &[FibMutation],
 ) {
     for m in mutations {

@@ -177,8 +177,7 @@ fn all_scenarios_detected_by_full_datacenter_run() {
 
     let fibs = simulate(&f.topology, &config);
     let meta = MetadataService::from_topology(&f.topology);
-    let contracts = generate_contracts(&meta);
-    let report = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
+    let report = Validator::new(&meta).build().run(&fibs);
     assert!(!report.is_clean());
 
     let dirty: Vec<String> = report

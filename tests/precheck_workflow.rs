@@ -8,8 +8,10 @@ use validatedc::prelude::*;
 fn route_map_bug_blocked_before_production() {
     let f = figure3();
     let mut w = ChangeWorkflow::new(ManagedNetwork::new(f.topology.clone()));
-    let mut bad = DeviceOverride::default();
-    bad.reject_default_import = true;
+    let bad = DeviceOverride {
+        reject_default_import: true,
+        ..DeviceOverride::default()
+    };
     let outcome = w.submit(&[ConfigChange::SetOverride {
         device: f.tors[0],
         config: bad,
@@ -25,10 +27,14 @@ fn interop_style_bug_mix_blocked() {
     // built to catch.
     let f = figure3();
     let mut w = ChangeWorkflow::new(ManagedNetwork::new(f.topology.clone()));
-    let mut ecmp = DeviceOverride::default();
-    ecmp.max_ecmp = Some(1);
-    let mut asn = DeviceOverride::default();
-    asn.asn_override = Some(f.topology.device(f.a[0]).asn);
+    let ecmp = DeviceOverride {
+        max_ecmp: Some(1),
+        ..DeviceOverride::default()
+    };
+    let asn = DeviceOverride {
+        asn_override: Some(f.topology.device(f.a[0]).asn),
+        ..DeviceOverride::default()
+    };
     let outcome = w.submit(&[
         ConfigChange::SetOverride {
             device: f.tors[2],

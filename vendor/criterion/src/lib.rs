@@ -1,0 +1,212 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Benchmarks compile and run against this stub without a registry.
+//! Instead of statistical sampling it times a small fixed number of
+//! iterations per benchmark and prints one line each — enough to (a)
+//! keep every bench target compiling, (b) serve as a smoke test in CI
+//! (`--test` runs each body once), and (c) give rough relative numbers
+//! locally. Swap in real criterion when a registry is available.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Iterations per benchmark outside `--test` mode.
+const DEFAULT_ITERS: u32 = 10;
+
+/// Re-export mirroring `criterion::black_box` (std's optimizer fence).
+pub use std::hint::black_box;
+
+/// Label of one benchmark within a group: function + parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label from a function name and a displayed parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, recording total elapsed time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- --test` (criterion's smoke mode) and `cargo
+        // test --benches` both ask for one-iteration runs.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    fn iters(&self) -> u32 {
+        if self.test_mode {
+            1
+        } else {
+            DEFAULT_ITERS
+        }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_one(name, self.iters(), f);
+    }
+}
+
+fn run_one(label: &str, iters: u32, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = if iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / iters
+    };
+    println!("bench: {label:<50} {per_iter:>12.2?}/iter ({iters} iters)");
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the stub's iteration count
+    /// is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion compatibility; ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a routine parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.criterion.iters(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark an unparameterized routine.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.criterion.iters(), f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                n * 2
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bench_function_times_routine() {
+        let mut c = Criterion { test_mode: false };
+        let mut calls = 0u32;
+        c.bench_function("standalone", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, DEFAULT_ITERS);
+    }
+}

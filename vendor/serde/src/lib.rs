@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives from the
+//! vendored `serde_derive`; no runtime API is provided because nothing
+//! in the workspace serializes at runtime yet.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
