@@ -51,9 +51,12 @@ impl FibBuilder {
         }
     }
 
-    /// Intern a next-hop set (sorted for canonical comparison).
+    /// Intern a next-hop set (sorted and deduplicated for canonical
+    /// comparison — a FIB entry's next hops are a *set*, and repeating
+    /// an address must not change how any engine judges the entry).
     pub fn intern(&mut self, mut hops: Vec<Ipv4>) -> u32 {
         hops.sort_unstable();
+        hops.dedup();
         if let Some(&id) = self.interner.get(&hops) {
             return id;
         }
@@ -72,17 +75,31 @@ impl FibBuilder {
     /// Finish: entries are sorted by descending prefix length, then
     /// address — the longest-prefix-match processing order used by the
     /// verification engines (Definition 2.1).
+    ///
+    /// Duplicate pushes of the same prefix are collapsed to a single
+    /// entry and the *last* push wins, mirroring how a router's RIB
+    /// overwrites a re-advertised route and how `apply_delta` treats a
+    /// `modified` rule. (The wire decoder is stricter: `Fib::from_wire`
+    /// rejects duplicate prefixes outright, because a pulled snapshot
+    /// has no push order to break the tie with.) Collapsing here is
+    /// what upholds the sorted-uniqueness invariant that `entry_for`'s
+    /// binary search and `apply_delta`'s prefix-keyed maps rely on.
     pub fn finish(mut self) -> Fib {
-        self.entries
-            .sort_unstable_by(|a, b| {
-                b.prefix
-                    .len()
-                    .cmp(&a.prefix.len())
-                    .then(a.prefix.addr().cmp(&b.prefix.addr()))
-            });
+        let mut indexed: Vec<(usize, FibEntry)> =
+            self.entries.drain(..).enumerate().collect();
+        // Sort duplicates latest-push-first, then keep the first of
+        // each prefix run (dedup_by retains the earlier element).
+        indexed.sort_unstable_by(|(ia, a), (ib, b)| {
+            b.prefix
+                .len()
+                .cmp(&a.prefix.len())
+                .then(a.prefix.addr().cmp(&b.prefix.addr()))
+                .then(ib.cmp(ia))
+        });
+        indexed.dedup_by(|(_, a), (_, b)| a.prefix == b.prefix);
         Fib {
             device: self.device,
-            entries: self.entries,
+            entries: indexed.into_iter().map(|(_, e)| e).collect(),
             sets: self.sets,
         }
     }
@@ -186,9 +203,23 @@ impl Fib {
     /// Reconstruct from the wire format. Locality cannot be carried on
     /// the wire (real FIB pulls don't carry it either); entries with no
     /// next hops are treated as local.
+    ///
+    /// A snapshot listing the same prefix twice is rejected: unlike
+    /// [`FibBuilder`] pushes there is no meaningful "later wins" order
+    /// on the wire, and silently picking one arm would let a corrupted
+    /// pull masquerade as a clean table.
     pub fn from_wire(w: &WireSnapshot) -> Result<Fib, ParseError> {
+        let mut seen =
+            std::collections::HashSet::with_capacity(w.entries.len());
         let mut b = FibBuilder::new(DeviceId(w.device));
         for e in &w.entries {
+            if !seen.insert(e.prefix) {
+                return Err(ParseError::new(
+                    "fib snapshot",
+                    "<decode>",
+                    format!("duplicate prefix {} in snapshot", e.prefix),
+                ));
+            }
             let local = e.next_hops.is_empty();
             b.push(e.prefix, e.next_hops.clone(), local);
         }
@@ -392,6 +423,60 @@ mod tests {
         };
         assert!(no_default.default_entry().is_none());
         assert!(Fib::empty(DeviceId(2)).default_entry().is_none());
+    }
+
+    #[test]
+    fn builder_collapses_duplicate_prefixes_last_push_wins() {
+        let mut b = FibBuilder::new(DeviceId(4));
+        b.push(p("10.0.0.0/24"), hops(&[[30, 0, 0, 1]]), false);
+        b.push(p("10.0.0.0/16"), hops(&[[30, 0, 0, 5]]), false);
+        b.push(p("10.0.0.0/24"), hops(&[[30, 0, 0, 2]]), false);
+        let f = b.finish();
+        assert_eq!(f.len(), 2);
+        let e = f.entry_for(p("10.0.0.0/24")).unwrap();
+        // Re-advertisement overwrites: the later push's hops win.
+        assert_eq!(f.next_hops(e), &[Ipv4::new(30, 0, 0, 2)]);
+        // The sorted-uniqueness invariant holds for binary search.
+        assert_eq!(
+            f.lookup(Ipv4::new(10, 0, 0, 9)).unwrap().prefix,
+            p("10.0.0.0/24")
+        );
+    }
+
+    #[test]
+    fn from_wire_rejects_duplicate_prefixes() {
+        let mut w = sample().to_wire();
+        let dup = w.entries[0].clone();
+        w.entries.push(dup);
+        let err = Fib::from_wire(&w).unwrap_err();
+        assert!(err.to_string().contains("duplicate prefix"));
+        // The encoded form round-trips through the codec but is still
+        // rejected at the Fib layer.
+        let w2 = WireSnapshot::decode(&w.encode()).unwrap();
+        assert!(Fib::from_wire(&w2).is_err());
+    }
+
+    #[test]
+    fn intern_dedupes_repeated_hop_addresses() {
+        // {a, a} and {a} are the same next-hop set; if interning kept
+        // the duplicate, the trie engine (vector equality) and the SMT
+        // engine (boolean disjunction) would disagree about whether the
+        // entry meets a contract expecting {a}.
+        let mut b = FibBuilder::new(DeviceId(5));
+        let one = b.intern(hops(&[[30, 0, 0, 1]]));
+        let dup = b.intern(hops(&[[30, 0, 0, 1], [30, 0, 0, 1]]));
+        assert_eq!(one, dup);
+        b.push(
+            p("10.0.0.0/24"),
+            hops(&[[30, 0, 0, 3], [30, 0, 0, 3], [30, 0, 0, 1]]),
+            false,
+        );
+        let f = b.finish();
+        let e = f.entry_for(p("10.0.0.0/24")).unwrap();
+        assert_eq!(
+            f.next_hops(e),
+            &[Ipv4::new(30, 0, 0, 1), Ipv4::new(30, 0, 0, 3)]
+        );
     }
 
     #[test]

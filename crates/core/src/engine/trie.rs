@@ -121,8 +121,10 @@ impl Coverage {
         }
     }
 
-    /// Add a range; returns true when the target is now fully covered.
-    fn add(&mut self, r: IpRange) -> bool {
+    /// Add a range; returns the number of target addresses it newly
+    /// covers (zero when longer rules already serve its whole span).
+    fn add(&mut self, r: IpRange) -> u64 {
+        let mut added = 0;
         if let Some(clipped) = r.intersect(self.target) {
             // Merge into the sorted disjoint list.
             let mut new_parts = vec![clipped];
@@ -137,12 +139,13 @@ impl Coverage {
                 }
             }
             for p in new_parts {
-                self.covered_size += p.size();
+                added += p.size();
                 self.covered.push(p);
             }
+            self.covered_size += added;
             self.covered.sort();
         }
-        self.covered_size >= self.target.size()
+        added
     }
 
     fn complete(&self) -> bool {
@@ -247,20 +250,28 @@ impl TrieEngine {
             let e: &FibEntry = &fib.entries()[idx as usize];
             // A rule only matters for the part of the contract range it
             // actually serves: extensions serve their own range; an
-            // ancestor rule serves whatever is left uncovered.
-            let actual = fib.next_hops(e);
-            let matches = !e.local && actual == &expected[..];
-            if !matches {
-                out.push(Violation::of(
-                    c,
-                    ViolationReason::NextHopMismatch {
-                        rule: e.prefix,
-                        expected: expected.to_vec(),
-                        actual: actual.to_vec(),
-                    },
-                ));
+            // ancestor rule serves whatever is left uncovered. A rule
+            // whose span is entirely shadowed by longer rules serves
+            // nothing — longest-prefix match never selects it inside
+            // the contract range, so its next hops are irrelevant to
+            // Definition 2.1 and flagging it would disagree with the
+            // SMT engine's formula (caught by the differential fuzzer).
+            let newly_served = coverage.add(e.prefix.range());
+            if newly_served > 0 {
+                let actual = fib.next_hops(e);
+                let matches = !e.local && actual == &expected[..];
+                if !matches {
+                    out.push(Violation::of(
+                        c,
+                        ViolationReason::NextHopMismatch {
+                            rule: e.prefix,
+                            expected: expected.to_vec(),
+                            actual: actual.to_vec(),
+                        },
+                    ));
+                }
             }
-            if coverage.add(e.prefix.range()) {
+            if coverage.complete() {
                 return;
             }
         }
@@ -435,6 +446,39 @@ mod tests {
         // The R devices are clean entirely.
         for d in f.r {
             assert!(report(d).is_clean(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn fully_shadowed_rule_is_not_judged() {
+        // Minimized differential-fuzzer case: a /31 with wrong next
+        // hops whose entire span is shadowed by two correct /32s. LPM
+        // never selects the /31 inside the contract range, so reporting
+        // it would contradict the SMT engine (no satisfying witness
+        // exists) and Definition 2.1.
+        use crate::contracts::{Contract, ContractKind, DeviceContracts, Expectation};
+        use bgpsim::FibBuilder;
+        use netprim::Ipv4;
+
+        let good = vec![Ipv4::new(30, 0, 0, 1)];
+        let bad = vec![Ipv4::new(30, 0, 0, 2)];
+        let mut b = FibBuilder::new(dctopo::DeviceId(0));
+        b.push("10.0.0.0/32".parse().unwrap(), good.clone(), false);
+        b.push("10.0.0.1/32".parse().unwrap(), good.clone(), false);
+        b.push("10.0.0.0/31".parse().unwrap(), bad, false);
+        b.push("10.0.0.0/30".parse().unwrap(), good.clone(), false);
+        let fib = b.finish();
+        let dc = DeviceContracts {
+            contracts: vec![Contract {
+                device: dctopo::DeviceId(0),
+                prefix: "10.0.0.0/30".parse().unwrap(),
+                kind: ContractKind::Specific,
+                expectation: Expectation::NextHops(good.into()),
+            }],
+        };
+        for eng in [TrieEngine::new(), TrieEngine::semantic()] {
+            let r = eng.validate_device(&fib, &dc);
+            assert!(r.is_clean(), "{:?}", r.violations);
         }
     }
 
@@ -681,11 +725,13 @@ mod tests {
         let target: Prefix = "10.0.0.0/24".parse().unwrap();
         let mut cov = Coverage::new(target.range());
         let half: Prefix = "10.0.0.0/25".parse().unwrap();
-        assert!(!cov.add(half.range()));
-        // Adding the same range again must not double-count.
-        assert!(!cov.add(half.range()));
-        // The containing /24 completes it.
-        assert!(cov.add(target.range()));
+        assert_eq!(cov.add(half.range()), 128);
+        // Adding the same range again must not double-count — and must
+        // report that it serves nothing new.
+        assert_eq!(cov.add(half.range()), 0);
+        assert!(!cov.complete());
+        // The containing /24 completes it, serving only the other half.
+        assert_eq!(cov.add(target.range()), 128);
         assert!(cov.complete());
     }
 }

@@ -1,0 +1,163 @@
+//! # difftest — the standing differential fuzzing harness
+//!
+//! The paper's engines are trusted because they watch each other:
+//! "Azure uses both implementations to validate the datacenters and
+//! monitors for differences in results" (§2.5.2). This crate is that
+//! monitor for the workspace, in fuzzer form: every pair of independent
+//! implementations is cross-checked on seeded random inputs, so a
+//! soundness bug in any one of them shows up as a divergence instead of
+//! a silently wrong verdict.
+//!
+//! Five oracles, each a self-contained generator + cross-check:
+//!
+//! * [`Oracle::Sat`] — the CDCL [`smtkit::SatSolver`] (plain, under
+//!   assumptions, and incrementally) against brute-force enumeration,
+//!   plus structured pigeonhole instances with analytically known
+//!   verdicts at sizes that exercise restarts and conflict analysis
+//!   below the assumption frontier.
+//! * [`Oracle::Engines`] — `TrieEngine` (strict and semantic) vs
+//!   `SmtEngine` vs exhaustive per-address forwarding ground truth on
+//!   one device, and on random Figure-3 fault sets the whole-fabric
+//!   agreement plus the Claim 1 implication against the global
+//!   baseline.
+//! * [`Oracle::Incremental`] — `Engine::validate_delta` over random
+//!   churn chains against full revalidation, with every delta pushed
+//!   through the wire codec and `apply_delta`.
+//! * [`Oracle::Wire`] — `WireSnapshot`/`FibDelta` round trips, plus
+//!   decode under truncation and byte-level mutation (decode must fail
+//!   cleanly or produce a value that re-encodes to the exact bytes).
+//! * [`Oracle::SecGuru`] — SMT contract checking vs the interval
+//!   engine vs exhaustive `Policy::allows` enumeration, and
+//!   `semantic_diff` vs ground-truth policy equivalence.
+//!
+//! Every failure carries the replay seed and a greedily minimized
+//! counterexample. Reproduce with
+//! `cargo run -p difftest -- --oracle <name> --seed <N> --count 1`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engines;
+mod gen;
+mod incremental;
+mod rng;
+mod sat;
+mod secguru_oracle;
+mod shrink;
+mod wire;
+
+use std::fmt;
+
+/// A cross-check failure: two implementations disagreed (or one broke
+/// an invariant the other guarantees).
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Which oracle caught it.
+    pub oracle: Oracle,
+    /// The seed that reproduces it.
+    pub seed: u64,
+    /// One-line description of the disagreement.
+    pub summary: String,
+    /// The greedily minimized counterexample, ready to paste into a
+    /// regression test.
+    pub minimized: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DIVERGENCE [{} seed {}]: {}",
+            self.oracle.name(),
+            self.seed,
+            self.summary
+        )?;
+        writeln!(f, "minimized case:\n{}", self.minimized)?;
+        write!(
+            f,
+            "replay: cargo run -p difftest -- --oracle {} --seed {} --count 1",
+            self.oracle.name(),
+            self.seed
+        )
+    }
+}
+
+/// Internal failure report produced by an oracle before it is stamped
+/// with the oracle kind and seed.
+pub(crate) struct Failure {
+    pub(crate) summary: String,
+    pub(crate) minimized: String,
+}
+
+/// The five cross-check oracles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Oracle {
+    /// CDCL SAT solver vs brute force / analytic verdicts.
+    Sat,
+    /// Trie vs SMT verification engines vs forwarding ground truth.
+    Engines,
+    /// Incremental revalidation vs full revalidation over churn.
+    Incremental,
+    /// Wire codec round trips, truncation, and mutation.
+    Wire,
+    /// SecGuru SMT vs interval engine vs concrete policy semantics.
+    SecGuru,
+}
+
+impl Oracle {
+    /// Every oracle, in the order the mixed runner executes them.
+    pub const ALL: [Oracle; 5] = [
+        Oracle::Sat,
+        Oracle::Engines,
+        Oracle::Incremental,
+        Oracle::Wire,
+        Oracle::SecGuru,
+    ];
+
+    /// CLI name of the oracle.
+    pub fn name(self) -> &'static str {
+        match self {
+            Oracle::Sat => "sat",
+            Oracle::Engines => "engines",
+            Oracle::Incremental => "incremental",
+            Oracle::Wire => "wire",
+            Oracle::SecGuru => "secguru",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<Oracle> {
+        Oracle::ALL.into_iter().find(|o| o.name() == s)
+    }
+
+    fn run(self, seed: u64) -> Result<(), Failure> {
+        // Decorrelate oracles sharing a seed: each draws from its own
+        // stream keyed by (seed, oracle tag).
+        let sub = rng::mix(seed, self as u64 + 1);
+        match self {
+            Oracle::Sat => sat::run(sub),
+            Oracle::Engines => engines::run(sub),
+            Oracle::Incremental => incremental::run(sub),
+            Oracle::Wire => wire::run(sub),
+            Oracle::SecGuru => secguru_oracle::run(sub),
+        }
+    }
+}
+
+/// Run one oracle on one seed.
+pub fn run_oracle(oracle: Oracle, seed: u64) -> Option<Divergence> {
+    oracle.run(seed).err().map(|f| Divergence {
+        oracle,
+        seed,
+        summary: f.summary,
+        minimized: f.minimized,
+    })
+}
+
+/// Run every oracle on one seed (the mixed-oracle default).
+pub fn run_seed(seed: u64) -> Vec<Divergence> {
+    Oracle::ALL
+        .into_iter()
+        .filter_map(|o| run_oracle(o, seed))
+        .collect()
+}

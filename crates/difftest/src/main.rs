@@ -1,0 +1,120 @@
+//! Differential fuzzing driver.
+//!
+//! ```text
+//! difftest [--seed N] [--count M] [--oracle <sat|engines|incremental|wire|secguru|all>] [--long]
+//! ```
+//!
+//! Runs seeds `N..N+M` through the selected oracle(s). `--long` raises
+//! the default count for soak runs. Exits nonzero on the first
+//! divergence after printing the replay line and the minimized case.
+
+#![forbid(unsafe_code)]
+
+use difftest::{run_oracle, run_seed, Oracle};
+use std::process::ExitCode;
+
+struct Options {
+    seed: u64,
+    count: u64,
+    oracle: Option<Oracle>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: difftest [--seed N] [--count M] [--oracle {}|all] [--long]",
+        Oracle::ALL.map(|o| o.name()).join("|")
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        seed: 0,
+        count: 0,
+        oracle: None,
+    };
+    let mut long = false;
+    let mut count_set = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("difftest: {what} requires a value");
+                usage()
+            }
+        };
+        match arg.as_str() {
+            "--seed" => match value("--seed").parse() {
+                Ok(v) => opts.seed = v,
+                Err(_) => usage(),
+            },
+            "--count" => match value("--count").parse() {
+                Ok(v) => {
+                    opts.count = v;
+                    count_set = true;
+                }
+                Err(_) => usage(),
+            },
+            "--oracle" => {
+                let v = value("--oracle");
+                if v != "all" {
+                    match Oracle::parse(&v) {
+                        Some(o) => opts.oracle = Some(o),
+                        None => {
+                            eprintln!("difftest: unknown oracle {v:?}");
+                            usage()
+                        }
+                    }
+                }
+            }
+            "--long" => long = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("difftest: unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    if !count_set {
+        opts.count = if long { 20_000 } else { 100 };
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let what = opts.oracle.map_or("all oracles", |o| o.name());
+    eprintln!(
+        "difftest: seeds {}..{} against {what}",
+        opts.seed,
+        opts.seed + opts.count
+    );
+
+    let mut divergences = 0u64;
+    let progress_every = (opts.count / 20).max(1);
+    for (i, seed) in (opts.seed..opts.seed + opts.count).enumerate() {
+        let found = match opts.oracle {
+            Some(o) => run_oracle(o, seed).into_iter().collect::<Vec<_>>(),
+            None => run_seed(seed),
+        };
+        for d in &found {
+            println!("{d}");
+            divergences += 1;
+        }
+        if (i as u64 + 1).is_multiple_of(progress_every) {
+            eprintln!(
+                "difftest: {}/{} seeds done, {divergences} divergence(s)",
+                i + 1,
+                opts.count
+            );
+        }
+    }
+    if divergences > 0 {
+        eprintln!("difftest: FAILED with {divergences} divergence(s)");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("difftest: ok, {} seeds clean", opts.count);
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,38 @@
+//! Tier-1 smoke: a small fixed seed range through every oracle.
+//!
+//! The CI fuzz job covers a wider range; this keeps a divergence
+//! visible to plain `cargo test` too (and pins the library API the
+//! binary drives).
+
+use difftest::{run_oracle, run_seed, Oracle};
+
+#[test]
+fn first_seeds_are_clean_across_all_oracles() {
+    for seed in 0..20 {
+        let divergences = run_seed(seed);
+        assert!(
+            divergences.is_empty(),
+            "seed {seed}:\n{}",
+            divergences
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn oracle_names_round_trip() {
+    for o in Oracle::ALL {
+        assert_eq!(Oracle::parse(o.name()), Some(o));
+    }
+    assert_eq!(Oracle::parse("nonsense"), None);
+}
+
+#[test]
+fn single_oracle_entry_point_is_clean() {
+    for o in Oracle::ALL {
+        assert!(run_oracle(o, 1234).is_none(), "{} diverged", o.name());
+    }
+}

@@ -652,27 +652,16 @@ impl SatSolver {
                     self.unsat_forever = true;
                     break SatResult::Unsat;
                 }
-                // Conflict below the assumption frontier ⇒ UNSAT under
-                // the assumptions: learned clause would flip an assumption.
+                // Backjump to the asserting level and continue — even
+                // when that level lies below the assumption frontier
+                // (MiniSat semantics). The popped assumptions are
+                // re-placed by the decision loop; if one of them is now
+                // falsified by the learned facts, the placement code
+                // below reports UNSAT under the assumptions. Declaring
+                // UNSAT here just because `bt` is small is a soundness
+                // bug: a unit learned clause (bt == 0) says nothing
+                // about the assumptions at all.
                 let (learned, bt) = self.analyze(confl);
-                if (bt as usize) < self.assumption_frontier(assumptions) {
-                    // Still record the learned clause at its natural level
-                    // if it is level-0 implied; then give up on this query.
-                    self.backtrack(0);
-                    if learned.len() == 1 {
-                        // A forced unit independent of assumptions.
-                        if self.value(learned[0]) == LBool::Undef {
-                            self.enqueue(learned[0], REASON_NONE);
-                            if self.propagate().is_some() {
-                                self.unsat_forever = true;
-                            }
-                        } else if self.value(learned[0]) == LBool::False {
-                            self.unsat_forever = true;
-                        }
-                        break SatResult::Unsat;
-                    }
-                    break SatResult::Unsat;
-                }
                 self.backtrack(bt);
                 if learned.len() == 1 {
                     self.enqueue(learned[0], REASON_NONE);
@@ -910,6 +899,54 @@ mod tests {
         assert!(s.model_value(v[2]));
         assert!(!s.model_value(v[0]));
         assert!(!s.model_value(v[1]));
+    }
+
+    #[test]
+    fn unit_learned_clause_under_assumptions_is_not_unsat() {
+        // Regression for a false UNSAT under assumptions: with phase
+        // saving starting all-false, the solver decides ¬x0 after
+        // placing the assumption x2, hits a conflict between
+        // (x0 ∨ x1) and (x0 ∨ ¬x1), and learns the unit clause (x0),
+        // whose backjump level 0 lies below the assumption frontier.
+        // The pre-fix solver aborted with Unsat at that point; correct
+        // behavior is to backjump, enqueue x0, re-place the assumption,
+        // and report Sat (x0=true, x2=true satisfies everything).
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::pos(v[0]), Lit::neg(v[1])]);
+        assert_eq!(s.solve_with(&[Lit::pos(v[2])]), SatResult::Sat);
+        assert!(s.model_value(v[0]));
+        assert!(s.model_value(v[2]));
+        // The solver stays usable and consistent afterwards.
+        assert_eq!(s.solve_with(&[Lit::neg(v[0])]), SatResult::Unsat);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn deep_backjump_below_frontier_continues_search() {
+        // Same class of bug with a non-unit learned clause: the
+        // asserting level can land inside the assumption levels. Chain
+        // y → z plus clauses forcing z under both phases of a decision
+        // variable; the learned clause backjumps to an assumption
+        // level, and the query is still satisfiable.
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 6);
+        let (a0, a1, d, w, y, z) = (v[0], v[1], v[2], v[3], v[4], v[5]);
+        // Assumptions pin a0, a1. Deciding ¬d propagates w (via
+        // (d ∨ w)), then (¬a1 ∨ ¬w ∨ y) gives y, (¬y ∨ z) gives z,
+        // and (¬a1 ∨ ¬w ∨ ¬z) conflicts. The learned clause mentions
+        // a1's level: backjump below the frontier, not UNSAT.
+        s.add_clause(&[Lit::pos(d), Lit::pos(w)]);
+        s.add_clause(&[Lit::neg(a1), Lit::neg(w), Lit::pos(y)]);
+        s.add_clause(&[Lit::neg(y), Lit::pos(z)]);
+        s.add_clause(&[Lit::neg(a1), Lit::neg(w), Lit::neg(z)]);
+        assert_eq!(
+            s.solve_with(&[Lit::pos(a0), Lit::pos(a1)]),
+            SatResult::Sat
+        );
+        assert!(s.model_value(a0) && s.model_value(a1));
+        assert!(s.model_value(d), "d must be forced true under a1");
     }
 
     #[test]
