@@ -1,0 +1,219 @@
+//! E13 — incremental solver sessions vs a fresh solver per query.
+//!
+//! The arena + session refactor encodes each formula once and answers
+//! every follow-up question with an assumption-based query against the
+//! same solver, so bit-blasted subterms and learned clauses are reused
+//! instead of rebuilt. This bench measures that reuse on the two
+//! production workloads:
+//!
+//! * `fabric_smt` — a full SMT validation pass over the healthy
+//!   default Clos (the E2 fabric): one device encoding checked against
+//!   every contract (`session_reuse`) vs the encoding rebuilt before
+//!   every SAT call (`fresh_per_query`, the pre-refactor shape);
+//! * `secguru_contracts` — the Figure-8 edge ACL encoded once and
+//!   probed with one contract per rule, vs a fresh `SecGuru` (fresh
+//!   session, fresh encoding) per contract;
+//! * `policy_diff` — `SmtDiff` deciding both change directions on one
+//!   shared encoding, vs re-encoding the policy pair for each
+//!   direction.
+//!
+//! Verdicts are asserted identical across modes before any timing, and
+//! the harness enforces the acceptance claim — session mode ≥2× faster
+//! than fresh-per-query on the fabric and SecGuru workloads — so CI
+//! `--test` smoke runs check the speedup, not just compilation.
+
+use bgpsim::{simulate, SimConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dctopo::{build_clos, ClosParams, MetadataService};
+use rcdc::engine::{smt::SmtEngine, Engine};
+use rcdc::generate_contracts;
+use secguru::diff::{ChangeDirection, SmtDiff};
+use secguru::parser::figure8_acl;
+use secguru::{Contract, Policy, SecGuru};
+use std::time::Instant;
+
+fn session_reuse(c: &mut Criterion) {
+    // Workload A: the E2 fabric under the SMT engine.
+    let topology = build_clos(&ClosParams::default());
+    let fibs = simulate(&topology, &SimConfig::healthy());
+    let meta = MetadataService::from_topology(&topology);
+    let contracts = generate_contracts(&meta);
+    let session_engine = SmtEngine::new();
+    let fresh_engine = SmtEngine::new().fresh_per_query();
+    let fabric_pass = |engine: &SmtEngine| {
+        fibs.iter()
+            .zip(&contracts)
+            .map(|(fib, dc)| engine.validate_device(fib, dc))
+            .collect::<Vec<_>>()
+    };
+
+    // Identical verdicts first (solver counters differ by design, so
+    // compare the violations, not whole reports).
+    let warm = fabric_pass(&session_engine);
+    let cold = fabric_pass(&fresh_engine);
+    assert!(warm.iter().all(|r| r.violations.is_empty()));
+    for (w, f) in warm.iter().zip(&cold) {
+        assert_eq!(w.violations, f.violations);
+        assert_eq!(w.contracts_checked, f.contracts_checked);
+    }
+    let totals = warm
+        .iter()
+        .fold(smtkit::SessionStats::default(), |mut t, r| {
+            t.absorb(&r.solver_stats);
+            t
+        });
+    assert!(totals.blast_cache_hits > 0, "session mode must reuse the blast cache");
+
+    let mut group = c.benchmark_group("E13/fabric_smt");
+    group.sample_size(10);
+    group.bench_function("session_reuse", |b| b.iter(|| fabric_pass(&session_engine)));
+    group.bench_function("fresh_per_query", |b| b.iter(|| fabric_pass(&fresh_engine)));
+    group.finish();
+
+    // Workload B: SecGuru contract sweep over the Figure-8 ACL — one
+    // contract per rule, so the policy encoding is the shared work.
+    let policy = figure8_acl();
+    let rule_contracts: Vec<Contract> = policy
+        .rules()
+        .iter()
+        .map(|r| Contract::new(format!("probe-{}", r.name), r.filter, r.action))
+        .collect();
+    let sweep_session = || {
+        let mut sg = SecGuru::new(policy.clone());
+        rule_contracts
+            .iter()
+            .map(|ct| sg.check(ct).holds)
+            .collect::<Vec<_>>()
+    };
+    let sweep_fresh = || {
+        rule_contracts
+            .iter()
+            .map(|ct| SecGuru::new(policy.clone()).check(ct).holds)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(sweep_session(), sweep_fresh());
+
+    let mut group = c.benchmark_group("E13/secguru_contracts");
+    group.sample_size(10);
+    group.bench_function("session_reuse", |b| b.iter(sweep_session));
+    group.bench_function("fresh_per_query", |b| b.iter(sweep_fresh));
+    group.finish();
+
+    // Workload C: policy diffing — every single-rule deletion of the
+    // Figure-8 ACL diffed against the original, both directions.
+    let variants: Vec<Policy> = (0..policy.rules().len())
+        .map(|k| {
+            let mut rules = policy.rules().to_vec();
+            rules.remove(k);
+            Policy::new(format!("figure8-minus-{k}"), policy.convention, rules)
+        })
+        .collect();
+    let diff_session = || {
+        variants
+            .iter()
+            .map(|v| {
+                let d = SmtDiff::new(&policy, v).diff();
+                (d.newly_denied.is_some(), d.newly_permitted.is_some())
+            })
+            .collect::<Vec<_>>()
+    };
+    let diff_fresh = || {
+        variants
+            .iter()
+            .map(|v| {
+                (
+                    SmtDiff::new(&policy, v)
+                        .witness(ChangeDirection::NewlyDenied)
+                        .is_some(),
+                    SmtDiff::new(&policy, v)
+                        .witness(ChangeDirection::NewlyPermitted)
+                        .is_some(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(diff_session(), diff_fresh());
+    // Deleting a deny rule must show up as newly permitted traffic
+    // somewhere in the sweep (rule 2 is the 10/8 isolation deny).
+    assert!(diff_session().iter().any(|&(_, permitted)| permitted));
+
+    let mut group = c.benchmark_group("E13/policy_diff");
+    group.sample_size(10);
+    group.bench_function("session_reuse", |b| b.iter(diff_session));
+    group.bench_function("fresh_per_query", |b| b.iter(diff_fresh));
+    group.finish();
+
+    // The acceptance claim, enforced in every run including `--test`
+    // smoke mode: session reuse beats fresh-per-query by ≥2× on both
+    // production workloads.
+    const PASSES: u32 = 5;
+    let t0 = Instant::now();
+    for _ in 0..PASSES {
+        fabric_pass(&session_engine);
+    }
+    let fabric_session = t0.elapsed();
+    let t0 = Instant::now();
+    for _ in 0..PASSES {
+        fabric_pass(&fresh_engine);
+    }
+    let fabric_fresh = t0.elapsed();
+    println!(
+        "fabric: session {:?}/pass, fresh {:?}/pass ({:.1}x); \
+         blast cache {} hits / {} misses per pass",
+        fabric_session / PASSES,
+        fabric_fresh / PASSES,
+        fabric_fresh.as_secs_f64() / fabric_session.as_secs_f64(),
+        totals.blast_cache_hits,
+        totals.blast_cache_misses,
+    );
+    assert!(
+        fabric_fresh >= fabric_session * 2,
+        "fabric session pass must be >=2x faster than fresh-per-query \
+         (session {fabric_session:?}, fresh {fabric_fresh:?})"
+    );
+
+    const SWEEPS: u32 = 20;
+    let t0 = Instant::now();
+    for _ in 0..SWEEPS {
+        sweep_session();
+    }
+    let sg_session = t0.elapsed();
+    let t0 = Instant::now();
+    for _ in 0..SWEEPS {
+        sweep_fresh();
+    }
+    let sg_fresh = t0.elapsed();
+    let t0 = Instant::now();
+    for _ in 0..SWEEPS {
+        diff_session();
+    }
+    let diff_session_t = t0.elapsed();
+    let t0 = Instant::now();
+    for _ in 0..SWEEPS {
+        diff_fresh();
+    }
+    let diff_fresh_t = t0.elapsed();
+    println!(
+        "secguru contracts: session {:?}/sweep, fresh {:?}/sweep ({:.1}x); \
+         policy diff: session {:?}/sweep, fresh {:?}/sweep ({:.1}x)",
+        sg_session / SWEEPS,
+        sg_fresh / SWEEPS,
+        sg_fresh.as_secs_f64() / sg_session.as_secs_f64(),
+        diff_session_t / SWEEPS,
+        diff_fresh_t / SWEEPS,
+        diff_fresh_t.as_secs_f64() / diff_session_t.as_secs_f64(),
+    );
+    assert!(
+        sg_fresh >= sg_session * 2,
+        "SecGuru session sweep must be >=2x faster than fresh-per-query \
+         (session {sg_session:?}, fresh {sg_fresh:?})"
+    );
+    assert!(
+        diff_fresh_t.as_secs_f64() >= diff_session_t.as_secs_f64() * 1.2,
+        "shared-encoding diff must clearly beat re-encoding per direction \
+         (session {diff_session_t:?}, fresh {diff_fresh_t:?})"
+    );
+}
+
+criterion_group!(benches, session_reuse);
+criterion_main!(benches);

@@ -21,18 +21,23 @@
 //!
 //! (the "all output ports" variant the paper describes), with the
 //! witness model's destination address used to identify the violating
-//! rule. Because assumptions don't persist, one policy encoding serves
-//! all of a device's contracts, and clause learning accumulates across
-//! the thousands of per-device queries. The default contract is checked
+//! rule. The policy is interned once into the device's [`Session`]
+//! arena and bit-blasted once; every contract query reuses that CNF
+//! under assumptions, so clause learning accumulates across the
+//! thousands of per-device queries. The default contract is checked
 //! structurally, as the special case the paper calls out.
+//!
+//! For the ablation measured by the E11 experiment, the engine can be
+//! switched to rebuild the whole session before every satisfiability
+//! call ([`SmtEngine::fresh_per_query`]), which is how a stateless
+//! solver binding would behave.
 
 use crate::contracts::{Contract, ContractKind, DeviceContracts, Expectation};
 use crate::engine::Engine;
 use crate::report::{ValidationReport, Violation, ViolationReason};
 use bgpsim::Fib;
 use netprim::Ipv4;
-use smtkit::{BoolExpr, BvTerm, SmtResult, Solver};
-use std::collections::HashMap;
+use smtkit::{BoolId, Session, SessionStats, SmtResult, TermId};
 
 /// Maximum violating rules enumerated per contract before giving up
 /// (defensive bound; real violations involve a handful of rules).
@@ -46,6 +51,7 @@ const MAX_WITNESSES: usize = 64;
 #[derive(Debug, Clone, Copy)]
 pub struct SmtEngine {
     strict: bool,
+    session_reuse: bool,
 }
 
 impl Default for SmtEngine {
@@ -55,26 +61,38 @@ impl Default for SmtEngine {
 }
 
 impl SmtEngine {
-    /// Production engine: strict mode.
+    /// Production engine: strict mode, one incremental session per device.
     pub fn new() -> SmtEngine {
-        SmtEngine { strict: true }
+        SmtEngine {
+            strict: true,
+            session_reuse: true,
+        }
     }
 
     /// Formula-equivalence-only engine (Definition 2.1 semantics).
     pub fn semantic() -> SmtEngine {
-        SmtEngine { strict: false }
+        SmtEngine {
+            strict: false,
+            session_reuse: true,
+        }
+    }
+
+    /// Ablation mode: tear the session down and re-encode the policy
+    /// before every satisfiability call instead of reusing one session
+    /// per device. Verdicts are identical; only cost differs (E11).
+    pub fn fresh_per_query(mut self) -> SmtEngine {
+        self.session_reuse = false;
+        self
     }
 }
 
-/// Per-device encoding state.
+/// Per-device encoding state: one session whose arena holds the policy.
 struct DeviceEncoding {
-    solver: Solver,
-    /// The policy meaning `P(x)` as a Boolean formula over next-hop vars.
-    policy: BoolExpr,
+    session: Session,
+    /// The policy meaning `P(x)` as a formula over next-hop vars.
+    policy: BoolId,
     /// The destination-address variable.
-    x: BvTerm,
-    /// Interface address → Boolean variable name.
-    hop_vars: HashMap<Ipv4, String>,
+    x: TermId,
 }
 
 fn hop_var_name(addr: Ipv4) -> String {
@@ -83,42 +101,29 @@ fn hop_var_name(addr: Ipv4) -> String {
 
 impl DeviceEncoding {
     fn build(fib: &Fib) -> DeviceEncoding {
-        let solver = Solver::new();
-        let x = BvTerm::var("dst", 32);
-        let mut hop_vars = HashMap::new();
+        let mut session = Session::new();
+        let a = session.arena_mut();
+        let x = a.var("dst", 32);
         // drop = false is the innermost policy (Definition 2.1).
-        let mut policy = BoolExpr::fls();
+        let mut policy = a.fls();
         // Entries are sorted by descending prefix length; build the
         // ite chain inside-out (shortest prefix innermost).
         for e in fib.entries().iter().rev() {
-            let guard = x.in_range(e.prefix.first().0 as u64, e.prefix.last().0 as u64);
+            let guard = a.in_range(x, e.prefix.first().0 as u64, e.prefix.last().0 as u64);
             let meaning = if e.local {
                 // Local delivery is modeled as its own "port".
-                BoolExpr::var("deliver_local")
+                a.bool_var("deliver_local")
             } else {
-                BoolExpr::or_all(fib.next_hops(e).iter().map(|&h| {
-                    let name = hop_var_name(h);
-                    hop_vars.entry(h).or_insert_with(|| name.clone());
-                    BoolExpr::var(name)
-                }))
+                let hops: Vec<BoolId> = fib
+                    .next_hops(e)
+                    .iter()
+                    .map(|&h| a.bool_var(&hop_var_name(h)))
+                    .collect();
+                a.or_all(&hops)
             };
-            policy = BoolExpr::ite(&guard, &meaning, &policy);
+            policy = a.ite_bool(guard, meaning, policy);
         }
-        DeviceEncoding {
-            solver,
-            policy,
-            x,
-            hop_vars,
-        }
-    }
-
-    /// The contract's next-hop disjunction `C.nexthops`.
-    fn contract_hops_expr(&mut self, expected: &[Ipv4]) -> BoolExpr {
-        BoolExpr::or_all(
-            expected
-                .iter()
-                .map(|&h| BoolExpr::var(hop_var_name(h))),
-        )
+        DeviceEncoding { session, policy, x }
     }
 }
 
@@ -126,6 +131,7 @@ impl Engine for SmtEngine {
     fn validate_device(&self, fib: &Fib, contracts: &DeviceContracts) -> ValidationReport {
         let mut enc = DeviceEncoding::build(fib);
         let mut violations = Vec::new();
+        let mut stats = SessionStats::default();
 
         for c in &contracts.contracts {
             match c.kind {
@@ -133,14 +139,22 @@ impl Engine for SmtEngine {
                 // route … is handled as a special case": compare the
                 // default rule's next hops with the contract's directly.
                 ContractKind::Default => check_default(fib, c, &mut violations),
-                ContractKind::Specific => {
-                    check_specific_smt(self.strict, fib, &mut enc, c, &mut violations)
-                }
+                ContractKind::Specific => check_specific_smt(
+                    self.strict,
+                    self.session_reuse,
+                    fib,
+                    &mut enc,
+                    &mut stats,
+                    c,
+                    &mut violations,
+                ),
             }
         }
+        stats.absorb(&enc.session.stats());
         ValidationReport {
             violations,
             contracts_checked: contracts.len(),
+            solver_stats: stats,
         }
     }
 
@@ -181,8 +195,10 @@ fn check_default(fib: &Fib, c: &Contract, out: &mut Vec<Violation>) {
 
 fn check_specific_smt(
     strict: bool,
+    session_reuse: bool,
     fib: &Fib,
     enc: &mut DeviceEncoding,
+    stats: &mut SessionStats,
     c: &Contract,
     out: &mut Vec<Violation>,
 ) {
@@ -201,25 +217,41 @@ fn check_specific_smt(
     if strict && fib.entry_for(c.prefix).is_none() {
         out.push(Violation::of(c, ViolationReason::MissingRoute));
     }
-    let contract_hops = enc.contract_hops_expr(&expected);
-    let range = enc
-        .x
-        .in_range(c.prefix.first().0 as u64, c.prefix.last().0 as u64);
-    let disagreement = enc.policy.iff(&contract_hops).not();
 
     // Enumerate violating rules: find a witness, report the rule that
     // serves it, exclude that rule's range, repeat (§2.5: "produces a
-    // list of rules in P that violate the contract").
-    let mut exclusions: Vec<BoolExpr> = Vec::new();
+    // list of rules in P that violate the contract"). Exclusions are
+    // kept as plain ranges so the ablation mode can re-intern them
+    // into a fresh arena.
+    let mut excluded: Vec<(u64, u64)> = Vec::new();
     let mut reported = std::collections::HashSet::new();
     for _ in 0..MAX_WITNESSES {
-        let mut assumptions = vec![range.clone(), disagreement.clone()];
-        assumptions.extend(exclusions.iter().cloned());
-        if enc.solver.check_assuming(&assumptions) != SmtResult::Sat {
+        if !session_reuse {
+            stats.absorb(&enc.session.stats());
+            *enc = DeviceEncoding::build(fib);
+        }
+        let assumptions = {
+            let (policy, x) = (enc.policy, enc.x);
+            let a = enc.session.arena_mut();
+            let hops: Vec<BoolId> = expected
+                .iter()
+                .map(|&h| a.bool_var(&hop_var_name(h)))
+                .collect();
+            let contract_hops = a.or_all(&hops);
+            let range = a.in_range(x, c.prefix.first().0 as u64, c.prefix.last().0 as u64);
+            let agree = a.iff(policy, contract_hops);
+            let mut v = vec![range, a.not(agree)];
+            for &(lo, hi) in &excluded {
+                let r = a.in_range(x, lo, hi);
+                v.push(a.not(r));
+            }
+            v
+        };
+        if enc.session.check_assuming(&assumptions) != SmtResult::Sat {
             return;
         }
         let witness = Ipv4(
-            enc.solver
+            enc.session
                 .model()
                 .value("dst")
                 .expect("dst is constrained") as u32,
@@ -236,9 +268,7 @@ fn check_specific_smt(
                         },
                     ));
                 }
-                let lo = rule.prefix.first().0 as u64;
-                let hi = rule.prefix.last().0 as u64;
-                exclusions.push(enc.x.in_range(lo, hi).not());
+                excluded.push((rule.prefix.first().0 as u64, rule.prefix.last().0 as u64));
             }
             None => {
                 if !out
@@ -251,7 +281,6 @@ fn check_specific_smt(
             }
         }
     }
-    let _ = enc.hop_vars.len();
 }
 
 #[cfg(test)]
@@ -288,6 +317,37 @@ mod tests {
             key_t.dedup();
             assert_eq!(key_s, key_t, "engine disagreement on {:?}", fib.device());
         }
+    }
+
+    #[test]
+    fn fresh_per_query_matches_session_mode_verdicts() {
+        // The E11 ablation must not change any verdict, only cost.
+        let (_f, fibs, contracts, _meta) = fig3_faulted();
+        let warm = SmtEngine::new();
+        let cold = SmtEngine::new().fresh_per_query();
+        for (fib, dc) in fibs.iter().zip(&contracts) {
+            let rw = warm.validate_device(fib, dc);
+            let rc = cold.validate_device(fib, dc);
+            assert_eq!(rw.violations, rc.violations, "{:?}", fib.device());
+            assert_eq!(rw.contracts_checked, rc.contracts_checked);
+        }
+    }
+
+    #[test]
+    fn session_mode_reports_cache_reuse() {
+        // With several specific contracts per device, the shared policy
+        // encoding must produce observable bit-blast cache hits.
+        let (_f, fibs, contracts, _meta) = fig3_healthy();
+        let eng = SmtEngine::new();
+        let mut total = SessionStats::default();
+        for (fib, dc) in fibs.iter().zip(&contracts) {
+            total.absorb(&eng.validate_device(fib, dc).solver_stats);
+        }
+        assert!(total.queries > 0);
+        assert!(
+            total.blast_cache_hits > 0,
+            "shared subterms must hit the blast cache: {total:?}"
+        );
     }
 
     #[test]

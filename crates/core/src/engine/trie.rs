@@ -315,6 +315,7 @@ impl Engine for TrieEngine {
         ValidationReport {
             violations,
             contracts_checked: contracts.len(),
+            solver_stats: smtkit::SessionStats::default(),
         }
     }
 
@@ -366,6 +367,7 @@ impl Engine for TrieEngine {
         ValidationReport {
             violations,
             contracts_checked: contracts.len(),
+            solver_stats: smtkit::SessionStats::default(),
         }
     }
 

@@ -386,6 +386,19 @@ impl StreamAnalytics {
         self.results.read().get(&device).cloned()
     }
 
+    /// Solver counters summed over the latest result of every device —
+    /// all-zero for the trie engine; for SMT-backed sweeps this is the
+    /// observable footprint of session reuse (queries, conflicts,
+    /// bit-blast cache hits).
+    pub fn solver_totals(&self) -> smtkit::SessionStats {
+        let results = self.results.read();
+        let mut total = smtkit::SessionStats::default();
+        for r in results.values() {
+            total.absorb(&r.report.solver_stats);
+        }
+        total
+    }
+
     /// How many of the latest results were produced each way.
     pub fn mode_counts(&self) -> (usize, usize, usize) {
         let results = self.results.read();
@@ -529,6 +542,8 @@ mod tests {
         run_sweep(&devices, &source, &cs, &fs, &cache, &analytics, 2, 2);
         assert_eq!(analytics.len(), devices.len());
         assert!(analytics.dirty_devices().is_empty());
+        // The trie-backed sweep never touches a solver.
+        assert_eq!(analytics.solver_totals(), smtkit::SessionStats::default());
     }
 
     #[test]

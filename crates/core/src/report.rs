@@ -169,6 +169,10 @@ pub struct ValidationReport {
     pub violations: Vec<Violation>,
     /// Number of contracts checked.
     pub contracts_checked: usize,
+    /// Solver-side counters for the engines that run one (conflicts,
+    /// propagations, bit-blast cache hits, …). All-zero for the trie
+    /// engine, which never touches a solver.
+    pub solver_stats: smtkit::SessionStats,
 }
 
 impl ValidationReport {
@@ -291,6 +295,7 @@ mod tests {
                 },
             ],
             contracts_checked: 4,
+            solver_stats: smtkit::SessionStats::default(),
         };
         assert!(!r.is_clean());
         assert_eq!(r.by_kind(ContractKind::Default).count(), 1);

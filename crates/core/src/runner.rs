@@ -61,6 +61,35 @@ impl EngineChoice {
             EngineChoice::SmtSemantic => "smt-semantic",
         }
     }
+
+    /// Every backend, in registry order (for CLIs listing valid names).
+    pub const ALL: [EngineChoice; 4] = [
+        EngineChoice::Trie,
+        EngineChoice::TrieSemantic,
+        EngineChoice::Smt,
+        EngineChoice::SmtSemantic,
+    ];
+}
+
+impl std::fmt::Display for EngineChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for EngineChoice {
+    type Err = String;
+
+    /// Parse the stable backend name (the inverse of [`EngineChoice::name`]).
+    fn from_str(s: &str) -> Result<EngineChoice, String> {
+        EngineChoice::ALL
+            .into_iter()
+            .find(|c| c.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = EngineChoice::ALL.iter().map(|c| c.name()).collect();
+                format!("unknown engine {s:?}; expected one of {}", names.join(", "))
+            })
+    }
 }
 
 /// Runner configuration (used by the deprecated [`validate_datacenter`]
@@ -115,6 +144,17 @@ impl DatacenterReport {
     /// Is the whole datacenter clean?
     pub fn is_clean(&self) -> bool {
         self.reports.iter().all(|r| r.is_clean())
+    }
+
+    /// Datacenter-wide solver counters, summed over every device
+    /// report. All-zero for the trie engine; for the SMT engine this is
+    /// where session reuse shows up (queries ≫ devices, cache hits).
+    pub fn solver_totals(&self) -> smtkit::SessionStats {
+        let mut total = smtkit::SessionStats::default();
+        for r in &self.reports {
+            total.absorb(&r.solver_stats);
+        }
+        total
     }
 }
 
@@ -284,6 +324,32 @@ mod tests {
             assert_eq!(choice.instantiate().name(), name);
             assert!(choice.name().starts_with(name));
         }
+    }
+
+    #[test]
+    fn engine_choice_round_trips_through_strings() {
+        for choice in EngineChoice::ALL {
+            assert_eq!(choice.to_string(), choice.name());
+            assert_eq!(choice.name().parse::<EngineChoice>(), Ok(choice));
+        }
+        let err = "z3".parse::<EngineChoice>().unwrap_err();
+        assert!(err.contains("unknown engine"), "{err}");
+        assert!(err.contains("trie-semantic"), "{err}");
+    }
+
+    #[test]
+    fn smt_pass_surfaces_solver_totals() {
+        let (_f, fibs, contracts, _meta) = fig3_healthy();
+        let trie = Validator::with_contracts(contracts.clone()).build().run(&fibs);
+        assert_eq!(trie.solver_totals(), smtkit::SessionStats::default());
+        let smt = Validator::with_contracts(contracts)
+            .engine(EngineChoice::Smt)
+            .build()
+            .run(&fibs);
+        let totals = smt.solver_totals();
+        assert!(totals.queries > 0);
+        assert!(totals.sat_vars > 0);
+        assert!(totals.blast_cache_hits > 0, "{totals:?}");
     }
 
     #[test]

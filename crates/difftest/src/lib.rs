@@ -8,7 +8,7 @@
 //! soundness bug in any one of them shows up as a divergence instead of
 //! a silently wrong verdict.
 //!
-//! Five oracles, each a self-contained generator + cross-check:
+//! Six oracles, each a self-contained generator + cross-check:
 //!
 //! * [`Oracle::Sat`] — the CDCL [`smtkit::SatSolver`] (plain, under
 //!   assumptions, and incrementally) against brute-force enumeration,
@@ -29,6 +29,10 @@
 //! * [`Oracle::SecGuru`] — SMT contract checking vs the interval
 //!   engine vs exhaustive `Policy::allows` enumeration, and
 //!   `semantic_diff` vs ground-truth policy equivalence.
+//! * [`Oracle::Session`] — random assert/push/pop/`check_assuming`
+//!   scripts against one long-lived [`smtkit::Session`] vs a fresh
+//!   solver rebuilt per query vs brute-force enumeration, with model
+//!   re-evaluation on every satisfiable verdict.
 //!
 //! Every failure carries the replay seed and a greedily minimized
 //! counterexample. Reproduce with
@@ -43,6 +47,7 @@ mod incremental;
 mod rng;
 mod sat;
 mod secguru_oracle;
+mod session;
 mod shrink;
 mod wire;
 
@@ -89,7 +94,7 @@ pub(crate) struct Failure {
     pub(crate) minimized: String,
 }
 
-/// The five cross-check oracles.
+/// The six cross-check oracles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Oracle {
     /// CDCL SAT solver vs brute force / analytic verdicts.
@@ -102,16 +107,19 @@ pub enum Oracle {
     Wire,
     /// SecGuru SMT vs interval engine vs concrete policy semantics.
     SecGuru,
+    /// Incremental solver sessions vs fresh solvers vs brute force.
+    Session,
 }
 
 impl Oracle {
     /// Every oracle, in the order the mixed runner executes them.
-    pub const ALL: [Oracle; 5] = [
+    pub const ALL: [Oracle; 6] = [
         Oracle::Sat,
         Oracle::Engines,
         Oracle::Incremental,
         Oracle::Wire,
         Oracle::SecGuru,
+        Oracle::Session,
     ];
 
     /// CLI name of the oracle.
@@ -122,6 +130,7 @@ impl Oracle {
             Oracle::Incremental => "incremental",
             Oracle::Wire => "wire",
             Oracle::SecGuru => "secguru",
+            Oracle::Session => "session",
         }
     }
 
@@ -140,6 +149,7 @@ impl Oracle {
             Oracle::Incremental => incremental::run(sub),
             Oracle::Wire => wire::run(sub),
             Oracle::SecGuru => secguru_oracle::run(sub),
+            Oracle::Session => session::run(sub),
         }
     }
 }

@@ -16,9 +16,10 @@
 //! for differential testing and for enumerating *all* changed regions
 //! rather than one witness.
 
-use crate::engine::{IntervalEngine, SecGuru};
+use crate::engine::{policy_expr, IntervalEngine, PacketVars};
 use crate::model::{Action, Contract, Policy};
-use netprim::{HeaderSpace, HeaderTuple, IpRange, Ipv4, PortRange, Protocol};
+use netprim::{HeaderSpace, HeaderTuple, PortRange, Protocol};
+use smtkit::{BoolId, Session, SessionStats, SmtResult};
 
 /// One direction of behavioral change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -238,41 +239,93 @@ fn subtract_one(s: &HeaderSpace, cut: &HeaderSpace) -> Vec<HeaderSpace> {
     out
 }
 
-/// Cross-check the diff verdict with the SMT engine: build the
-/// "policies are equivalent" obligation and confirm it agrees with the
-/// interval result. Used by tests and available for paranoid callers.
-pub fn smt_confirms_equivalence(old: &Policy, new: &Policy) -> bool {
-    // Equivalent iff checking every permitted region of each against
-    // the other finds no witness. A cheap SMT confirmation: validate
-    // the witness-freeness by sampling corner contracts.
-    let diff = semantic_diff(old, new);
-    if !diff.is_equivalent() {
-        return false;
-    }
-    // Spot-confirm with the SMT engine on the full space in both
-    // directions via a handful of broad contracts.
-    let broad = [
-        HeaderSpace::ALL,
-        HeaderSpace {
-            protocol: Protocol::Tcp,
-            ..HeaderSpace::ALL
-        },
-        HeaderSpace {
-            src: IpRange::new(Ipv4::new(10, 0, 0, 0), Ipv4::new(10, 255, 255, 255)).unwrap(),
-            ..HeaderSpace::ALL
-        },
-    ];
-    for space in broad {
-        for expect in [Action::Permit, Action::Deny] {
-            let contract = Contract::new("equiv-probe", space, expect);
-            let mut a = SecGuru::new(old.clone());
-            let mut b = SecGuru::new(new.clone());
-            if a.check(&contract).holds != b.check(&contract).holds {
-                return false;
-            }
+/// SMT policy differ: both policies encoded once over one shared
+/// packet tuple in a single incremental session. Each direction of
+/// change is then one assumption-based satisfiability query, and any
+/// number of follow-up queries (restricted diffs, equivalence
+/// re-checks after edits to the question) reuse the same bit-blasted
+/// encoding and learned clauses.
+pub struct SmtDiff {
+    session: Session,
+    vars: PacketVars,
+    old_expr: BoolId,
+    new_expr: BoolId,
+}
+
+impl SmtDiff {
+    /// Encode the policy pair for diffing.
+    pub fn new(old: &Policy, new: &Policy) -> SmtDiff {
+        let mut session = Session::new();
+        let a = session.arena_mut();
+        let vars = PacketVars::new(a);
+        let old_expr = policy_expr(old, &vars, a);
+        let new_expr = policy_expr(new, &vars, a);
+        SmtDiff {
+            session,
+            vars,
+            old_expr,
+            new_expr,
         }
     }
-    true
+
+    /// A packet changed in the given direction, if any exists. Exact:
+    /// `None` is a proof that no such packet exists.
+    pub fn witness(&mut self, direction: ChangeDirection) -> Option<HeaderTuple> {
+        let query = {
+            let (o, n) = (self.old_expr, self.new_expr);
+            let a = self.session.arena_mut();
+            match direction {
+                // P_old ∧ ¬P_new
+                ChangeDirection::NewlyDenied => {
+                    let nn = a.not(n);
+                    a.and(o, nn)
+                }
+                // ¬P_old ∧ P_new
+                ChangeDirection::NewlyPermitted => {
+                    let no = a.not(o);
+                    a.and(no, n)
+                }
+            }
+        };
+        match self.session.check_assuming(&[query]) {
+            SmtResult::Unsat => None,
+            SmtResult::Sat => Some(self.vars.witness(&self.session.model())),
+        }
+    }
+
+    /// Are the two policies semantically identical? Two queries against
+    /// the shared encoding.
+    pub fn is_equivalent(&mut self) -> bool {
+        self.witness(ChangeDirection::NewlyDenied).is_none()
+            && self.witness(ChangeDirection::NewlyPermitted).is_none()
+    }
+
+    /// The full diff (both directions) as one [`PolicyDiff`].
+    pub fn diff(&mut self) -> PolicyDiff {
+        PolicyDiff {
+            newly_denied: self.witness(ChangeDirection::NewlyDenied),
+            newly_permitted: self.witness(ChangeDirection::NewlyPermitted),
+        }
+    }
+
+    /// Solver counters accumulated across the queries so far.
+    pub fn stats(&self) -> SessionStats {
+        self.session.stats()
+    }
+}
+
+/// Cross-check the diff verdict with the SMT engine: decide the
+/// "policies are equivalent" obligation exactly with [`SmtDiff`] and
+/// confirm it agrees with the interval result. Used by tests and
+/// available for paranoid callers.
+pub fn smt_confirms_equivalence(old: &Policy, new: &Policy) -> bool {
+    let smt_equivalent = SmtDiff::new(old, new).is_equivalent();
+    let interval_equivalent = semantic_diff(old, new).is_equivalent();
+    debug_assert_eq!(
+        smt_equivalent, interval_equivalent,
+        "SMT and interval diff must agree"
+    );
+    smt_equivalent && interval_equivalent
 }
 
 #[cfg(test)]
@@ -399,6 +452,58 @@ mod tests {
         ];
         let dov = Policy::new("do", Convention::DenyOverrides, rules);
         assert!(semantic_diff(&fa, &dov).is_equivalent());
+    }
+
+    #[test]
+    fn smt_diff_agrees_with_interval_diff() {
+        let old = figure8_acl();
+        let new = old.with_rules([Rule {
+            name: "deny-135".into(),
+            priority: 0,
+            filter: HeaderSpace {
+                dst_ports: PortRange::single(135),
+                protocol: Protocol::Tcp,
+                ..HeaderSpace::ALL
+            },
+            action: Action::Deny,
+        }]);
+        let mut sd = SmtDiff::new(&old, &new);
+        let d = sd.diff();
+        let w = d.newly_denied.expect("tightening must be detected");
+        assert_eq!(w.dst_port, 135);
+        assert!(allows(&old, &w) && !allows(&new, &w));
+        assert!(d.newly_permitted.is_none());
+        // Both directions ran against one shared encoding: two queries,
+        // with the second reusing the first's bit-blasted subterms.
+        let st = sd.stats();
+        assert_eq!(st.queries, 2);
+        assert!(st.blast_cache_hits > 0, "{st:?}");
+    }
+
+    #[test]
+    fn smt_diff_proves_equivalence_exactly() {
+        let p = figure8_acl();
+        assert!(SmtDiff::new(&p, &p).is_equivalent());
+        let reordered = parse_acl(
+            "r",
+            "
+            deny udp any any eq 445
+            deny tcp any any eq 445
+            permit ip any 104.208.32.0/20
+            ",
+        )
+        .unwrap();
+        let original = parse_acl(
+            "o",
+            "
+            deny tcp any any eq 445
+            deny udp any any eq 445
+            permit ip any 104.208.32.0/20
+            ",
+        )
+        .unwrap();
+        assert!(SmtDiff::new(&original, &reordered).is_equivalent());
+        assert!(!SmtDiff::new(&original, &p).is_equivalent());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use crate::model::{Action, Contract, Convention, Policy, Rule};
 use netprim::{HeaderSpace, HeaderTuple, Ipv4};
-use smtkit::{BoolExpr, BvTerm, SmtResult, Solver};
+use smtkit::{BoolId, Model, Session, SessionStats, SmtResult, TermArena, TermId};
 
 /// Result of checking one contract.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,83 +67,116 @@ impl CheckOutcome {
 // ---------------------------------------------------------------------------
 
 /// The SecGuru analysis engine: one policy, many contract checks.
+///
+/// The policy meaning is interned once into the session's term arena
+/// and bit-blasted once; each contract check is an assumption-based
+/// query against the same session, so learned clauses carry over
+/// between checks of the same policy.
 pub struct SecGuru {
     policy: Policy,
-    solver: Solver,
-    policy_expr: BoolExpr,
+    session: Session,
+    policy_expr: BoolId,
     vars: PacketVars,
 }
 
-struct PacketVars {
-    src_ip: BvTerm,
-    src_port: BvTerm,
-    dst_ip: BvTerm,
-    dst_port: BvTerm,
-    protocol: BvTerm,
+/// The §3.2 packet tuple `⟨srcIp, srcPort, dstIp, dstPort, protocol⟩`
+/// as arena variables (widths 32/16/32/16/8). Shared with the semantic
+/// differ, which encodes two policies over one tuple.
+pub(crate) struct PacketVars {
+    src_ip: TermId,
+    src_port: TermId,
+    dst_ip: TermId,
+    dst_port: TermId,
+    protocol: TermId,
 }
 
 impl PacketVars {
-    fn new() -> PacketVars {
+    pub(crate) fn new(a: &mut TermArena) -> PacketVars {
         PacketVars {
-            src_ip: BvTerm::var("srcIp", 32),
-            src_port: BvTerm::var("srcPort", 16),
-            dst_ip: BvTerm::var("dstIp", 32),
-            dst_port: BvTerm::var("dstPort", 16),
-            protocol: BvTerm::var("protocol", 8),
+            src_ip: a.var("srcIp", 32),
+            src_port: a.var("srcPort", 16),
+            dst_ip: a.var("dstIp", 32),
+            dst_port: a.var("dstPort", 16),
+            protocol: a.var("protocol", 8),
         }
     }
 
     /// The predicate `r(x̄)` of one packet filter (§3.2's example).
-    fn filter_expr(&self, f: &HeaderSpace) -> BoolExpr {
+    ///
+    /// Hash-consing makes repetition cheap: rules and contracts over
+    /// the same ranges intern to the same nodes and bit-blast once.
+    pub(crate) fn filter_expr(&self, a: &mut TermArena, f: &HeaderSpace) -> BoolId {
         let mut parts = vec![
-            self.src_ip
-                .in_range(f.src.start().0 as u64, f.src.end().0 as u64),
-            self.src_port
-                .in_range(f.src_ports.start() as u64, f.src_ports.end() as u64),
-            self.dst_ip
-                .in_range(f.dst.start().0 as u64, f.dst.end().0 as u64),
-            self.dst_port
-                .in_range(f.dst_ports.start() as u64, f.dst_ports.end() as u64),
+            a.in_range(self.src_ip, f.src.start().0 as u64, f.src.end().0 as u64),
+            a.in_range(
+                self.src_port,
+                f.src_ports.start() as u64,
+                f.src_ports.end() as u64,
+            ),
+            a.in_range(self.dst_ip, f.dst.start().0 as u64, f.dst.end().0 as u64),
+            a.in_range(
+                self.dst_port,
+                f.dst_ports.start() as u64,
+                f.dst_ports.end() as u64,
+            ),
         ];
         if let Some(p) = f.protocol.number() {
-            parts.push(self.protocol.eq(&BvTerm::constant(8, p as u64)));
+            let pc = a.constant(8, p as u64);
+            parts.push(a.eq(self.protocol, pc));
         }
-        BoolExpr::and_all(parts)
+        a.and_all(&parts)
+    }
+
+    /// Decode the model of a satisfiable query into a packet.
+    pub(crate) fn witness(&self, m: &Model) -> HeaderTuple {
+        HeaderTuple {
+            src_ip: Ipv4(m.value("srcIp").unwrap_or(0) as u32),
+            src_port: m.value("srcPort").unwrap_or(0) as u16,
+            dst_ip: Ipv4(m.value("dstIp").unwrap_or(0) as u32),
+            dst_port: m.value("dstPort").unwrap_or(0) as u16,
+            protocol: m.value("protocol").unwrap_or(0) as u8,
+        }
     }
 }
 
 /// Build the policy meaning `P(x̄)` per Definition 3.1 or 3.2.
-fn policy_expr(policy: &Policy, vars: &PacketVars) -> BoolExpr {
+pub(crate) fn policy_expr(policy: &Policy, vars: &PacketVars, a: &mut TermArena) -> BoolId {
     match policy.convention {
         Convention::FirstApplicable => {
             // P_i = r_i ∨ P_{i+1} (allow) / ¬r_i ∧ P_{i+1} (deny);
             // built inside-out from P_n = false.
-            let mut p = BoolExpr::fls();
+            let mut p = a.fls();
             for r in policy.rules().iter().rev() {
-                let ri = vars.filter_expr(&r.filter);
+                let ri = vars.filter_expr(a, &r.filter);
                 p = match r.action {
-                    Action::Permit => ri.or(&p),
-                    Action::Deny => ri.not().and(&p),
+                    Action::Permit => a.or(ri, p),
+                    Action::Deny => {
+                        let nri = a.not(ri);
+                        a.and(nri, p)
+                    }
                 };
             }
             p
         }
         Convention::DenyOverrides => {
-            let allows = BoolExpr::or_all(
-                policy
-                    .rules()
-                    .iter()
-                    .filter(|r| r.action == Action::Permit)
-                    .map(|r| vars.filter_expr(&r.filter)),
-            );
-            let denies = BoolExpr::and_all(
-                policy
-                    .rules()
-                    .iter()
-                    .filter(|r| r.action == Action::Deny)
-                    .map(|r| vars.filter_expr(&r.filter).not()),
-            );
-            allows.and(&denies)
+            let allow_parts: Vec<BoolId> = policy
+                .rules()
+                .iter()
+                .filter(|r| r.action == Action::Permit)
+                .map(|r| vars.filter_expr(a, &r.filter))
+                .collect();
+            let deny_parts: Vec<BoolId> = policy
+                .rules()
+                .iter()
+                .filter(|r| r.action == Action::Deny)
+                .map(|r| {
+                    let ri = vars.filter_expr(a, &r.filter);
+                    a.not(ri)
+                })
+                .collect();
+            let allows = a.or_all(&allow_parts);
+            let denies = a.and_all(&deny_parts);
+            a.and(allows, denies)
         }
     }
 }
@@ -151,11 +184,13 @@ fn policy_expr(policy: &Policy, vars: &PacketVars) -> BoolExpr {
 impl SecGuru {
     /// Encode a policy for analysis.
     pub fn new(policy: Policy) -> SecGuru {
-        let vars = PacketVars::new();
-        let policy_expr = policy_expr(&policy, &vars);
+        let mut session = Session::new();
+        let a = session.arena_mut();
+        let vars = PacketVars::new(a);
+        let policy_expr = policy_expr(&policy, &vars, a);
         SecGuru {
             policy,
-            solver: Solver::new(),
+            session,
             policy_expr,
             vars,
         }
@@ -166,26 +201,32 @@ impl SecGuru {
         &self.policy
     }
 
+    /// Solver counters accumulated over every check so far — queries,
+    /// conflicts, and the bit-blast cache reuse the shared encoding
+    /// produces.
+    pub fn stats(&self) -> SessionStats {
+        self.session.stats()
+    }
+
     /// Check one contract (§3.2's two outcomes).
     pub fn check(&mut self, contract: &Contract) -> CheckOutcome {
-        let c = self.vars.filter_expr(&contract.filter);
-        let query = match contract.expect {
-            // Permit contract: violated if C ∧ ¬P is satisfiable.
-            Action::Permit => c.and(&self.policy_expr.not()),
-            // Deny contract: violated if C ∧ P is satisfiable.
-            Action::Deny => c.and(&self.policy_expr),
+        let query = {
+            let (policy_expr, a) = (self.policy_expr, self.session.arena_mut());
+            let c = self.vars.filter_expr(a, &contract.filter);
+            match contract.expect {
+                // Permit contract: violated if C ∧ ¬P is satisfiable.
+                Action::Permit => {
+                    let np = a.not(policy_expr);
+                    a.and(c, np)
+                }
+                // Deny contract: violated if C ∧ P is satisfiable.
+                Action::Deny => a.and(c, policy_expr),
+            }
         };
-        match self.solver.check_assuming(&[query]) {
+        match self.session.check_assuming(&[query]) {
             SmtResult::Unsat => CheckOutcome::pass(contract),
             SmtResult::Sat => {
-                let m = self.solver.model();
-                let witness = HeaderTuple {
-                    src_ip: Ipv4(m.value("srcIp").unwrap_or(0) as u32),
-                    src_port: m.value("srcPort").unwrap_or(0) as u16,
-                    dst_ip: Ipv4(m.value("dstIp").unwrap_or(0) as u32),
-                    dst_port: m.value("dstPort").unwrap_or(0) as u16,
-                    protocol: m.value("protocol").unwrap_or(0) as u8,
-                };
+                let witness = self.vars.witness(&self.session.model());
                 debug_assert!(contract.filter.contains(&witness));
                 let rule = self.policy.deciding_rule(&witness);
                 CheckOutcome::fail(contract, witness, rule)

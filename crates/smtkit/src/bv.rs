@@ -1,25 +1,35 @@
-//! Bit-vector terms and their bit-blasting.
+//! Bit-vector circuits: the lowering target of the term arena.
 //!
-//! Two layers live here:
-//!
-//! * **Low-level**: a bit-vector is a [`Bits`] — `Vec<Lit>` with index 0
-//!   the least-significant bit — and the `blast_*` functions build the
-//!   standard circuits (ripple-carry adders, borrow-chain comparators).
-//! * **High-level**: [`BvTerm`] and [`BoolExpr`] are shareable ASTs
-//!   (`Rc`-based DAGs) mirroring the formulas in the paper —
-//!   `10.20.20.0 <= x <= 10.20.20.255` is
-//!   `x.gte(c1).and(x.lte(c2))` — lowered to circuits by
-//!   [`crate::solver::Solver`].
+//! A bit-vector is a [`Bits`] — `Vec<Lit>` with index 0 the
+//! least-significant bit — and the `blast_*` functions build the
+//! standard circuits (ripple-carry adders, borrow-chain comparators).
+//! [`crate::solver::Session`] lowers interned
+//! [`crate::arena::TermArena`] nodes to these circuits exactly once per
+//! session, caching the resulting `Bits` by term id.
 //!
 //! Widths up to 64 bits are supported; the policy encodings use 8-, 16-
 //! and 32-bit vectors (protocol, ports, addresses).
 
 use crate::cnf::GateCtx;
 use crate::sat::Lit;
-use std::rc::Rc;
 
 /// A bit-blasted vector: `bits[0]` is the least-significant bit.
 pub type Bits = Vec<Lit>;
+
+/// Binary bit-vector operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BvOp {
+    /// Modular addition.
+    Add,
+    /// Modular subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+}
 
 /// Constant bit-vector of `width` bits holding `value`.
 pub fn blast_const(g: &GateCtx, width: u32, value: u64) -> Bits {
@@ -134,420 +144,6 @@ pub fn blast_concat(hi: &Bits, lo: &Bits) -> Bits {
     out
 }
 
-// ---------------------------------------------------------------------------
-// High-level AST
-// ---------------------------------------------------------------------------
-
-/// Internal node of a bit-vector term.
-#[derive(Debug)]
-pub(crate) enum TNode {
-    /// Constant of a given width.
-    Const { width: u32, value: u64 },
-    /// Named free variable.
-    Var { name: String, width: u32 },
-    /// Bitwise/arithmetic binary op.
-    Bin { op: BvOp, lhs: BvTerm, rhs: BvTerm },
-    /// Bitwise complement.
-    Not(BvTerm),
-    /// If-then-else over vectors.
-    Ite {
-        cond: BoolExpr,
-        then: BvTerm,
-        els: BvTerm,
-    },
-    /// Bit range extraction `[lo, hi]`.
-    Extract { term: BvTerm, hi: u32, lo: u32 },
-    /// Concatenation (`hi` most significant).
-    Concat { hi: BvTerm, lo: BvTerm },
-}
-
-/// Binary bit-vector operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BvOp {
-    /// Modular addition.
-    Add,
-    /// Modular subtraction.
-    Sub,
-    /// Bitwise AND.
-    And,
-    /// Bitwise OR.
-    Or,
-    /// Bitwise XOR.
-    Xor,
-}
-
-/// A bit-vector term (shareable, immutable DAG node).
-#[derive(Debug, Clone)]
-pub struct BvTerm(pub(crate) Rc<TNode>);
-
-impl BvTerm {
-    /// A constant of `width` bits. Panics if the value does not fit.
-    pub fn constant(width: u32, value: u64) -> BvTerm {
-        assert!((1..=64).contains(&width));
-        if width < 64 {
-            assert!(value < (1u64 << width), "constant wider than {width} bits");
-        }
-        BvTerm(Rc::new(TNode::Const { width, value }))
-    }
-
-    /// A named free variable of `width` bits. Variables with equal
-    /// names denote the same solver variable.
-    pub fn var(name: impl Into<String>, width: u32) -> BvTerm {
-        assert!((1..=64).contains(&width));
-        BvTerm(Rc::new(TNode::Var {
-            name: name.into(),
-            width,
-        }))
-    }
-
-    /// Static width of the term.
-    pub fn width(&self) -> u32 {
-        match &*self.0 {
-            TNode::Const { width, .. } | TNode::Var { width, .. } => *width,
-            TNode::Bin { lhs, .. } => lhs.width(),
-            TNode::Not(t) => t.width(),
-            TNode::Ite { then, .. } => then.width(),
-            TNode::Extract { hi, lo, .. } => hi - lo + 1,
-            TNode::Concat { hi, lo } => hi.width() + lo.width(),
-        }
-    }
-
-    fn bin(op: BvOp, lhs: &BvTerm, rhs: &BvTerm) -> BvTerm {
-        assert_eq!(lhs.width(), rhs.width(), "width mismatch");
-        BvTerm(Rc::new(TNode::Bin {
-            op,
-            lhs: lhs.clone(),
-            rhs: rhs.clone(),
-        }))
-    }
-
-    /// Modular addition.
-    pub fn add(&self, rhs: &BvTerm) -> BvTerm {
-        Self::bin(BvOp::Add, self, rhs)
-    }
-
-    /// Modular subtraction.
-    pub fn sub(&self, rhs: &BvTerm) -> BvTerm {
-        Self::bin(BvOp::Sub, self, rhs)
-    }
-
-    /// Bitwise AND.
-    pub fn bvand(&self, rhs: &BvTerm) -> BvTerm {
-        Self::bin(BvOp::And, self, rhs)
-    }
-
-    /// Bitwise OR.
-    pub fn bvor(&self, rhs: &BvTerm) -> BvTerm {
-        Self::bin(BvOp::Or, self, rhs)
-    }
-
-    /// Bitwise XOR.
-    pub fn bvxor(&self, rhs: &BvTerm) -> BvTerm {
-        Self::bin(BvOp::Xor, self, rhs)
-    }
-
-    /// Bitwise complement.
-    pub fn bvnot(&self) -> BvTerm {
-        BvTerm(Rc::new(TNode::Not(self.clone())))
-    }
-
-    /// If-then-else.
-    pub fn ite(cond: &BoolExpr, then: &BvTerm, els: &BvTerm) -> BvTerm {
-        assert_eq!(then.width(), els.width(), "width mismatch in ite");
-        BvTerm(Rc::new(TNode::Ite {
-            cond: cond.clone(),
-            then: then.clone(),
-            els: els.clone(),
-        }))
-    }
-
-    /// Extract bits `[lo, hi]` (inclusive, LSB numbering).
-    pub fn extract(&self, hi: u32, lo: u32) -> BvTerm {
-        assert!(lo <= hi && hi < self.width());
-        BvTerm(Rc::new(TNode::Extract {
-            term: self.clone(),
-            hi,
-            lo,
-        }))
-    }
-
-    /// Concatenate with `lo` as the least-significant part.
-    pub fn concat(&self, lo: &BvTerm) -> BvTerm {
-        BvTerm(Rc::new(TNode::Concat {
-            hi: self.clone(),
-            lo: lo.clone(),
-        }))
-    }
-
-    /// `self == rhs`.
-    pub fn eq(&self, rhs: &BvTerm) -> BoolExpr {
-        assert_eq!(self.width(), rhs.width(), "width mismatch in eq");
-        BoolExpr(Rc::new(BNode::Eq(self.clone(), rhs.clone())))
-    }
-
-    /// `self != rhs`.
-    pub fn ne(&self, rhs: &BvTerm) -> BoolExpr {
-        self.eq(rhs).not()
-    }
-
-    /// Unsigned `self <= rhs`.
-    pub fn ule(&self, rhs: &BvTerm) -> BoolExpr {
-        assert_eq!(self.width(), rhs.width(), "width mismatch in ule");
-        BoolExpr(Rc::new(BNode::Ule(self.clone(), rhs.clone())))
-    }
-
-    /// Unsigned `self < rhs`.
-    pub fn ult(&self, rhs: &BvTerm) -> BoolExpr {
-        rhs.ule(self).not()
-    }
-
-    /// Unsigned `self >= rhs`.
-    pub fn uge(&self, rhs: &BvTerm) -> BoolExpr {
-        rhs.ule(self)
-    }
-
-    /// Unsigned `self > rhs`.
-    pub fn ugt(&self, rhs: &BvTerm) -> BoolExpr {
-        rhs.ult(self)
-    }
-
-    /// `lo <= self <= hi` — the range predicate of a routing rule or
-    /// ACL filter (paper §2.5.1 eq. (1)).
-    pub fn in_range(&self, lo: u64, hi: u64) -> BoolExpr {
-        let w = self.width();
-        let lo_t = BvTerm::constant(w, lo);
-        let hi_t = BvTerm::constant(w, hi);
-        lo_t.ule(self).and(&self.ule(&hi_t))
-    }
-}
-
-/// Internal node of a Boolean expression.
-#[derive(Debug)]
-pub(crate) enum BNode {
-    /// Boolean constant.
-    Const(bool),
-    /// Named free Boolean variable (e.g. one per next-hop interface).
-    Var(String),
-    /// Negation.
-    Not(BoolExpr),
-    /// N-ary conjunction.
-    And(Vec<BoolExpr>),
-    /// N-ary disjunction.
-    Or(Vec<BoolExpr>),
-    /// Exclusive or.
-    Xor(BoolExpr, BoolExpr),
-    /// If-then-else at the Boolean level.
-    Ite {
-        cond: BoolExpr,
-        then: BoolExpr,
-        els: BoolExpr,
-    },
-    /// Bit-vector equality atom.
-    Eq(BvTerm, BvTerm),
-    /// Bit-vector unsigned-≤ atom.
-    Ule(BvTerm, BvTerm),
-}
-
-/// A Boolean formula over bit-vector atoms and Boolean variables
-/// (shareable, immutable DAG node).
-#[derive(Debug, Clone)]
-pub struct BoolExpr(pub(crate) Rc<BNode>);
-
-impl BoolExpr {
-    /// Constant true.
-    pub fn tru() -> BoolExpr {
-        BoolExpr(Rc::new(BNode::Const(true)))
-    }
-
-    /// Constant false.
-    pub fn fls() -> BoolExpr {
-        BoolExpr(Rc::new(BNode::Const(false)))
-    }
-
-    /// A Boolean constant.
-    pub fn constant(b: bool) -> BoolExpr {
-        if b {
-            Self::tru()
-        } else {
-            Self::fls()
-        }
-    }
-
-    /// A named free Boolean variable. In the forwarding encoding, one
-    /// such variable exists per next-hop interface (paper §2.5.1 eq. (2)).
-    pub fn var(name: impl Into<String>) -> BoolExpr {
-        BoolExpr(Rc::new(BNode::Var(name.into())))
-    }
-
-    /// Negation.
-    #[allow(clippy::should_implement_trait)]
-    pub fn not(&self) -> BoolExpr {
-        BoolExpr(Rc::new(BNode::Not(self.clone())))
-    }
-
-    /// Conjunction.
-    pub fn and(&self, rhs: &BoolExpr) -> BoolExpr {
-        BoolExpr(Rc::new(BNode::And(vec![self.clone(), rhs.clone()])))
-    }
-
-    /// Disjunction.
-    pub fn or(&self, rhs: &BoolExpr) -> BoolExpr {
-        BoolExpr(Rc::new(BNode::Or(vec![self.clone(), rhs.clone()])))
-    }
-
-    /// Exclusive or.
-    pub fn xor(&self, rhs: &BoolExpr) -> BoolExpr {
-        BoolExpr(Rc::new(BNode::Xor(self.clone(), rhs.clone())))
-    }
-
-    /// Implication `self → rhs`.
-    pub fn implies(&self, rhs: &BoolExpr) -> BoolExpr {
-        self.not().or(rhs)
-    }
-
-    /// Equivalence `self ↔ rhs`.
-    pub fn iff(&self, rhs: &BoolExpr) -> BoolExpr {
-        self.xor(rhs).not()
-    }
-
-    /// N-ary conjunction; empty input is `true`.
-    pub fn and_all(exprs: impl IntoIterator<Item = BoolExpr>) -> BoolExpr {
-        let v: Vec<BoolExpr> = exprs.into_iter().collect();
-        if v.is_empty() {
-            Self::tru()
-        } else {
-            BoolExpr(Rc::new(BNode::And(v)))
-        }
-    }
-
-    /// N-ary disjunction; empty input is `false`.
-    pub fn or_all(exprs: impl IntoIterator<Item = BoolExpr>) -> BoolExpr {
-        let v: Vec<BoolExpr> = exprs.into_iter().collect();
-        if v.is_empty() {
-            Self::fls()
-        } else {
-            BoolExpr(Rc::new(BNode::Or(v)))
-        }
-    }
-
-    /// Boolean if-then-else.
-    pub fn ite(cond: &BoolExpr, then: &BoolExpr, els: &BoolExpr) -> BoolExpr {
-        BoolExpr(Rc::new(BNode::Ite {
-            cond: cond.clone(),
-            then: then.clone(),
-            els: els.clone(),
-        }))
-    }
-}
-
-
-// ---------------------------------------------------------------------------
-// Iterative destruction
-// ---------------------------------------------------------------------------
-//
-// Policy encodings are long linear chains (one node per routing rule or
-// ACL line). A derived recursive `Drop` would overflow the stack at a
-// few thousand rules, so both expression types dismantle their subtree
-// iteratively: when the last reference to a node dies, its children are
-// moved onto an explicit stack before the node itself is freed.
-
-fn dummy_bool() -> BoolExpr {
-    BoolExpr(Rc::new(BNode::Const(false)))
-}
-
-fn dummy_term() -> BvTerm {
-    BvTerm(Rc::new(TNode::Const { width: 1, value: 0 }))
-}
-
-enum Piece {
-    B(BoolExpr),
-    T(BvTerm),
-}
-
-fn scavenge_bool(node: &mut BNode, out: &mut Vec<Piece>) {
-    match node {
-        BNode::Const(_) | BNode::Var(_) => {}
-        BNode::Not(a) => out.push(Piece::B(std::mem::replace(a, dummy_bool()))),
-        BNode::And(xs) | BNode::Or(xs) => {
-            out.extend(xs.drain(..).map(Piece::B));
-        }
-        BNode::Xor(a, b) => {
-            out.push(Piece::B(std::mem::replace(a, dummy_bool())));
-            out.push(Piece::B(std::mem::replace(b, dummy_bool())));
-        }
-        BNode::Ite { cond, then, els } => {
-            out.push(Piece::B(std::mem::replace(cond, dummy_bool())));
-            out.push(Piece::B(std::mem::replace(then, dummy_bool())));
-            out.push(Piece::B(std::mem::replace(els, dummy_bool())));
-        }
-        BNode::Eq(a, b) | BNode::Ule(a, b) => {
-            out.push(Piece::T(std::mem::replace(a, dummy_term())));
-            out.push(Piece::T(std::mem::replace(b, dummy_term())));
-        }
-    }
-}
-
-fn scavenge_term(node: &mut TNode, out: &mut Vec<Piece>) {
-    match node {
-        TNode::Const { .. } | TNode::Var { .. } => {}
-        TNode::Bin { lhs, rhs, .. } => {
-            out.push(Piece::T(std::mem::replace(lhs, dummy_term())));
-            out.push(Piece::T(std::mem::replace(rhs, dummy_term())));
-        }
-        TNode::Not(a) => out.push(Piece::T(std::mem::replace(a, dummy_term()))),
-        TNode::Ite { cond, then, els } => {
-            out.push(Piece::B(std::mem::replace(cond, dummy_bool())));
-            out.push(Piece::T(std::mem::replace(then, dummy_term())));
-            out.push(Piece::T(std::mem::replace(els, dummy_term())));
-        }
-        TNode::Extract { term, .. } => {
-            out.push(Piece::T(std::mem::replace(term, dummy_term())));
-        }
-        TNode::Concat { hi, lo } => {
-            out.push(Piece::T(std::mem::replace(hi, dummy_term())));
-            out.push(Piece::T(std::mem::replace(lo, dummy_term())));
-        }
-    }
-}
-
-fn drain_pieces(stack: &mut Vec<Piece>) {
-    while let Some(piece) = stack.pop() {
-        match piece {
-            Piece::B(mut e) => {
-                if let Some(node) = Rc::get_mut(&mut e.0) {
-                    scavenge_bool(node, stack);
-                }
-                // `e` drops shallowly here: children already extracted.
-            }
-            Piece::T(mut t) => {
-                if let Some(node) = Rc::get_mut(&mut t.0) {
-                    scavenge_term(node, stack);
-                }
-            }
-        }
-    }
-}
-
-impl Drop for BoolExpr {
-    fn drop(&mut self) {
-        if let Some(node) = Rc::get_mut(&mut self.0) {
-            let mut stack = Vec::new();
-            scavenge_bool(node, &mut stack);
-            drain_pieces(&mut stack);
-        }
-    }
-}
-
-impl Drop for BvTerm {
-    fn drop(&mut self) {
-        if let Some(node) = Rc::get_mut(&mut self.0) {
-            let mut stack = Vec::new();
-            scavenge_term(node, &mut stack);
-            drain_pieces(&mut stack);
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -628,8 +224,6 @@ mod tests {
                 let eq = blast_eq(&mut g, &av, &bv);
                 // All three are constants thanks to folding; verify via SAT.
                 for (lit, expect) in [(le, a <= b), (lt, a < b), (eq, a == b)] {
-                    let mut probe = GateCtx::new();
-                    let _ = &mut probe;
                     g.assert(if expect { lit } else { !lit });
                 }
                 assert_eq!(g.sat.solve(), SatResult::Sat, "a={a} b={b}");
@@ -686,29 +280,5 @@ mod tests {
         g.assert(!c);
         assert_eq!(g.sat.solve(), SatResult::Sat);
         assert_eq!(read(&g, &out), 9);
-    }
-
-    #[test]
-    fn ast_width_computation() {
-        let x = BvTerm::var("x", 32);
-        let y = BvTerm::var("y", 32);
-        assert_eq!(x.add(&y).width(), 32);
-        assert_eq!(x.extract(15, 0).width(), 16);
-        assert_eq!(x.extract(15, 8).concat(&y.extract(7, 0)).width(), 16);
-        assert_eq!(x.bvnot().width(), 32);
-    }
-
-    #[test]
-    #[should_panic(expected = "width mismatch")]
-    fn ast_rejects_width_mismatch() {
-        let x = BvTerm::var("x", 32);
-        let y = BvTerm::var("y", 16);
-        let _ = x.add(&y);
-    }
-
-    #[test]
-    #[should_panic(expected = "wider than")]
-    fn const_overflow_panics() {
-        let _ = BvTerm::constant(8, 256);
     }
 }

@@ -12,13 +12,18 @@
 //! 2. a Tseitin transform ([`cnf`]) from Boolean circuits to CNF;
 //! 3. a bit-blaster ([`bv`]) from bit-vector terms and atoms
 //!    (comparisons, equality, arithmetic, bitwise ops) to circuits;
-//! 4. a user-facing context ([`Solver`]) with named bit-vector
-//!    variables, incremental assertions, assumption-based queries, and
-//!    model extraction.
+//! 4. a hash-consed term arena ([`arena`]) interning every term and
+//!    formula as a copyable id, with structural dedup and constant
+//!    folding at intern time;
+//! 5. a user-facing incremental context ([`Session`]) with named
+//!    bit-vector variables, `push`/`pop` assertion scopes,
+//!    assumption-based queries, an id-keyed bit-blast cache, and model
+//!    extraction.
 //!
-//! Assumption-based solving matters for this workload: a routing policy
-//! or ACL is encoded once, and each of the thousands of contracts is
-//! checked as a set of assumptions against the shared encoding.
+//! Incremental solving matters for this workload: a routing policy or
+//! ACL is encoded once per session, each of the thousands of contracts
+//! is checked as a set of assumptions against the shared encoding, and
+//! clauses learned answering one query speed up the next.
 //!
 //! The solver is deliberately complete rather than heuristically fast:
 //! the paper's observation that the specialized trie algorithm beats
@@ -28,11 +33,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bv;
 pub mod cnf;
 pub mod sat;
 pub mod solver;
 
-pub use bv::{BoolExpr, BvTerm};
+pub use arena::{BoolId, TermArena, TermId};
 pub use sat::{Lit, SatResult, SatSolver, Var};
-pub use solver::{Model, SmtResult, Solver};
+pub use solver::{Model, Session, SessionStats, SmtResult};

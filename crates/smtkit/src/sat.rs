@@ -213,6 +213,12 @@ impl SatSolver {
         self.propagations
     }
 
+    /// Number of learned clauses currently retained (statistics). This
+    /// can shrink when the clause database is reduced.
+    pub fn num_learnts(&self) -> usize {
+        self.learnt_count
+    }
+
     /// Add a clause (disjunction of literals). Returns `false` if the
     /// solver is already known to be unsatisfiable at top level.
     ///

@@ -1,24 +1,30 @@
-//! The user-facing SMT context.
+//! The user-facing incremental SMT context.
 //!
-//! [`Solver`] lowers [`BoolExpr`]/[`BvTerm`] formulas onto the SAT core,
-//! interning named variables and memoizing shared sub-DAGs so repeated
-//! policy sub-formulas are encoded once. It supports:
+//! [`Session`] owns a [`TermArena`] and lowers interned formulas onto
+//! the SAT core on demand. The bit-blast cache is keyed on arena ids,
+//! so every shared subterm is Tseitin-encoded exactly once per session
+//! — across queries, not just within one. On top of the
+//! assumption-capable CDCL core it provides:
 //!
-//! * `assert` — permanent assertions (the policy encoding);
-//! * `check_assuming` — satisfiability under per-query assumptions (the
-//!   contract under test), leaving the permanent encoding untouched;
+//! * `assert` — assertions scoped to the current `push` depth (the
+//!   policy encoding at scope 0, per-experiment extras above it);
+//! * `push`/`pop` — assertion scopes implemented with activation
+//!   literals, so popping retires clauses without touching the clause
+//!   database and learned clauses survive;
+//! * `check_assuming` — satisfiability under per-query assumptions
+//!   (the contract under test), exactly the incremental interface the
+//!   paper leans on for its per-device contract sweeps (§2.5.1);
 //! * model extraction — the witness packet header that the paper's
 //!   error reports surface when a contract fails.
 
+use crate::arena::{BoolId, BoolNode, TermArena, TermId, TermNode, Work};
 use crate::bv::{
-    blast_add, blast_and, blast_const, blast_eq, blast_extract, blast_fresh, blast_ite,
-    blast_not, blast_or, blast_sub, blast_ule, blast_xor, BNode, Bits, BoolExpr, BvOp, BvTerm,
-    TNode,
+    blast_add, blast_and, blast_concat, blast_const, blast_eq, blast_extract, blast_fresh,
+    blast_ite, blast_not, blast_or, blast_sub, blast_ule, blast_xor, Bits, BvOp,
 };
 use crate::cnf::GateCtx;
 use crate::sat::{Lit, SatResult};
 use std::collections::HashMap;
-use std::rc::Rc;
 
 /// Result of an SMT query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,35 +54,99 @@ impl Model {
     }
 }
 
-/// An SMT solver for quantifier-free bit-vector formulas.
-pub struct Solver {
-    g: GateCtx,
-    bv_vars: HashMap<String, Bits>,
-    bool_vars: HashMap<String, Lit>,
-    // Memo keys are node addresses. Each entry retains a clone of the
-    // node's Rc: without it, a dropped expression's allocation could be
-    // reused for a new node at the same address, and the memo would
-    // silently return the old encoding (observed as a soundness bug).
-    memo_bool: HashMap<*const BNode, (Lit, BoolExpr)>,
-    memo_term: HashMap<*const TNode, (Bits, BvTerm)>,
+/// Counters exposing how much work a [`Session`] did and how much it
+/// reused, so warm-solver wins are observable rather than inferred
+/// from wall clock alone. Absorbed into validation reports and sweep
+/// analytics by the engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// SAT queries issued (`check` / `check_assuming` calls).
+    pub queries: u64,
+    /// CDCL conflicts across all queries in the session.
+    pub conflicts: u64,
+    /// CDCL decisions across all queries.
+    pub decisions: u64,
+    /// Unit propagations across all queries.
+    pub propagations: u64,
+    /// Learned clauses currently retained by the solver.
+    pub learned: u64,
+    /// SAT variables allocated (Tseitin gates + vars).
+    pub sat_vars: u64,
+    /// Bit-blast cache hits: a requested node was already encoded.
+    pub blast_cache_hits: u64,
+    /// Bit-blast cache misses: nodes encoded for the first time.
+    pub blast_cache_misses: u64,
 }
 
-impl Default for Solver {
+impl SessionStats {
+    /// Field-wise accumulate, for merging per-session counters into a
+    /// per-device or per-sweep total.
+    pub fn absorb(&mut self, other: &SessionStats) {
+        self.queries += other.queries;
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.learned += other.learned;
+        self.sat_vars += other.sat_vars;
+        self.blast_cache_hits += other.blast_cache_hits;
+        self.blast_cache_misses += other.blast_cache_misses;
+    }
+}
+
+/// An incremental SMT solver for quantifier-free bit-vector formulas
+/// over a hash-consed [`TermArena`].
+pub struct Session {
+    arena: TermArena,
+    g: GateCtx,
+    bv_vars: HashMap<u32, Bits>,
+    bool_vars: HashMap<u32, Lit>,
+    /// Bit-blast caches, indexed by arena node index. Ids are dense
+    /// and stable, so plain vectors replace the pointer-keyed memo
+    /// (and the Rc-retention hack that kept it sound) entirely.
+    term_cache: Vec<Option<Bits>>,
+    bool_cache: Vec<Option<Lit>>,
+    /// Activation literal per open scope. A scoped assertion `e`
+    /// becomes the clause `¬act ∨ e`; `check` assumes every open
+    /// `act`; `pop` permanently asserts `¬act`.
+    scopes: Vec<Lit>,
+    queries: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl Default for Session {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Solver {
-    /// Create an empty solver.
-    pub fn new() -> Self {
-        Solver {
+impl Session {
+    /// Create an empty session with its own arena.
+    pub fn new() -> Session {
+        Session {
+            arena: TermArena::new(),
             g: GateCtx::new(),
             bv_vars: HashMap::new(),
             bool_vars: HashMap::new(),
-            memo_bool: HashMap::new(),
-            memo_term: HashMap::new(),
+            term_cache: Vec::new(),
+            bool_cache: Vec::new(),
+            scopes: Vec::new(),
+            queries: 0,
+            cache_hits: 0,
+            cache_misses: 0,
         }
+    }
+
+    /// The term arena backing this session (read access).
+    pub fn arena(&self) -> &TermArena {
+        &self.arena
+    }
+
+    /// The term arena backing this session. Build formulas here, then
+    /// pass the resulting ids to [`Session::assert`] /
+    /// [`Session::check_assuming`].
+    pub fn arena_mut(&mut self) -> &mut TermArena {
+        &mut self.arena
     }
 
     /// Number of SAT variables allocated (statistics).
@@ -84,27 +154,71 @@ impl Solver {
         self.g.sat.num_vars()
     }
 
-    /// Assert a formula permanently.
-    pub fn assert(&mut self, e: &BoolExpr) {
-        let l = self.lower_bool(e);
-        self.g.assert(l);
+    /// Current `push` depth.
+    pub fn scope_depth(&self) -> usize {
+        self.scopes.len()
     }
 
-    /// Check satisfiability of the permanent assertions.
+    /// Session counters (monotone over the session's lifetime, except
+    /// `learned`, which reflects the clause database right now).
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            queries: self.queries,
+            conflicts: self.g.sat.num_conflicts(),
+            decisions: self.g.sat.num_decisions(),
+            propagations: self.g.sat.num_propagations(),
+            learned: self.g.sat.num_learnts() as u64,
+            sat_vars: self.g.sat.num_vars() as u64,
+            blast_cache_hits: self.cache_hits,
+            blast_cache_misses: self.cache_misses,
+        }
+    }
+
+    /// Assert a formula in the current scope: permanently at depth 0,
+    /// retracted by the matching [`Session::pop`] otherwise.
+    pub fn assert(&mut self, e: BoolId) {
+        let l = self.lower_bool(e);
+        match self.scopes.last().copied() {
+            None => self.g.assert(l),
+            Some(act) => {
+                let _ = self.g.sat.add_clause(&[!act, l]);
+            }
+        }
+    }
+
+    /// Open an assertion scope.
+    pub fn push(&mut self) {
+        let act = self.g.fresh();
+        self.scopes.push(act);
+    }
+
+    /// Close the innermost scope, retiring its assertions. Clauses
+    /// learned inside the scope remain — they are conditioned on the
+    /// scope's activation literal where needed, so this is sound.
+    ///
+    /// Panics if no scope is open.
+    pub fn pop(&mut self) {
+        let act = self.scopes.pop().expect("pop without matching push");
+        self.g.assert(!act);
+    }
+
+    /// Check satisfiability of the active assertions.
     pub fn check(&mut self) -> SmtResult {
-        self.run(&[])
+        self.check_assuming(&[])
     }
 
     /// Check satisfiability under additional assumptions that do not
     /// persist. Clause learning does persist, so sequences of related
-    /// queries (one per contract) get faster, not slower.
-    pub fn check_assuming(&mut self, assumptions: &[BoolExpr]) -> SmtResult {
-        let lits: Vec<Lit> = assumptions.iter().map(|e| self.lower_bool(e)).collect();
-        self.run(&lits)
-    }
-
-    fn run(&mut self, assumptions: &[Lit]) -> SmtResult {
-        match self.g.sat.solve_with(assumptions) {
+    /// queries (one per contract, one per ACL rule pair) get faster,
+    /// not slower.
+    pub fn check_assuming(&mut self, assumptions: &[BoolId]) -> SmtResult {
+        let mut lits: Vec<Lit> = Vec::with_capacity(self.scopes.len() + assumptions.len());
+        for &e in assumptions {
+            lits.push(self.lower_bool(e));
+        }
+        lits.extend(self.scopes.iter().copied());
+        self.queries += 1;
+        match self.g.sat.solve_with(&lits) {
             SatResult::Sat => SmtResult::Sat,
             SatResult::Unsat => SmtResult::Unsat,
         }
@@ -114,56 +228,67 @@ impl Solver {
     /// after a `Sat` result.
     pub fn model(&self) -> Model {
         let mut m = Model::default();
-        for (name, bits) in &self.bv_vars {
+        for (&name, bits) in &self.bv_vars {
             let mut v = 0u64;
             for (i, &l) in bits.iter().enumerate() {
                 if self.g.sat.model_value(l.var()) != l.is_neg() {
                     v |= 1 << i;
                 }
             }
-            m.values.insert(name.clone(), v);
+            m.values.insert(self.arena.name_str(name).to_string(), v);
         }
-        for (name, &l) in &self.bool_vars {
-            m.bools
-                .insert(name.clone(), self.g.sat.model_value(l.var()) != l.is_neg());
+        for (&name, &l) in &self.bool_vars {
+            m.bools.insert(
+                self.arena.name_str(name).to_string(),
+                self.g.sat.model_value(l.var()) != l.is_neg(),
+            );
         }
         m
     }
 
-    /// The literal vector backing a named bit-vector variable,
-    /// declaring it on first use.
-    fn bv_var(&mut self, name: &str, width: u32) -> Bits {
-        if let Some(bits) = self.bv_vars.get(name) {
-            assert_eq!(
-                bits.len(),
-                width as usize,
-                "variable {name} redeclared with different width"
-            );
+    fn bv_var_bits(&mut self, name: u32, width: u32) -> Bits {
+        if let Some(bits) = self.bv_vars.get(&name) {
             return bits.clone();
         }
         let bits = blast_fresh(&mut self.g, width);
-        self.bv_vars.insert(name.to_string(), bits.clone());
+        self.bv_vars.insert(name, bits.clone());
         bits
     }
 
-    fn bool_var(&mut self, name: &str) -> Lit {
-        if let Some(&l) = self.bool_vars.get(name) {
+    fn bool_var_lit(&mut self, name: u32) -> Lit {
+        if let Some(&l) = self.bool_vars.get(&name) {
             return l;
         }
         let l = self.g.fresh();
-        self.bool_vars.insert(name.to_string(), l);
+        self.bool_vars.insert(name, l);
         l
     }
 
-    fn lower_bool(&mut self, e: &BoolExpr) -> Lit {
-        self.lower_all(Work::B(e.clone()));
-        self.memo_bool[&Rc::as_ptr(&e.0)].0
+    fn is_cached(&self, w: &Work) -> bool {
+        match *w {
+            Work::B(b) => self.bool_cache[b.index()].is_some(),
+            Work::T(t) => self.term_cache[t.index()].is_some(),
+        }
     }
 
-    #[allow(dead_code)]
-    fn lower_term(&mut self, t: &BvTerm) -> Bits {
-        self.lower_all(Work::T(t.clone()));
-        self.memo_term[&Rc::as_ptr(&t.0)].0.clone()
+    /// Literal of an already-lowered Boolean id, applying the id's
+    /// negation bit.
+    fn cached_lit(&self, b: BoolId) -> Lit {
+        let l = self.bool_cache[b.index()].expect("bool node lowered");
+        if b.is_neg() {
+            !l
+        } else {
+            l
+        }
+    }
+
+    fn cached_bits(&self, t: TermId) -> Bits {
+        self.term_cache[t.index()].clone().expect("term node lowered")
+    }
+
+    fn lower_bool(&mut self, e: BoolId) -> Lit {
+        self.lower_all(Work::B(e));
+        self.cached_lit(e)
     }
 
     /// Iterative post-order lowering with an explicit stack.
@@ -171,114 +296,82 @@ impl Solver {
     /// Policy encodings are chains thousands of nodes deep (one node
     /// per routing rule / ACL line); a recursive lowering would
     /// overflow the thread stack, so children are scheduled explicitly
-    /// and a node is encoded only once all of its children are
-    /// memoized.
+    /// and a node is encoded only once all of its children are cached.
     fn lower_all(&mut self, root: Work) {
+        // The arena may have grown since the last lowering.
+        self.term_cache.resize(self.arena.num_term_nodes(), None);
+        self.bool_cache.resize(self.arena.num_bool_nodes(), None);
+
         let mut stack: Vec<(Work, bool)> = vec![(root, false)];
-        while let Some((work, expanded)) = stack.pop() {
-            match (&work, expanded) {
-                (Work::B(e), false) => {
-                    if self.memo_bool.contains_key(&Rc::as_ptr(&e.0)) {
-                        continue;
-                    }
-                    let mut children = Vec::new();
-                    bool_children(e, &mut children);
-                    stack.push((work.clone(), true));
-                    for c in children {
-                        if !self.is_memoized(&c) {
-                            stack.push((c, false));
-                        }
-                    }
+        while let Some((w, expanded)) = stack.pop() {
+            if self.is_cached(&w) {
+                if !expanded {
+                    self.cache_hits += 1;
                 }
-                (Work::T(t), false) => {
-                    if self.memo_term.contains_key(&Rc::as_ptr(&t.0)) {
-                        continue;
-                    }
-                    let mut children = Vec::new();
-                    term_children(t, &mut children);
-                    stack.push((work.clone(), true));
-                    for c in children {
-                        if !self.is_memoized(&c) {
-                            stack.push((c, false));
-                        }
-                    }
+                continue;
+            }
+            if !expanded {
+                stack.push((w, true));
+                let mut kids = Vec::new();
+                self.arena.children(w, &mut kids);
+                for k in kids {
+                    stack.push((k, false));
                 }
-                (Work::B(e), true) => {
-                    let key = Rc::as_ptr(&e.0);
-                    if self.memo_bool.contains_key(&key) {
-                        continue;
-                    }
-                    let l = self.encode_bool(e);
-                    self.memo_bool.insert(key, (l, e.clone()));
+                continue;
+            }
+            self.cache_misses += 1;
+            match w {
+                Work::B(b) => {
+                    let l = self.encode_bool(b);
+                    self.bool_cache[b.index()] = Some(l);
                 }
-                (Work::T(t), true) => {
-                    let key = Rc::as_ptr(&t.0);
-                    if self.memo_term.contains_key(&key) {
-                        continue;
-                    }
+                Work::T(t) => {
                     let bits = self.encode_term(t);
-                    self.memo_term.insert(key, (bits, t.clone()));
+                    self.term_cache[t.index()] = Some(bits);
                 }
             }
         }
     }
 
-    fn is_memoized(&self, w: &Work) -> bool {
-        match w {
-            Work::B(e) => self.memo_bool.contains_key(&Rc::as_ptr(&e.0)),
-            Work::T(t) => self.memo_term.contains_key(&Rc::as_ptr(&t.0)),
-        }
-    }
-
-    /// Fetch an already-lowered child (post-order guarantees presence).
-    fn lit_of(&self, e: &BoolExpr) -> Lit {
-        self.memo_bool[&Rc::as_ptr(&e.0)].0
-    }
-
-    fn bits_of(&self, t: &BvTerm) -> Bits {
-        self.memo_term[&Rc::as_ptr(&t.0)].0.clone()
-    }
-
-    /// Encode one Boolean node whose children are all memoized.
-    fn encode_bool(&mut self, e: &BoolExpr) -> Lit {
-        match &*e.0 {
-            BNode::Const(b) => self.g.constant(*b),
-            BNode::Var(name) => self.bool_var(name),
-            BNode::Not(x) => !self.lit_of(x),
-            BNode::And(xs) => {
-                let lits: Vec<Lit> = xs.iter().map(|x| self.lit_of(x)).collect();
+    /// Encode one Boolean node whose children are all cached.
+    fn encode_bool(&mut self, b: BoolId) -> Lit {
+        match self.arena.bool_node(b).clone() {
+            BoolNode::True => self.g.tru(),
+            BoolNode::Var(n) => self.bool_var_lit(n),
+            BoolNode::And(xs) => {
+                let lits: Vec<Lit> = xs.iter().map(|&x| self.cached_lit(x)).collect();
                 self.g.and_many(&lits)
             }
-            BNode::Or(xs) => {
-                let lits: Vec<Lit> = xs.iter().map(|x| self.lit_of(x)).collect();
-                self.g.or_many(&lits)
+            BoolNode::Xor(a, c) => {
+                let (la, lc) = (self.cached_lit(a), self.cached_lit(c));
+                self.g.xor2(la, lc)
             }
-            BNode::Xor(a, b) => {
-                let (la, lb) = (self.lit_of(a), self.lit_of(b));
-                self.g.xor2(la, lb)
+            BoolNode::Ite { cond, then, els } => {
+                let (lc, lt, le) = (
+                    self.cached_lit(cond),
+                    self.cached_lit(then),
+                    self.cached_lit(els),
+                );
+                self.g.ite(lc, lt, le)
             }
-            BNode::Ite { cond, then, els } => {
-                let (c, t, f) = (self.lit_of(cond), self.lit_of(then), self.lit_of(els));
-                self.g.ite(c, t, f)
+            BoolNode::Eq(a, c) => {
+                let (ba, bc) = (self.cached_bits(a), self.cached_bits(c));
+                blast_eq(&mut self.g, &ba, &bc)
             }
-            BNode::Eq(a, b) => {
-                let (ba, bb) = (self.bits_of(a), self.bits_of(b));
-                blast_eq(&mut self.g, &ba, &bb)
-            }
-            BNode::Ule(a, b) => {
-                let (ba, bb) = (self.bits_of(a), self.bits_of(b));
-                blast_ule(&mut self.g, &ba, &bb)
+            BoolNode::Ule(a, c) => {
+                let (ba, bc) = (self.cached_bits(a), self.cached_bits(c));
+                blast_ule(&mut self.g, &ba, &bc)
             }
         }
     }
 
-    /// Encode one term node whose children are all memoized.
-    fn encode_term(&mut self, t: &BvTerm) -> Bits {
-        match &*t.0 {
-            TNode::Const { width, value } => blast_const(&self.g, *width, *value),
-            TNode::Var { name, width } => self.bv_var(name, *width),
-            TNode::Bin { op, lhs, rhs } => {
-                let (a, b) = (self.bits_of(lhs), self.bits_of(rhs));
+    /// Encode one term node whose children are all cached.
+    fn encode_term(&mut self, t: TermId) -> Bits {
+        match *self.arena.term_node(t) {
+            TermNode::Const { width, value } => blast_const(&self.g, width, value),
+            TermNode::Var { name, width } => self.bv_var_bits(name, width),
+            TermNode::Bin { op, lhs, rhs } => {
+                let (a, b) = (self.cached_bits(lhs), self.cached_bits(rhs));
                 match op {
                     BvOp::Add => blast_add(&mut self.g, &a, &b),
                     BvOp::Sub => blast_sub(&mut self.g, &a, &b),
@@ -287,68 +380,23 @@ impl Solver {
                     BvOp::Xor => blast_xor(&mut self.g, &a, &b),
                 }
             }
-            TNode::Not(x) => blast_not(&self.bits_of(x)),
-            TNode::Ite { cond, then, els } => {
-                let c = self.lit_of(cond);
-                let (a, b) = (self.bits_of(then), self.bits_of(els));
-                blast_ite(&mut self.g, c, &a, &b)
+            TermNode::Not(a) => {
+                let bits = self.cached_bits(a);
+                blast_not(&bits)
             }
-            TNode::Extract { term, hi, lo } => blast_extract(&self.bits_of(term), *hi, *lo),
-            TNode::Concat { hi, lo } => {
-                let h = self.bits_of(hi);
-                let mut out = self.bits_of(lo);
-                out.extend_from_slice(&h);
-                out
+            TermNode::Ite { cond, then, els } => {
+                let c = self.cached_lit(cond);
+                let (bt, be) = (self.cached_bits(then), self.cached_bits(els));
+                blast_ite(&mut self.g, c, &bt, &be)
             }
-        }
-    }
-}
-
-/// Unit of lowering work.
-#[derive(Clone)]
-enum Work {
-    B(BoolExpr),
-    T(BvTerm),
-}
-
-fn bool_children(e: &BoolExpr, out: &mut Vec<Work>) {
-    match &*e.0 {
-        BNode::Const(_) | BNode::Var(_) => {}
-        BNode::Not(a) => out.push(Work::B(a.clone())),
-        BNode::And(xs) | BNode::Or(xs) => out.extend(xs.iter().cloned().map(Work::B)),
-        BNode::Xor(a, b) => {
-            out.push(Work::B(a.clone()));
-            out.push(Work::B(b.clone()));
-        }
-        BNode::Ite { cond, then, els } => {
-            out.push(Work::B(cond.clone()));
-            out.push(Work::B(then.clone()));
-            out.push(Work::B(els.clone()));
-        }
-        BNode::Eq(a, b) | BNode::Ule(a, b) => {
-            out.push(Work::T(a.clone()));
-            out.push(Work::T(b.clone()));
-        }
-    }
-}
-
-fn term_children(t: &BvTerm, out: &mut Vec<Work>) {
-    match &*t.0 {
-        TNode::Const { .. } | TNode::Var { .. } => {}
-        TNode::Bin { lhs, rhs, .. } => {
-            out.push(Work::T(lhs.clone()));
-            out.push(Work::T(rhs.clone()));
-        }
-        TNode::Not(a) => out.push(Work::T(a.clone())),
-        TNode::Ite { cond, then, els } => {
-            out.push(Work::B(cond.clone()));
-            out.push(Work::T(then.clone()));
-            out.push(Work::T(els.clone()));
-        }
-        TNode::Extract { term, .. } => out.push(Work::T(term.clone())),
-        TNode::Concat { hi, lo } => {
-            out.push(Work::T(hi.clone()));
-            out.push(Work::T(lo.clone()));
+            TermNode::Extract { term, hi, lo } => {
+                let bits = self.cached_bits(term);
+                blast_extract(&bits, hi, lo)
+            }
+            TermNode::Concat { hi, lo } => {
+                let (bh, bl) = (self.cached_bits(hi), self.cached_bits(lo));
+                blast_concat(&bh, &bl)
+            }
         }
     }
 }
@@ -358,170 +406,265 @@ mod tests {
     use super::*;
 
     #[test]
-    fn range_membership_sat_with_model() {
-        let mut s = Solver::new();
-        let x = BvTerm::var("x", 32);
-        // 10.20.20.0/24 as in the paper's §2.5.1 example.
-        let lo = u32::from_be_bytes([10, 20, 20, 0]) as u64;
-        let hi = u32::from_be_bytes([10, 20, 20, 255]) as u64;
-        s.assert(&x.in_range(lo, hi));
+    fn range_membership() {
+        let mut s = Session::new();
+        let a = s.arena_mut();
+        let x = a.var("x", 16);
+        let q = a.in_range(x, 100, 200);
+        s.assert(q);
         assert_eq!(s.check(), SmtResult::Sat);
         let v = s.model().value("x").unwrap();
-        assert!(v >= lo && v <= hi);
+        assert!((100..=200).contains(&v), "witness {v} outside range");
     }
 
     #[test]
     fn empty_range_unsat() {
-        let mut s = Solver::new();
-        let x = BvTerm::var("x", 16);
-        let five = BvTerm::constant(16, 5);
-        let three = BvTerm::constant(16, 3);
-        // x >= 5 ∧ x <= 3
-        s.assert(&five.ule(&x));
-        s.assert(&x.ule(&three));
+        let mut s = Session::new();
+        let a = s.arena_mut();
+        let x = a.var("x", 16);
+        let above = a.in_range(x, 300, 400);
+        let below = a.in_range(x, 0, 100);
+        let both = a.and(above, below);
+        s.assert(both);
         assert_eq!(s.check(), SmtResult::Unsat);
     }
 
     #[test]
     fn assumptions_do_not_persist() {
-        let mut s = Solver::new();
-        let x = BvTerm::var("x", 8);
-        s.assert(&x.ule(&BvTerm::constant(8, 100)));
-        let over = x.uge(&BvTerm::constant(8, 200));
-        assert_eq!(s.check_assuming(&[over]), SmtResult::Unsat);
+        let mut s = Session::new();
+        let a = s.arena_mut();
+        let x = a.var("x", 8);
+        let c5 = a.constant(8, 5);
+        let c9 = a.constant(8, 9);
+        let is5 = a.eq(x, c5);
+        let is9 = a.eq(x, c9);
+        assert_eq!(s.check_assuming(&[is5]), SmtResult::Sat);
+        assert_eq!(s.model().value("x"), Some(5));
+        assert_eq!(s.check_assuming(&[is9]), SmtResult::Sat);
+        assert_eq!(s.model().value("x"), Some(9));
+        let both = s.arena_mut().and(is5, is9);
+        assert_eq!(s.check_assuming(&[both]), SmtResult::Unsat);
+        // None of the above stuck.
         assert_eq!(s.check(), SmtResult::Sat);
-        assert!(s.model().value("x").unwrap() <= 100);
     }
 
     #[test]
     fn arithmetic_identity() {
-        // (x + y) - y == x is valid: its negation is UNSAT.
-        let mut s = Solver::new();
-        let x = BvTerm::var("x", 16);
-        let y = BvTerm::var("y", 16);
-        let lhs = x.add(&y).sub(&y);
-        s.assert(&lhs.ne(&x));
+        // (x + y) - y == x is valid: its negation is unsat.
+        let mut s = Session::new();
+        let a = s.arena_mut();
+        let x = a.var("x", 16);
+        let y = a.var("y", 16);
+        let sum = a.add(x, y);
+        let back = a.sub(sum, y);
+        let ne = a.ne(back, x);
+        s.assert(ne);
         assert_eq!(s.check(), SmtResult::Unsat);
     }
 
     #[test]
     fn demorgan_is_valid() {
-        // ¬(a ∧ b) ↔ (¬a ∨ ¬b): negation UNSAT.
-        let mut s = Solver::new();
-        let a = BoolExpr::var("a");
-        let b = BoolExpr::var("b");
-        let lhs = a.and(&b).not();
-        let rhs = a.not().or(&b.not());
-        s.assert(&lhs.iff(&rhs).not());
+        // ¬(p ∧ q) ↔ (¬p ∨ ¬q). The arena folds both sides to the
+        // same id, so the negated equivalence is *structurally* false
+        // before the SAT core ever runs.
+        let mut s = Session::new();
+        let a = s.arena_mut();
+        let p = a.bool_var("p");
+        let q = a.bool_var("q");
+        let conj = a.and(p, q);
+        let lhs = a.not(conj);
+        let np = a.not(p);
+        let nq = a.not(q);
+        let rhs = a.or(np, nq);
+        let equiv = a.iff(lhs, rhs);
+        let neg = a.not(equiv);
+        assert_eq!(a.bool_value(neg), Some(false));
+        s.assert(neg);
         assert_eq!(s.check(), SmtResult::Unsat);
     }
 
     #[test]
     fn bool_model_extraction() {
-        let mut s = Solver::new();
-        let a = BoolExpr::var("a");
-        let b = BoolExpr::var("b");
-        s.assert(&a);
-        s.assert(&b.not());
+        let mut s = Session::new();
+        let a = s.arena_mut();
+        let p = a.bool_var("p");
+        let q = a.bool_var("q");
+        let nq = a.not(q);
+        let both = a.and(p, nq);
+        s.assert(both);
         assert_eq!(s.check(), SmtResult::Sat);
         let m = s.model();
-        assert_eq!(m.bool_value("a"), Some(true));
-        assert_eq!(m.bool_value("b"), Some(false));
-        assert_eq!(m.bool_value("missing"), None);
+        assert_eq!(m.bool_value("p"), Some(true));
+        assert_eq!(m.bool_value("q"), Some(false));
     }
 
     #[test]
     fn shared_subterms_are_encoded_once() {
-        let mut s = Solver::new();
-        let x = BvTerm::var("x", 32);
-        let shared = x.add(&BvTerm::constant(32, 1));
-        // Use `shared` many times; variable count should not explode.
-        let mut e = BoolExpr::tru();
-        for k in 0..50 {
-            e = e.and(&shared.ule(&BvTerm::constant(32, 1000 + k)));
-        }
-        s.assert(&e);
-        let before = s.num_sat_vars();
-        assert_eq!(s.check(), SmtResult::Sat);
-        // One adder (~32*5 aux vars) plus comparator chains; far less
-        // than 50 adders.
-        assert!(before < 32 * 5 + 50 * 200, "vars = {before}");
+        let mut s = Session::new();
+        let a = s.arena_mut();
+        let x = a.var("x", 32);
+        let y = a.var("y", 32);
+        let sum = a.add(x, y);
+        let c1 = a.constant(32, 1000);
+        let c2 = a.constant(32, 2000);
+        let q1 = a.ule(sum, c1);
+        let q2 = a.ule(sum, c2);
+        assert_eq!(s.check_assuming(&[q1]), SmtResult::Sat);
+        let vars_after_first = s.num_sat_vars();
+        assert_eq!(s.check_assuming(&[q2]), SmtResult::Sat);
+        let st = s.stats();
+        assert!(
+            st.blast_cache_hits >= 1,
+            "second query should reuse the shared adder: {st:?}"
+        );
+        // The second comparison adds gates, but not a second adder.
+        assert!(s.num_sat_vars() < vars_after_first + 64);
+        assert_eq!(st.queries, 2);
     }
 
     #[test]
     fn ite_term_selects_branch() {
-        let mut s = Solver::new();
-        let c = BoolExpr::var("c");
-        let t = BvTerm::constant(8, 11);
-        let e = BvTerm::constant(8, 22);
-        let x = BvTerm::var("x", 8);
-        s.assert(&x.eq(&BvTerm::ite(&c, &t, &e)));
-        s.assert(&c);
+        let mut s = Session::new();
+        let a = s.arena_mut();
+        let p = a.bool_var("p");
+        let t = a.constant(8, 10);
+        let e = a.constant(8, 20);
+        let pick = a.ite_term(p, t, e);
+        let out = a.var("out", 8);
+        let tie = a.eq(out, pick);
+        s.assert(tie);
+        s.assert(p);
         assert_eq!(s.check(), SmtResult::Sat);
-        assert_eq!(s.model().value("x"), Some(11));
+        assert_eq!(s.model().value("out"), Some(10));
     }
 
     #[test]
     fn first_applicable_acl_semantics_example() {
-        // Mini version of paper §3.2: deny 10/8, then permit dst
-        // 104.208.32.0/24. A packet with src in 10/8 must be denied
-        // even when the dst matches the permit.
-        let src = BvTerm::var("srcIp", 32);
-        let dst = BvTerm::var("dstIp", 32);
-        let r3 = src.in_range(
-            u32::from_be_bytes([10, 0, 0, 0]) as u64,
-            u32::from_be_bytes([10, 255, 255, 255]) as u64,
-        );
-        let r13 = dst.in_range(
-            u32::from_be_bytes([104, 208, 32, 0]) as u64,
-            u32::from_be_bytes([104, 208, 32, 255]) as u64,
-        );
-        // First-applicable: P = ¬r3 ∧ (r13 ∨ false)
-        let policy = r3.not().and(&r13);
-
-        // Contract: traffic from 10/8 must be denied -> r3 ∧ P unsat.
-        let mut s = Solver::new();
-        s.assert(&r3.and(&policy));
-        assert_eq!(s.check(), SmtResult::Unsat);
-
-        // Traffic to the permitted /24 from elsewhere is allowed.
-        let mut s = Solver::new();
-        s.assert(&r3.not().and(&r13).and(&policy));
-        assert_eq!(s.check(), SmtResult::Sat);
-        let m = s.model();
-        let src_v = m.value("srcIp").unwrap() as u32;
-        let dst_v = m.value("dstIp").unwrap() as u32;
-        assert!((10 != (src_v >> 24)), "src must avoid 10/8");
-        assert_eq!(dst_v >> 8, u32::from_be_bytes([104, 208, 32, 0]) >> 8);
+        // Rule 1: deny [0,9]. Rule 2: permit [0,99]. Default: deny.
+        // First match wins, so 5 is denied and 50 is permitted.
+        let mut s = Session::new();
+        let a = s.arena_mut();
+        let x = a.var("pkt", 8);
+        let r1 = a.in_range(x, 0, 9);
+        let r2 = a.in_range(x, 0, 99);
+        let tru = a.tru();
+        let fls = a.fls();
+        let after1 = a.ite_bool(r2, tru, fls);
+        let policy = a.ite_bool(r1, fls, after1);
+        let c5 = a.constant(8, 5);
+        let c50 = a.constant(8, 50);
+        let at5 = a.eq(x, c5);
+        let at50 = a.eq(x, c50);
+        let permit5 = a.and(at5, policy);
+        let permit50 = a.and(at50, policy);
+        assert_eq!(s.check_assuming(&[permit5]), SmtResult::Unsat);
+        assert_eq!(s.check_assuming(&[permit50]), SmtResult::Sat);
     }
 
     #[test]
     fn extract_concat_round_trip() {
-        let mut s = Solver::new();
-        let x = BvTerm::var("x", 32);
-        let rebuilt = x.extract(31, 16).concat(&x.extract(15, 0));
-        s.assert(&rebuilt.ne(&x));
-        assert_eq!(s.check(), SmtResult::Unsat);
+        let mut s = Session::new();
+        let a = s.arena_mut();
+        let x = a.var("x", 32);
+        let hi = a.extract(x, 31, 16);
+        let lo = a.extract(x, 15, 0);
+        let back = a.concat(hi, lo);
+        let ne = a.ne(back, x);
+        assert_eq!(s.check_assuming(&[ne]), SmtResult::Unsat);
     }
 
     #[test]
     fn xor_and_bitwise_ops() {
-        let mut s = Solver::new();
-        let x = BvTerm::var("x", 8);
-        let y = BvTerm::var("y", 8);
-        // (x ^ y) ^ y == x
-        s.assert(&x.bvxor(&y).bvxor(&y).ne(&x));
-        assert_eq!(s.check(), SmtResult::Unsat);
+        let mut s = Session::new();
+        let a = s.arena_mut();
+        let x = a.var("x", 16);
+        let y = a.var("y", 16);
+        // (x ^ y) ^ y == x is valid.
+        let xy = a.bvxor(x, y);
+        let xyy = a.bvxor(xy, y);
+        let ne1 = a.ne(xyy, x);
+        // (x & y) | x == x (absorption) is valid.
+        let conj = a.bvand(x, y);
+        let absorbed = a.bvor(conj, x);
+        let ne2 = a.ne(absorbed, x);
+        assert_eq!(s.check_assuming(&[ne1]), SmtResult::Unsat);
+        assert_eq!(s.check_assuming(&[ne2]), SmtResult::Unsat);
+    }
 
-        let mut s = Solver::new();
-        // x & 0 == 0
-        let zero = BvTerm::constant(8, 0);
-        s.assert(&x.bvand(&zero).ne(&zero));
+    #[test]
+    fn push_pop_scopes_assertions() {
+        let mut s = Session::new();
+        let a = s.arena_mut();
+        let x = a.var("x", 8);
+        let c3 = a.constant(8, 3);
+        let c4 = a.constant(8, 4);
+        let is3 = a.eq(x, c3);
+        let is4 = a.eq(x, c4);
+        s.assert(is3);
+        assert_eq!(s.check(), SmtResult::Sat);
+        s.push();
+        assert_eq!(s.scope_depth(), 1);
+        s.assert(is4);
         assert_eq!(s.check(), SmtResult::Unsat);
+        s.pop();
+        assert_eq!(s.scope_depth(), 0);
+        assert_eq!(s.check(), SmtResult::Sat);
+        assert_eq!(s.model().value("x"), Some(3));
+    }
 
-        let mut s = Solver::new();
-        // x | ~x == 0xff
-        s.assert(&x.bvor(&x.bvnot()).ne(&BvTerm::constant(8, 0xff)));
+    #[test]
+    fn nested_scopes_retire_in_order() {
+        let mut s = Session::new();
+        let a = s.arena_mut();
+        let x = a.var("x", 8);
+        let lo = a.in_range(x, 0, 100);
+        let hi = a.in_range(x, 200, 255);
+        let mid = a.in_range(x, 50, 60);
+        s.push();
+        s.assert(lo);
+        s.push();
+        s.assert(hi);
         assert_eq!(s.check(), SmtResult::Unsat);
+        s.pop();
+        assert_eq!(s.check(), SmtResult::Sat);
+        s.push();
+        s.assert(mid);
+        assert_eq!(s.check(), SmtResult::Sat);
+        let v = s.model().value("x").unwrap();
+        assert!((50..=60).contains(&v));
+        s.pop();
+        s.pop();
+        // All scopes closed: x is unconstrained again.
+        let is250 = {
+            let a = s.arena_mut();
+            let c = a.constant(8, 250);
+            a.eq(x, c)
+        };
+        assert_eq!(s.check_assuming(&[is250]), SmtResult::Sat);
+    }
+
+    #[test]
+    #[should_panic(expected = "pop without matching push")]
+    fn unbalanced_pop_panics() {
+        let mut s = Session::new();
+        s.pop();
+    }
+
+    #[test]
+    fn scoped_assumptions_compose() {
+        let mut s = Session::new();
+        let a = s.arena_mut();
+        let x = a.var("x", 8);
+        let band = a.in_range(x, 10, 20);
+        let c15 = a.constant(8, 15);
+        let c25 = a.constant(8, 25);
+        let is15 = a.eq(x, c15);
+        let is25 = a.eq(x, c25);
+        s.push();
+        s.assert(band);
+        assert_eq!(s.check_assuming(&[is15]), SmtResult::Sat);
+        assert_eq!(s.check_assuming(&[is25]), SmtResult::Unsat);
+        s.pop();
+        assert_eq!(s.check_assuming(&[is25]), SmtResult::Sat);
     }
 }

@@ -1,5 +1,5 @@
-//! Differential testing of the full SMT pipeline (AST → Tseitin → CDCL)
-//! against a direct evaluator over concrete environments.
+//! Differential testing of the full SMT pipeline (arena → Tseitin →
+//! CDCL) against a direct evaluator over concrete environments.
 //!
 //! Strategy: generate a random formula over two 8-bit variables, pick a
 //! random environment, and check both directions:
@@ -8,11 +8,13 @@
 //!   (or its negation, whichever the evaluator says holds) must be SAT;
 //! * asserting the opposite must be UNSAT.
 //!
-//! Any soundness bug in the comparator/adder circuits, the Tseitin
-//! gates, or the CDCL core shows up as a verdict mismatch.
+//! Any soundness bug in the intern-time constant folding, the
+//! comparator/adder circuits, the Tseitin gates, or the CDCL core shows
+//! up as a verdict mismatch.
 
 use proptest::prelude::*;
-use smtkit::{BoolExpr, BvTerm, SmtResult, Solver};
+use smtkit::arena::{BoolId, TermArena, TermId};
+use smtkit::{Session, SmtResult};
 
 const W: u32 = 8;
 const MASK: u64 = 0xff;
@@ -122,35 +124,82 @@ fn eval_b(b: &B, x: u64, y: u64) -> bool {
     }
 }
 
-fn build_t(t: &T, x: &BvTerm, y: &BvTerm) -> BvTerm {
+fn build_t(t: &T, a: &mut TermArena) -> TermId {
     match t {
-        T::Const(c) => BvTerm::constant(W, *c),
-        T::X => x.clone(),
-        T::Y => y.clone(),
-        T::Add(a, b) => build_t(a, x, y).add(&build_t(b, x, y)),
-        T::Sub(a, b) => build_t(a, x, y).sub(&build_t(b, x, y)),
-        T::And(a, b) => build_t(a, x, y).bvand(&build_t(b, x, y)),
-        T::Or(a, b) => build_t(a, x, y).bvor(&build_t(b, x, y)),
-        T::Xor(a, b) => build_t(a, x, y).bvxor(&build_t(b, x, y)),
-        T::Not(a) => build_t(a, x, y).bvnot(),
-        T::Ite(c, a, b) => BvTerm::ite(
-            &build_b(c, x, y),
-            &build_t(a, x, y),
-            &build_t(b, x, y),
-        ),
+        T::Const(c) => a.constant(W, *c),
+        T::X => a.var("x", W),
+        T::Y => a.var("y", W),
+        T::Add(l, r) => {
+            let (lt, rt) = (build_t(l, a), build_t(r, a));
+            a.add(lt, rt)
+        }
+        T::Sub(l, r) => {
+            let (lt, rt) = (build_t(l, a), build_t(r, a));
+            a.sub(lt, rt)
+        }
+        T::And(l, r) => {
+            let (lt, rt) = (build_t(l, a), build_t(r, a));
+            a.bvand(lt, rt)
+        }
+        T::Or(l, r) => {
+            let (lt, rt) = (build_t(l, a), build_t(r, a));
+            a.bvor(lt, rt)
+        }
+        T::Xor(l, r) => {
+            let (lt, rt) = (build_t(l, a), build_t(r, a));
+            a.bvxor(lt, rt)
+        }
+        T::Not(x) => {
+            let xt = build_t(x, a);
+            a.bvnot(xt)
+        }
+        T::Ite(c, l, r) => {
+            let cb = build_b(c, a);
+            let (lt, rt) = (build_t(l, a), build_t(r, a));
+            a.ite_term(cb, lt, rt)
+        }
     }
 }
 
-fn build_b(b: &B, x: &BvTerm, y: &BvTerm) -> BoolExpr {
+fn build_b(b: &B, a: &mut TermArena) -> BoolId {
     match b {
-        B::Const(c) => BoolExpr::constant(*c),
-        B::Eq(a, c) => build_t(a, x, y).eq(&build_t(c, x, y)),
-        B::Ule(a, c) => build_t(a, x, y).ule(&build_t(c, x, y)),
-        B::Not(a) => build_b(a, x, y).not(),
-        B::And(a, c) => build_b(a, x, y).and(&build_b(c, x, y)),
-        B::Or(a, c) => build_b(a, x, y).or(&build_b(c, x, y)),
-        B::Xor(a, c) => build_b(a, x, y).xor(&build_b(c, x, y)),
+        B::Const(c) => a.bool_constant(*c),
+        B::Eq(l, r) => {
+            let (lt, rt) = (build_t(l, a), build_t(r, a));
+            a.eq(lt, rt)
+        }
+        B::Ule(l, r) => {
+            let (lt, rt) = (build_t(l, a), build_t(r, a));
+            a.ule(lt, rt)
+        }
+        B::Not(x) => {
+            let xb = build_b(x, a);
+            a.not(xb)
+        }
+        B::And(l, r) => {
+            let (lb, rb) = (build_b(l, a), build_b(r, a));
+            a.and(lb, rb)
+        }
+        B::Or(l, r) => {
+            let (lb, rb) = (build_b(l, a), build_b(r, a));
+            a.or(lb, rb)
+        }
+        B::Xor(l, r) => {
+            let (lb, rb) = (build_b(l, a), build_b(r, a));
+            a.xor(lb, rb)
+        }
     }
+}
+
+/// Pin x and y to concrete values in a session's arena.
+fn pin(a: &mut TermArena, xv: u64, yv: u64) -> BoolId {
+    let x = a.var("x", W);
+    let y = a.var("y", W);
+    let cx = a.constant(W, xv);
+    let cy = a.constant(W, yv);
+    let ex = a.eq(x, cx);
+    let ey = a.eq(y, cy);
+    a.and(ex, ey)
 }
 
 proptest! {
@@ -158,20 +207,18 @@ proptest! {
 
     #[test]
     fn verdicts_match_evaluator(b in bool_strategy(), xv in 0u64..=MASK, yv in 0u64..=MASK) {
-        let x = BvTerm::var("x", W);
-        let y = BvTerm::var("y", W);
-        let expr = build_b(&b, &x, &y);
         let truth = eval_b(&b, xv, yv);
 
-        let pin = x.eq(&BvTerm::constant(W, xv)).and(&y.eq(&BvTerm::constant(W, yv)));
-
         // Agreeing assertion must be SAT, and the model must pin x,y.
-        let mut s = Solver::new();
-        s.assert(&pin);
+        let mut s = Session::new();
+        let expr = build_b(&b, s.arena_mut());
+        let pinned = pin(s.arena_mut(), xv, yv);
+        s.assert(pinned);
         if truth {
-            s.assert(&expr);
+            s.assert(expr);
         } else {
-            s.assert(&expr.not());
+            let ne = s.arena().not(expr);
+            s.assert(ne);
         }
         prop_assert_eq!(s.check(), SmtResult::Sat);
         let m = s.model();
@@ -179,28 +226,33 @@ proptest! {
         prop_assert_eq!(m.value("y"), Some(yv));
 
         // …and the contradicting assertion must be UNSAT.
-        let mut s = Solver::new();
-        s.assert(&pin);
+        let mut s = Session::new();
+        let expr = build_b(&b, s.arena_mut());
+        let pinned = pin(s.arena_mut(), xv, yv);
+        s.assert(pinned);
         if truth {
-            s.assert(&expr.not());
+            let ne = s.arena().not(expr);
+            s.assert(ne);
         } else {
-            s.assert(&expr);
+            s.assert(expr);
         }
         prop_assert_eq!(s.check(), SmtResult::Unsat);
     }
 
     #[test]
     fn term_values_match_evaluator(t in term_strategy(), xv in 0u64..=MASK, yv in 0u64..=MASK) {
-        let x = BvTerm::var("x", W);
-        let y = BvTerm::var("y", W);
-        let term = build_t(&t, &x, &y);
         let expect = eval_t(&t, xv, yv);
 
-        let mut s = Solver::new();
-        s.assert(&x.eq(&BvTerm::constant(W, xv)));
-        s.assert(&y.eq(&BvTerm::constant(W, yv)));
-        let out = BvTerm::var("out", W);
-        s.assert(&out.eq(&term));
+        let mut s = Session::new();
+        let term = build_t(&t, s.arena_mut());
+        let pinned = pin(s.arena_mut(), xv, yv);
+        let tie = {
+            let a = s.arena_mut();
+            let out = a.var("out", W);
+            a.eq(out, term)
+        };
+        s.assert(pinned);
+        s.assert(tie);
         prop_assert_eq!(s.check(), SmtResult::Sat);
         prop_assert_eq!(s.model().value("out"), Some(expect));
     }
@@ -208,11 +260,9 @@ proptest! {
     #[test]
     fn model_satisfies_formula(b in bool_strategy()) {
         // If the solver says SAT, the model must evaluate to true.
-        let x = BvTerm::var("x", W);
-        let y = BvTerm::var("y", W);
-        let expr = build_b(&b, &x, &y);
-        let mut s = Solver::new();
-        s.assert(&expr);
+        let mut s = Session::new();
+        let expr = build_b(&b, s.arena_mut());
+        s.assert(expr);
         if s.check() == SmtResult::Sat {
             let m = s.model();
             let xv = m.value("x").unwrap_or(0);
@@ -226,5 +276,20 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn arena_eval_matches_reference_evaluator(t in term_strategy(), b in bool_strategy(),
+                                              xv in 0u64..=MASK, yv in 0u64..=MASK) {
+        // The arena's own evaluator must agree with the plain-data
+        // reference — this is what makes `eval_term`/`eval_bool`
+        // trustworthy as oracles elsewhere.
+        let mut a = TermArena::new();
+        let term = build_t(&t, &mut a);
+        let expr = build_b(&b, &mut a);
+        let bv = |n: &str| if n == "x" { xv } else { yv };
+        let bl = |_: &str| false;
+        prop_assert_eq!(a.eval_term(term, &bv, &bl), eval_t(&t, xv, yv));
+        prop_assert_eq!(a.eval_bool(expr, &bv, &bl), eval_b(&b, xv, yv));
     }
 }

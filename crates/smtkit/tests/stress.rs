@@ -1,7 +1,7 @@
 //! Stress and regression tests for the SAT/SMT core under the load
 //! patterns the policy engines produce.
 
-use smtkit::{BoolExpr, BvTerm, Lit, SatResult, SatSolver, SmtResult, Solver, Var};
+use smtkit::{Lit, SatResult, SatSolver, Session, SmtResult, Var};
 
 /// A deterministic xorshift PRNG (tests must not depend on crate RNGs).
 struct XorShift(u64);
@@ -18,30 +18,35 @@ impl XorShift {
 #[test]
 fn long_ite_chain_policy_encoding_does_not_overflow_stack() {
     // A 6k-rule longest-prefix-match-style chain: guard_i selects
-    // value_i. Both encoding and dropping must be iterative.
-    let x = BvTerm::var("x", 32);
-    let mut policy = BoolExpr::fls();
+    // value_i. Interning, lowering, and dropping must all be iterative.
+    let mut s = Session::new();
+    let a = s.arena_mut();
+    let x = a.var("x", 32);
+    let mut policy = a.fls();
     for i in (0..6_000u64).rev() {
-        let guard = x.in_range(i * 100, i * 100 + 99);
-        let value = BoolExpr::var(format!("out_{}", i % 7));
-        policy = BoolExpr::ite(&guard, &value, &policy);
+        let guard = a.in_range(x, i * 100, i * 100 + 99);
+        let value = a.bool_var(&format!("out_{}", i % 7));
+        policy = a.ite_bool(guard, value, policy);
     }
-    let mut s = Solver::new();
     // Query: in range of rule 1234, policy must imply out_{1234 % 7}.
-    let in_rule = x.in_range(123_400, 123_499);
-    let wrong = BoolExpr::var(format!("out_{}", 1234 % 7)).not();
+    let in_rule = a.in_range(x, 123_400, 123_499);
+    let right = a.bool_var(&format!("out_{}", 1234 % 7));
+    let wrong = a.not(right);
     // Force all other outputs false so the policy value is pinned.
+    let mut pins = Vec::new();
     for v in 0..7u64 {
         if v != 1234 % 7 {
-            s.assert(&BoolExpr::var(format!("out_{v}")).not());
+            let out = a.bool_var(&format!("out_{v}"));
+            pins.push(a.not(out));
         }
     }
-    s.assert(&in_rule);
-    s.assert(&policy);
-    s.assert(&wrong);
+    for p in pins {
+        s.assert(p);
+    }
+    s.assert(in_rule);
+    s.assert(policy);
+    s.assert(wrong);
     assert_eq!(s.check(), SmtResult::Unsat);
-    // Dropping `policy` (6k-deep chain) must not overflow either.
-    drop(policy);
     drop(s);
 }
 
@@ -49,15 +54,18 @@ fn long_ite_chain_policy_encoding_does_not_overflow_stack() {
 fn thousands_of_assumption_queries_reuse_learning() {
     // One encoding, many queries — the RCDC contract pattern. The
     // solver must stay sound across 2000 assumption-based calls.
-    let mut s = Solver::new();
-    let x = BvTerm::var("x", 32);
+    let mut s = Session::new();
+    let a = s.arena_mut();
+    let x = a.var("x", 32);
     // Permanent constraint: x in [1000, 2000].
-    s.assert(&x.in_range(1000, 2000));
+    let band = a.in_range(x, 1000, 2000);
+    s.assert(band);
     for i in 0..2000u64 {
         let lo = i * 3;
         let hi = lo + 2;
         let expect_sat = hi >= 1000 && lo <= 2000;
-        let verdict = s.check_assuming(&[x.in_range(lo, hi)]);
+        let window = s.arena_mut().in_range(x, lo, hi);
+        let verdict = s.check_assuming(&[window]);
         assert_eq!(
             verdict,
             if expect_sat { SmtResult::Sat } else { SmtResult::Unsat },
@@ -68,6 +76,39 @@ fn thousands_of_assumption_queries_reuse_learning() {
             assert!((1000..=2000).contains(&v) && v >= lo && v <= hi);
         }
     }
+    // The shared variable x was bit-blasted once, not 2000 times.
+    let st = s.stats();
+    assert!(st.blast_cache_hits > 0, "windows share subterms: {st:?}");
+    assert_eq!(st.queries, 2000);
+}
+
+#[test]
+fn scoped_query_batches_with_push_pop() {
+    // The SecGuru pattern: a shared policy at scope 0, then batches of
+    // per-experiment assertions that must fully retract.
+    let mut s = Session::new();
+    let a = s.arena_mut();
+    let x = a.var("x", 16);
+    let band = a.in_range(x, 100, 10_000);
+    s.assert(band);
+    for round in 0..200u64 {
+        let lo = 100 + round * 49;
+        let hi = lo + 48;
+        let window = s.arena_mut().in_range(x, lo, hi);
+        s.push();
+        s.assert(window);
+        let expect_sat = lo <= 10_000;
+        assert_eq!(
+            s.check(),
+            if expect_sat { SmtResult::Sat } else { SmtResult::Unsat },
+            "round {round} window [{lo},{hi}]"
+        );
+        s.pop();
+    }
+    // All scopes retired: only the permanent band remains.
+    assert_eq!(s.check(), SmtResult::Sat);
+    let probe = s.arena_mut().in_range(x, 9_000, 9_000);
+    assert_eq!(s.check_assuming(&[probe]), SmtResult::Sat);
 }
 
 #[test]
@@ -150,39 +191,54 @@ fn statistics_counters_advance() {
 #[test]
 fn wide_or_and_structures() {
     // 1000-ary disjunction of equality atoms: exactly one can hold.
-    let x = BvTerm::var("x", 16);
-    let atoms: Vec<BoolExpr> = (0..1000u64)
-        .map(|i| x.eq(&BvTerm::constant(16, i * 60)))
+    let mut s = Session::new();
+    let a = s.arena_mut();
+    let x = a.var("x", 16);
+    let atoms: Vec<_> = (0..1000u64)
+        .map(|i| {
+            let c = a.constant(16, i * 60);
+            a.eq(x, c)
+        })
         .collect();
-    let any = BoolExpr::or_all(atoms.clone());
-    let mut s = Solver::new();
-    s.assert(&any);
+    let any = a.or_all(&atoms);
+    s.assert(any);
     assert_eq!(s.check(), SmtResult::Sat);
     let v = s.model().value("x").unwrap();
     assert_eq!(v % 60, 0);
     assert!(v / 60 < 1000);
 
     // Conjunction of two distinct equalities is unsat.
-    let mut s = Solver::new();
-    s.assert(&atoms[3]);
-    s.assert(&atoms[7]);
-    assert_eq!(s.check(), SmtResult::Unsat);
+    let mut s2 = Session::new();
+    let a2 = s2.arena_mut();
+    let x2 = a2.var("x", 16);
+    let c3 = a2.constant(16, 3 * 60);
+    let c7 = a2.constant(16, 7 * 60);
+    let e3 = a2.eq(x2, c3);
+    let e7 = a2.eq(x2, c7);
+    s2.assert(e3);
+    s2.assert(e7);
+    assert_eq!(s2.check(), SmtResult::Unsat);
 }
 
 #[test]
 fn interleaved_assert_and_check() {
     // Narrow the feasible window step by step; verdicts must track.
-    let mut s = Solver::new();
-    let x = BvTerm::var("x", 24);
-    s.assert(&x.in_range(0, 1 << 20));
+    let mut s = Session::new();
+    let a = s.arena_mut();
+    let x = a.var("x", 24);
+    let r1 = a.in_range(x, 0, 1 << 20);
+    let r2 = a.in_range(x, 1 << 10, 1 << 19);
+    let r3 = a.in_range(x, 1 << 18, 1 << 19);
+    let r4 = a.in_range(x, 0, (1 << 18) - 1);
+    s.assert(r1);
     assert_eq!(s.check(), SmtResult::Sat);
-    s.assert(&x.in_range(1 << 10, 1 << 19));
+    s.assert(r2);
     assert_eq!(s.check(), SmtResult::Sat);
-    s.assert(&x.in_range(1 << 18, 1 << 19));
+    s.assert(r3);
     assert_eq!(s.check(), SmtResult::Sat);
     let v = s.model().value("x").unwrap();
     assert!((1 << 18..=1 << 19).contains(&v));
-    s.assert(&x.in_range(0, (1 << 18) - 1));
+    s.assert(r4);
     assert_eq!(s.check(), SmtResult::Unsat);
     // Once unsat at top level, stays unsat.
     assert_eq!(s.check(), SmtResult::Unsat);

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! validatedc validate [--clusters N] [--tors N] [--leaves N] [--spines N]
-//!                     [--fail-links N] [--seed S] [--engine trie|smt]
+//!                     [--fail-links N] [--seed S] [--engine trie|trie-semantic|smt|smt-semantic]
 //!                     [--threads N]
 //!     Generate a Clos datacenter, optionally inject random link
 //!     faults, converge BGP, validate all local contracts, and print
@@ -60,7 +60,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   validatedc validate [--clusters N] [--tors N] [--leaves N] [--spines N]
-                      [--fail-links N] [--seed S] [--engine trie|smt] [--threads N]
+                      [--fail-links N] [--seed S] [--engine trie|trie-semantic|smt|smt-semantic] [--threads N]
   validatedc check-acl <FILE> [--contract '<src>;<dst>;<dport>;<proto>;<permit|deny>']...
   validatedc check-nsg <FILE> --db-subnet <PREFIX> --infra <PREFIX> --port <PORT>
   validatedc diff-acl <OLD> <NEW>
@@ -139,11 +139,7 @@ fn cmd_validate(args: &[String]) -> Result<bool, String> {
     let fail_links: usize = opts.parsed("--fail-links", 0usize)?;
     let seed: u64 = opts.parsed("--seed", 7u64)?;
     let threads: usize = opts.parsed("--threads", 0usize)?;
-    let engine = match opts.value("--engine").unwrap_or("trie") {
-        "trie" => EngineChoice::Trie,
-        "smt" => EngineChoice::Smt,
-        other => return Err(format!("unknown engine {other:?}")),
-    };
+    let engine: EngineChoice = opts.value("--engine").unwrap_or("trie").parse()?;
 
     let mut topology = build_clos(&params);
     eprintln!(
@@ -172,6 +168,19 @@ fn cmd_validate(args: &[String]) -> Result<bool, String> {
         report.total_violations(),
         report.dirty_devices()
     );
+    let solver = report.solver_totals();
+    if solver.queries > 0 {
+        println!(
+            "solver: {} queries, {} conflicts, {} propagations, {} learned clauses, \
+             {} blast-cache hits / {} misses",
+            solver.queries,
+            solver.conflicts,
+            solver.propagations,
+            solver.learned,
+            solver.blast_cache_hits,
+            solver.blast_cache_misses
+        );
+    }
     let mut shown = 0;
     for (i, r) in report.reports.iter().enumerate() {
         if r.is_clean() {
