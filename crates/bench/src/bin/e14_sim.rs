@@ -1,0 +1,45 @@
+//! E14 — fault-injection simulation throughput (§2.6.1, DESIGN §10).
+//!
+//! The simulation harness is only useful as a CI gate if seeds are
+//! cheap: the smoke job runs 300 per PR and the nightly soak 5000.
+//! This driver measures seeds/second and per-seed event volume so a
+//! harness slowdown (e.g. an accidentally quadratic settle sweep)
+//! shows up as a throughput regression, and prints the mode mix as a
+//! coverage sanity check — every path through `validate_notification`
+//! must stay exercised.
+
+use std::time::Instant;
+
+const SEEDS: u64 = 500;
+
+fn main() {
+    let t0 = Instant::now();
+    match simnet::sweep(0, SEEDS) {
+        Ok(stats) => {
+            let elapsed = t0.elapsed();
+            let per_seed = elapsed / SEEDS as u32;
+            println!("seeds,elapsed_s,seeds_per_s,events,deliveries,fallbacks,full,incremental,cached");
+            println!(
+                "{},{:.3},{:.0},{},{},{},{},{},{}",
+                stats.seeds,
+                elapsed.as_secs_f64(),
+                SEEDS as f64 / elapsed.as_secs_f64(),
+                stats.events,
+                stats.deliveries,
+                stats.fallbacks,
+                stats.full,
+                stats.incremental,
+                stats.cache_hits
+            );
+            println!("# {per_seed:?} per seed — {stats}");
+            assert!(
+                stats.fallbacks > 0 && stats.incremental > 0 && stats.cache_hits > 0,
+                "coverage collapse: some pipeline path is no longer exercised"
+            );
+        }
+        Err(failure) => {
+            eprintln!("{failure}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Time as a capability.
+//!
+//! The live pipeline models device latency (§2.6.1's 200–800 ms pulls)
+//! and timestamps its work. Production code wants wall-clock time;
+//! tests and the `simnet` fault-injection harness want *virtual* time,
+//! so a sweep over thousands of simulated-latency pulls finishes in
+//! microseconds and every run is bit-for-bit reproducible. [`Clock`]
+//! is that seam: components never call `Instant::now` or
+//! `thread::sleep` directly — they ask the injected clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A source of elapsed time plus the ability to wait.
+///
+/// `now` is monotone and relative to the clock's own epoch; only
+/// differences are meaningful. `sleep` blocks the caller for the given
+/// duration on a real clock and merely *advances* a virtual one.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since this clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Wait for `d` (really or virtually).
+    fn sleep(&self, d: Duration);
+}
+
+/// Wall-clock time: `Instant` + `thread::sleep`. The production
+/// default.
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// A real clock whose epoch is now.
+    pub fn new() -> RealClock {
+        RealClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// Discrete virtual time: an atomic nanosecond counter.
+///
+/// `sleep` advances the counter and returns immediately, so simulated
+/// latency costs nothing and depends on nothing but the sequence of
+/// calls — the property the deterministic fault-injection harness
+/// (`simnet`) and the instant pipeline tests are built on. The counter
+/// is shared through `&self`, so one clock can be handed to many
+/// components.
+#[derive(Default)]
+pub struct VirtualClock {
+    nanos: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at t = 0.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Advance time without a sleeper (scheduler use).
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Jump to an absolute virtual timestamp. Time never moves
+    /// backwards: earlier targets are ignored.
+    pub fn advance_to(&self, t: Duration) {
+        let target = t.as_nanos() as u64;
+        self.nanos.fetch_max(target, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_without_waiting() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        let wall = Instant::now();
+        c.sleep(Duration::from_secs(3600));
+        assert!(wall.elapsed() < Duration::from_secs(1));
+        assert_eq!(c.now(), Duration::from_secs(3600));
+        c.advance(Duration::from_millis(250));
+        assert_eq!(c.now(), Duration::from_millis(3_600_250));
+    }
+
+    #[test]
+    fn virtual_clock_never_rewinds() {
+        let c = VirtualClock::new();
+        c.advance_to(Duration::from_secs(10));
+        c.advance_to(Duration::from_secs(5));
+        assert_eq!(c.now(), Duration::from_secs(10));
+        c.advance_to(Duration::from_secs(12));
+        assert_eq!(c.now(), Duration::from_secs(12));
+    }
+
+    #[test]
+    fn real_clock_is_monotone() {
+        let c = RealClock::new();
+        let a = c.now();
+        c.sleep(Duration::from_millis(1));
+        let b = c.now();
+        assert!(b >= a + Duration::from_millis(1));
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod burndown;
 pub mod classify;
+pub mod clock;
 pub mod contracts;
 pub mod engine;
 pub mod framework;
@@ -54,6 +55,7 @@ pub mod runner;
 pub mod triage;
 pub mod validator;
 
+pub use clock::{Clock, RealClock, VirtualClock};
 pub use contracts::{generate_contracts, Contract, ContractKind, DeviceContracts};
 pub use engine::{trie::TrieEngine, smt::SmtEngine, Engine};
 pub use report::{Risk, ValidationReport, Violation, ViolationReason};

@@ -33,6 +33,11 @@
 //!   scripts against one long-lived [`smtkit::Session`] vs a fresh
 //!   solver rebuilt per query vs brute-force enumeration, with model
 //!   re-evaluation on every satisfiable verdict.
+//! * [`Oracle::Sim`] — the deterministic fault-injection simulation of
+//!   the live pipeline ([`simnet`]): seeded fault schedules (drops,
+//!   duplicates, reordering, stale snapshots, corrupted deltas, flaps,
+//!   mid-sweep contract republishes) against the end-state convergence
+//!   invariants, with failing schedules ddmin-minimized.
 //!
 //! Every failure carries the replay seed and a greedily minimized
 //! counterexample. Reproduce with
@@ -49,6 +54,7 @@ mod sat;
 mod secguru_oracle;
 mod session;
 mod shrink;
+mod simnet_oracle;
 mod wire;
 
 use std::fmt;
@@ -94,7 +100,7 @@ pub(crate) struct Failure {
     pub(crate) minimized: String,
 }
 
-/// The six cross-check oracles.
+/// The seven cross-check oracles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Oracle {
     /// CDCL SAT solver vs brute force / analytic verdicts.
@@ -109,17 +115,20 @@ pub enum Oracle {
     SecGuru,
     /// Incremental solver sessions vs fresh solvers vs brute force.
     Session,
+    /// Deterministic fault-injection simulation of the live pipeline.
+    Sim,
 }
 
 impl Oracle {
     /// Every oracle, in the order the mixed runner executes them.
-    pub const ALL: [Oracle; 6] = [
+    pub const ALL: [Oracle; 7] = [
         Oracle::Sat,
         Oracle::Engines,
         Oracle::Incremental,
         Oracle::Wire,
         Oracle::SecGuru,
         Oracle::Session,
+        Oracle::Sim,
     ];
 
     /// CLI name of the oracle.
@@ -131,6 +140,7 @@ impl Oracle {
             Oracle::Wire => "wire",
             Oracle::SecGuru => "secguru",
             Oracle::Session => "session",
+            Oracle::Sim => "sim",
         }
     }
 
@@ -150,6 +160,7 @@ impl Oracle {
             Oracle::Wire => wire::run(sub),
             Oracle::SecGuru => secguru_oracle::run(sub),
             Oracle::Session => session::run(sub),
+            Oracle::Sim => simnet_oracle::run(sub),
         }
     }
 }

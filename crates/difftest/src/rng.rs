@@ -1,89 +1,7 @@
 //! Deterministic PRNG for reproducible case generation.
 //!
-//! SplitMix64: tiny, fast, and — unlike the thread-local entropy most
-//! fuzzers default to — every case is a pure function of its seed, so
-//! the seed printed in a divergence report IS the reproduction.
+//! The implementation lives in [`simnet::rng`] (the simulation harness
+//! and this fuzzer share one SplitMix64 so a seed means the same thing
+//! everywhere); this module re-exports it under the historical path.
 
-/// One SplitMix64 mixing step (also used to derive sub-stream seeds).
-pub(crate) fn mix(seed: u64, tag: u64) -> u64 {
-    let mut z = seed
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(tag)
-        .wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// The generator state.
-pub(crate) struct Rng(u64);
-
-impl Rng {
-    pub(crate) fn new(seed: u64) -> Rng {
-        Rng(seed)
-    }
-
-    pub(crate) fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in `[0, bound)`; `bound` must be nonzero.
-    pub(crate) fn below(&mut self, bound: u64) -> u64 {
-        debug_assert!(bound > 0);
-        self.next_u64() % bound
-    }
-
-    /// Uniform in `[lo, hi]` inclusive.
-    pub(crate) fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.below(hi - lo + 1)
-    }
-
-    /// True with probability `num/den`.
-    pub(crate) fn chance(&mut self, num: u64, den: u64) -> bool {
-        self.below(den) < num
-    }
-
-    /// A uniformly chosen element of a nonempty slice.
-    pub(crate) fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
-        &items[self.below(items.len() as u64) as usize]
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn deterministic_and_seed_sensitive() {
-        let a: Vec<u64> = {
-            let mut r = Rng::new(7);
-            (0..8).map(|_| r.next_u64()).collect()
-        };
-        let b: Vec<u64> = {
-            let mut r = Rng::new(7);
-            (0..8).map(|_| r.next_u64()).collect()
-        };
-        let c: Vec<u64> = {
-            let mut r = Rng::new(8);
-            (0..8).map(|_| r.next_u64()).collect()
-        };
-        assert_eq!(a, b);
-        assert_ne!(a, c);
-    }
-
-    #[test]
-    fn range_is_inclusive_and_bounded() {
-        let mut r = Rng::new(1);
-        let mut seen = [false; 5];
-        for _ in 0..200 {
-            let v = r.range(2, 6);
-            assert!((2..=6).contains(&v));
-            seen[(v - 2) as usize] = true;
-        }
-        assert!(seen.iter().all(|&s| s));
-    }
-}
+pub(crate) use simnet::rng::{mix, Rng};

@@ -47,6 +47,28 @@ pub const MAGIC: &[u8; 4] = b"FIB1";
 /// Magic bytes identifying a FIB delta, version 1.
 pub const DELTA_MAGIC: &[u8; 4] = b"FIBD";
 
+/// What kind of frame a byte buffer claims to carry, by magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A full [`WireSnapshot`] (`FIB1`).
+    Snapshot,
+    /// A [`FibDelta`] (`FIBD`).
+    Delta,
+}
+
+/// Peek at a frame's magic without decoding it: `Some(kind)` when the
+/// buffer starts with a known magic, `None` otherwise (truncated or
+/// corrupted framing). Receivers route full snapshots and deltas off
+/// one channel with this — and fall back to requesting a full snapshot
+/// when corruption makes the frame unrecognizable.
+pub fn frame_kind(buf: &[u8]) -> Option<FrameKind> {
+    match buf.get(..4) {
+        Some(m) if m == MAGIC => Some(FrameKind::Snapshot),
+        Some(m) if m == DELTA_MAGIC => Some(FrameKind::Delta),
+        _ => None,
+    }
+}
+
 /// One routing entry in the transfer format: destination prefix plus
 /// the resolved set of next-hop addresses.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -434,6 +456,17 @@ mod tests {
         // add count(4) + addr(4) + len(1) = offset 33.
         bytes[33] = 0x80;
         assert!(FibDelta::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn frame_kind_peeks_magic() {
+        assert_eq!(frame_kind(&snapshot().encode()), Some(FrameKind::Snapshot));
+        assert_eq!(frame_kind(&delta().encode()), Some(FrameKind::Delta));
+        assert_eq!(frame_kind(b"FIB"), None); // truncated magic
+        assert_eq!(frame_kind(b""), None);
+        let mut corrupt = delta().encode().to_vec();
+        corrupt[0] ^= 0xFF;
+        assert_eq!(frame_kind(&corrupt), None);
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Seed-sweep driver for the deterministic pipeline simulation.
+//!
+//! ```text
+//! simnet --seed 0 --count 300
+//! ```
+//!
+//! Exit status 0 when every seed's schedule converges; on an invariant
+//! violation, prints the minimized schedule plus a replay command and
+//! exits 1.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut seed = 0u64;
+    let mut count = 300u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => seed = parse(args.next(), "--seed"),
+            "--count" => count = parse(args.next(), "--count"),
+            "--help" | "-h" => {
+                println!("usage: simnet [--seed N] [--count M]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("simnet: unknown argument {other:?} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("simnet: sweeping {count} seeds from {seed}");
+    match simnet::sweep(seed, count) {
+        Ok(stats) => {
+            println!("{stats}");
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            eprintln!("{failure}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse(v: Option<String>, flag: &str) -> u64 {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("simnet: {flag} needs a numeric value");
+        std::process::exit(2);
+    })
+}

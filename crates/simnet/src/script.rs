@@ -1,0 +1,147 @@
+//! The event script: a fully explicit, replayable fault schedule.
+//!
+//! A [`Script`] is the *entire* input of a simulation run — every pull,
+//! every injected fault, every churn and contract republish, each with
+//! its virtual timestamp. No randomness is consumed while a script
+//! runs, so a script is its own reproduction: the seeded generator
+//! (`crate::gen`) produces one from a seed, the runner executes it, and
+//! the ddmin shrinker deletes events while the failure persists.
+//! Device indices are taken modulo the topology size at run time, so a
+//! script stays valid under shrinking.
+
+use std::fmt;
+
+/// A delivery-layer fault attached to one pull.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryFault {
+    /// Deliver normally.
+    None,
+    /// The snapshot never arrives (pull timeout / lost frame).
+    Drop,
+    /// The frame arrives twice, the copy `gap_ms` later.
+    Duplicate {
+        /// Virtual delay between the two copies.
+        gap_ms: u64,
+    },
+    /// Flip one byte of an on-the-wire `FIBD` delta frame (index taken
+    /// modulo frame length). Full-snapshot frames are left intact:
+    /// deltas are hash-anchored and therefore recoverable, which is
+    /// exactly the property under test.
+    CorruptDelta {
+        /// Which byte to flip.
+        byte: u32,
+    },
+    /// Deliver an *older* captured snapshot instead of the current one
+    /// (a stale puller replaying history).
+    Stale {
+        /// How many captures to reach back (clamped to history).
+        age: u32,
+    },
+}
+
+/// A change to a device's true (network-side) forwarding table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// Withdraw one non-local route (index modulo eligible entries).
+    DropRoute {
+        /// Which eligible entry to drop.
+        index: u32,
+    },
+    /// Narrow one multi-hop entry's ECMP set to a single hop.
+    NarrowEcmp {
+        /// Which eligible entry to narrow.
+        index: u32,
+    },
+    /// The device comes back healthy (flap recovery).
+    Restore,
+}
+
+/// One scheduled action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// The puller fetches `device`'s current table; the frame arrives
+    /// `latency_ms` later (slow pullers = large latencies, which is
+    /// also how reordering across pulls arises).
+    Pull {
+        /// Device index (modulo topology size).
+        device: u32,
+        /// Virtual pull latency.
+        latency_ms: u64,
+        /// Fault injected into this delivery.
+        fault: DeliveryFault,
+    },
+    /// The network changes `device`'s true table.
+    Churn {
+        /// Device index (modulo topology size).
+        device: u32,
+        /// What changes.
+        kind: ChurnKind,
+    },
+    /// The contract generator republishes `device`'s contracts,
+    /// bumping its epoch mid-sweep.
+    Republish {
+        /// Device index (modulo topology size).
+        device: u32,
+    },
+}
+
+/// One timestamped script event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptEvent {
+    /// Virtual time the action starts, in milliseconds.
+    pub at_ms: u64,
+    /// The action.
+    pub action: Action,
+}
+
+/// A complete simulation input.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Script {
+    /// The scheduled events (any order; the scheduler sorts by time).
+    pub events: Vec<ScriptEvent>,
+}
+
+impl fmt::Display for ScriptEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:>5}ms ", self.at_ms)?;
+        match self.action {
+            Action::Pull {
+                device,
+                latency_ms,
+                fault,
+            } => {
+                write!(f, "pull d{device} lat={latency_ms}ms")?;
+                match fault {
+                    DeliveryFault::None => Ok(()),
+                    DeliveryFault::Drop => write!(f, " fault=drop"),
+                    DeliveryFault::Duplicate { gap_ms } => {
+                        write!(f, " fault=duplicate(+{gap_ms}ms)")
+                    }
+                    DeliveryFault::CorruptDelta { byte } => {
+                        write!(f, " fault=corrupt-delta(byte {byte})")
+                    }
+                    DeliveryFault::Stale { age } => write!(f, " fault=stale(age {age})"),
+                }
+            }
+            Action::Churn { device, kind } => match kind {
+                ChurnKind::DropRoute { index } => {
+                    write!(f, "churn d{device} drop-route({index})")
+                }
+                ChurnKind::NarrowEcmp { index } => {
+                    write!(f, "churn d{device} narrow-ecmp({index})")
+                }
+                ChurnKind::Restore => write!(f, "churn d{device} restore"),
+            },
+            Action::Republish { device } => write!(f, "republish-contracts d{device}"),
+        }
+    }
+}
+
+impl fmt::Display for Script {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}

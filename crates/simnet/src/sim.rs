@@ -1,0 +1,552 @@
+//! The deterministic simulation runner.
+//!
+//! [`run_script`] executes a [`Script`] against the *real* live
+//! pipeline components — [`rcdc::pipeline::FibStore`],
+//! [`rcdc::pipeline::VerdictCache`], [`rcdc::pipeline::ContractStore`],
+//! [`rcdc::pipeline::StreamAnalytics`] and the per-notification
+//! validator step [`rcdc::pipeline::validate_notification`] — under a
+//! virtual clock and a single-threaded event scheduler. Snapshots
+//! travel as real wire frames (`FIB1` full snapshots or hash-anchored
+//! `FIBD` deltas); the injected faults of the script act on those
+//! frames, and the receiver recovers from undecodable or stale deltas
+//! by falling back to the full snapshot, exactly as §2.6.1's puller
+//! would re-pull.
+//!
+//! After the script drains, a clean settle sweep pulls every device
+//! once more and the convergence invariants are checked:
+//!
+//! 1. **convergence** — every device's final verdict equals a clean
+//!    full validation of its final true table;
+//! 2. **cache-freshness** — no [`rcdc::pipeline::VerdictCache`] entry
+//!    survives keyed to a superseded `(fib_hash, epoch)` pair;
+//! 3. **counter-balance** — `hits + misses == lookups` and
+//!    `ingested == completed`;
+//! 4. **incremental-agreement** — the delta path over the script's
+//!    net churn reproduces the full verdict bit for bit.
+
+use crate::script::{Action, ChurnKind, DeliveryFault, Script};
+use bgpsim::{simulate, Fib, FibBuilder, SimConfig};
+use dctopo::{DeviceId, MetadataService};
+use netprim::wire::{frame_kind, FibDelta, FrameKind, WireSnapshot};
+use rcdc::clock::VirtualClock;
+use rcdc::contracts::{generate_contracts, DeviceContracts};
+use rcdc::engine::{trie::TrieEngine, Engine};
+use rcdc::pipeline::{
+    validate_notification, ContractStore, FibStore, StreamAnalytics, ValidateMode, VerdictCache,
+};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::time::Duration;
+
+/// The static world a simulation runs in: the Figure-3 fabric, its
+/// healthy converged FIBs, and the generated contracts. Built once and
+/// shared across a whole seed sweep (and across shrink attempts).
+pub struct SimEnv {
+    meta: MetadataService,
+    healthy: Vec<Fib>,
+    contracts: Vec<DeviceContracts>,
+}
+
+impl SimEnv {
+    /// The Figure-3 fabric with healthy BGP-converged tables.
+    pub fn figure3() -> SimEnv {
+        let f = dctopo::generator::figure3();
+        let healthy = simulate(&f.topology, &SimConfig::healthy());
+        let meta = MetadataService::from_topology(&f.topology);
+        let contracts = generate_contracts(&meta);
+        SimEnv {
+            meta,
+            healthy,
+            contracts,
+        }
+    }
+
+    /// Number of devices in the fabric (script device indices are
+    /// taken modulo this).
+    pub fn device_count(&self) -> usize {
+        self.healthy.len()
+    }
+
+    /// The fabric's metadata service.
+    pub fn meta(&self) -> &MetadataService {
+        &self.meta
+    }
+}
+
+/// Deliberate soundness flaws the runner can emulate, proving the
+/// invariant checks (and the shrinker behind them) have teeth. Not a
+/// production switch: only the self-tests and the difftest `sim`
+/// oracle's meta-check turn one on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flaws {
+    /// Emulate a verdict cache keyed on the FIB hash alone: a cached
+    /// verdict is served even after a contract republish bumped the
+    /// epoch — the §2.6.1 staleness bug the `(fib_hash, epoch)` key
+    /// exists to prevent.
+    pub stale_epoch_cache: bool,
+}
+
+/// What a clean run reports back.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// Script events executed.
+    pub events: usize,
+    /// Wire frames delivered (duplicates counted; drops not).
+    pub deliveries: u64,
+    /// Deliveries that recovered via the full-snapshot fallback.
+    pub fallbacks: u64,
+    /// Validator notifications that produced a verdict.
+    pub completed: u64,
+    /// Verdicts produced by full validation.
+    pub full: u64,
+    /// Verdicts produced by the incremental delta path.
+    pub incremental: u64,
+    /// Verdicts served from the cache.
+    pub cache_hits: u64,
+}
+
+/// One broken convergence invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which invariant broke (stable name).
+    pub invariant: &'static str,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant {} violated: {}", self.invariant, self.detail)
+    }
+}
+
+/// A task in the virtual-time scheduler.
+enum Task {
+    Script(Action),
+    Deliver {
+        device: usize,
+        frame: Vec<u8>,
+        /// The full snapshot behind the frame — what a fallback
+        /// re-pull of this delivery returns.
+        payload: Fib,
+    },
+}
+
+/// Heap entry ordered by (time, insertion sequence) so equal-time
+/// tasks run in a deterministic FIFO order.
+struct Scheduled {
+    at_ms: u64,
+    seq: u64,
+    task: Task,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at_ms, self.seq) == (other.at_ms, other.seq)
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_ms, self.seq).cmp(&(other.at_ms, other.seq))
+    }
+}
+
+struct Sim<'e> {
+    env: &'e SimEnv,
+    flaws: Flaws,
+    /// The network's true current table per device.
+    truth: Vec<Fib>,
+    /// Capture history per device (for stale re-deliveries).
+    history: Vec<Vec<Fib>>,
+    /// The puller's record of the last table each receiver acked.
+    acked: Vec<Option<Fib>>,
+    contract_store: ContractStore,
+    fib_store: FibStore,
+    cache: VerdictCache,
+    analytics: StreamAnalytics,
+    clock: VirtualClock,
+    engine: TrieEngine,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    out: SimOutcome,
+}
+
+impl<'e> Sim<'e> {
+    fn new(env: &'e SimEnv, flaws: Flaws) -> Sim<'e> {
+        let contract_store = ContractStore::default();
+        for (i, dc) in env.contracts.iter().enumerate() {
+            contract_store.put(DeviceId(i as u32), dc.clone());
+        }
+        let n = env.healthy.len();
+        Sim {
+            env,
+            flaws,
+            truth: env.healthy.clone(),
+            history: vec![Vec::new(); n],
+            acked: vec![None; n],
+            contract_store,
+            fib_store: FibStore::default(),
+            cache: VerdictCache::default(),
+            analytics: StreamAnalytics::default(),
+            clock: VirtualClock::new(),
+            engine: TrieEngine::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            out: SimOutcome::default(),
+        }
+    }
+
+    fn schedule(&mut self, at_ms: u64, task: Task) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at_ms, seq, task }));
+    }
+
+    /// Run every scheduled task in virtual-time order.
+    fn drain(&mut self) -> u64 {
+        let mut last = 0;
+        while let Some(Reverse(s)) = self.heap.pop() {
+            last = s.at_ms;
+            self.clock.advance_to(Duration::from_millis(s.at_ms));
+            match s.task {
+                Task::Script(action) => self.run_action(s.at_ms, action),
+                Task::Deliver {
+                    device,
+                    frame,
+                    payload,
+                } => self.deliver(device, &frame, payload),
+            }
+        }
+        last
+    }
+
+    fn run_action(&mut self, now_ms: u64, action: Action) {
+        self.out.events += 1;
+        let n = self.truth.len();
+        match action {
+            Action::Pull {
+                device,
+                latency_ms,
+                fault,
+            } => {
+                let device = device as usize % n;
+                self.pull(now_ms, device, latency_ms, fault);
+            }
+            Action::Churn { device, kind } => {
+                let device = device as usize % n;
+                self.truth[device] = churned(&self.truth[device], &self.env.healthy[device], kind);
+            }
+            Action::Republish { device } => {
+                let device = device as usize % n;
+                self.contract_store
+                    .put(DeviceId(device as u32), self.env.contracts[device].clone());
+            }
+        }
+    }
+
+    /// The puller side: capture the device's current table, frame it
+    /// (delta against the last acked table when one exists, full
+    /// snapshot otherwise), apply the wire fault, and schedule the
+    /// delivery after the pull latency.
+    fn pull(&mut self, now_ms: u64, device: usize, latency_ms: u64, fault: DeliveryFault) {
+        let capture = self.truth[device].clone();
+        self.history[device].push(capture.clone());
+        let payload = match fault {
+            DeliveryFault::Stale { age } => {
+                let h = &self.history[device];
+                h[h.len() - 1 - (age as usize).min(h.len() - 1)].clone()
+            }
+            _ => capture,
+        };
+        if matches!(fault, DeliveryFault::Drop) {
+            return; // the frame is lost; no delivery, no ack
+        }
+        let mut frame: Vec<u8> = match &self.acked[device] {
+            // An acked base exists: ship the (possibly empty) delta.
+            Some(base) => Fib::delta(base, &payload).encode().to_vec(),
+            None => payload.to_wire().encode().to_vec(),
+        };
+        if let DeliveryFault::CorruptDelta { byte } = fault {
+            // Only delta frames are corrupted: they are hash-anchored,
+            // so the receiver can always detect the damage and recover.
+            if frame_kind(&frame) == Some(FrameKind::Delta) {
+                let i = byte as usize % frame.len();
+                frame[i] ^= 0x5A;
+            }
+        }
+        let arrive = now_ms + latency_ms;
+        if let DeliveryFault::Duplicate { gap_ms } = fault {
+            self.schedule(
+                arrive + gap_ms,
+                Task::Deliver {
+                    device,
+                    frame: frame.clone(),
+                    payload: payload.clone(),
+                },
+            );
+        }
+        self.schedule(
+            arrive,
+            Task::Deliver {
+                device,
+                frame,
+                payload,
+            },
+        );
+    }
+
+    /// The receiver side: decode the frame, apply deltas against the
+    /// stored base, fall back to the full snapshot when anything about
+    /// the frame is unusable, park the result, and run the validator
+    /// notification — the same code path `run_sweep`'s workers run.
+    fn deliver(&mut self, device: usize, frame: &[u8], payload: Fib) {
+        self.out.deliveries += 1;
+        let decoded: Option<Fib> = match frame_kind(frame) {
+            Some(FrameKind::Snapshot) => WireSnapshot::decode(frame)
+                .and_then(|w| Fib::from_wire(&w))
+                .ok(),
+            Some(FrameKind::Delta) => FibDelta::decode(frame).ok().and_then(|d| {
+                self.fib_store
+                    .get(DeviceId(device as u32))
+                    .and_then(|base| base.apply_delta(&d).ok())
+            }),
+            None => None,
+        };
+        let stored = match decoded {
+            Some(fib) => fib,
+            None => {
+                // Full-snapshot fallback: re-pull the table behind the
+                // unusable frame.
+                self.out.fallbacks += 1;
+                payload
+            }
+        };
+        self.acked[device] = Some(stored.clone());
+        self.fib_store.put(stored);
+        self.validate(device);
+    }
+
+    /// Process the notification for `device`.
+    fn validate(&mut self, device: usize) {
+        let device = DeviceId(device as u32);
+        if self.flaws.stale_epoch_cache {
+            // Emulated bug: serve any cached verdict whose FIB hash
+            // matches, ignoring the contract epoch.
+            if let (Some(prior), Some(fib)) = (self.cache.prior(device), self.fib_store.get(device))
+            {
+                if prior.fib_hash == fib.content_hash() {
+                    self.out.completed += 1;
+                    self.out.cache_hits += 1;
+                    self.analytics.ingest(rcdc::pipeline::PipelineResult {
+                        device,
+                        report: prior.report,
+                        validate_time: Duration::ZERO,
+                        mode: ValidateMode::CacheHit,
+                    });
+                    return;
+                }
+            }
+        }
+        if let Some(result) = validate_notification(
+            device,
+            &self.contract_store,
+            &self.fib_store,
+            &self.cache,
+            &self.engine,
+            &self.clock,
+        ) {
+            self.out.completed += 1;
+            match result.mode {
+                ValidateMode::Full => self.out.full += 1,
+                ValidateMode::Incremental => self.out.incremental += 1,
+                ValidateMode::CacheHit => self.out.cache_hits += 1,
+            }
+            self.analytics.ingest(result);
+        }
+    }
+
+    /// The clean settle sweep: one faultless pull of every device, so
+    /// eventual convergence is observable no matter what the script's
+    /// faults left behind.
+    fn settle(&mut self, after_ms: u64) {
+        for device in 0..self.truth.len() {
+            self.pull(after_ms + 1, device, 0, DeliveryFault::None);
+        }
+        self.drain();
+    }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let n = self.truth.len();
+        for device in 0..n {
+            let id = DeviceId(device as u32);
+            let (contracts, epoch) = self
+                .contract_store
+                .get_versioned(id)
+                .expect("every device has published contracts");
+            let expected = self.engine.validate_device(&self.truth[device], &contracts);
+
+            // 1. Convergence: the analytics sink's last word on the
+            // device equals a clean full validation of its true table.
+            let got = self
+                .analytics
+                .result(id)
+                .ok_or_else(|| InvariantViolation {
+                    invariant: "convergence",
+                    detail: format!("device {device}: no result after settle sweep"),
+                })?;
+            if got.report != expected {
+                return Err(InvariantViolation {
+                    invariant: "convergence",
+                    detail: format!(
+                        "device {device}: final verdict diverges from a clean full sweep \
+                         (got {} violations via {:?}, expected {})",
+                        got.report.violations.len(),
+                        got.mode,
+                        expected.violations.len()
+                    ),
+                });
+            }
+
+            // 2. Cache freshness: no cached verdict outlives its
+            // (fib_hash, epoch) key.
+            let cached = self.cache.prior(id).ok_or_else(|| InvariantViolation {
+                invariant: "cache-freshness",
+                detail: format!("device {device}: no cached verdict after settle sweep"),
+            })?;
+            let truth_hash = self.truth[device].content_hash();
+            if cached.fib_hash != truth_hash || cached.contract_epoch != epoch {
+                return Err(InvariantViolation {
+                    invariant: "cache-freshness",
+                    detail: format!(
+                        "device {device}: cache holds ({:#x}, epoch {}), current state is \
+                         ({truth_hash:#x}, epoch {epoch}) — a superseded verdict survived",
+                        cached.fib_hash, cached.contract_epoch
+                    ),
+                });
+            }
+            if cached.report != expected {
+                return Err(InvariantViolation {
+                    invariant: "cache-freshness",
+                    detail: format!("device {device}: cached report diverges from full sweep"),
+                });
+            }
+
+            // 4. Incremental/full agreement over the script's net
+            // churn, exercised directly on the engine.
+            let prior = self.engine.validate_device(&self.env.healthy[device], &contracts);
+            let delta = Fib::delta(&self.env.healthy[device], &self.truth[device]);
+            let incr = self
+                .engine
+                .validate_delta(&self.truth[device], &contracts, &delta, &prior);
+            if incr != expected {
+                return Err(InvariantViolation {
+                    invariant: "incremental-agreement",
+                    detail: format!(
+                        "device {device}: validate_delta over net churn ({} rules) diverges \
+                         from validate_device",
+                        delta.rule_count()
+                    ),
+                });
+            }
+        }
+
+        // 3. Counter balance.
+        let (lookups, hits, misses) = (self.cache.lookups(), self.cache.hits(), self.cache.misses());
+        if hits + misses != lookups {
+            return Err(InvariantViolation {
+                invariant: "counter-balance",
+                detail: format!("cache lookups {lookups} != hits {hits} + misses {misses}"),
+            });
+        }
+        if self.analytics.ingested() != self.out.completed {
+            return Err(InvariantViolation {
+                invariant: "counter-balance",
+                detail: format!(
+                    "analytics ingested {} != completed validations {}",
+                    self.analytics.ingested(),
+                    self.out.completed
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Apply one churn to a device's true table.
+fn churned(current: &Fib, healthy: &Fib, kind: ChurnKind) -> Fib {
+    match kind {
+        ChurnKind::Restore => healthy.clone(),
+        ChurnKind::DropRoute { index } => {
+            let eligible: Vec<_> = current
+                .entries()
+                .iter()
+                .filter(|e| !e.local)
+                .map(|e| e.prefix)
+                .collect();
+            if eligible.is_empty() {
+                return current.clone();
+            }
+            let target = eligible[index as usize % eligible.len()];
+            let mut b = FibBuilder::new(current.device());
+            for e in current.entries() {
+                if e.prefix == target {
+                    continue;
+                }
+                b.push(e.prefix, current.next_hops(e).to_vec(), e.local);
+            }
+            b.finish()
+        }
+        ChurnKind::NarrowEcmp { index } => {
+            let eligible: Vec<_> = current
+                .entries()
+                .iter()
+                .filter(|e| current.next_hops(e).len() > 1)
+                .map(|e| e.prefix)
+                .collect();
+            if eligible.is_empty() {
+                return current.clone();
+            }
+            let target = eligible[index as usize % eligible.len()];
+            let mut b = FibBuilder::new(current.device());
+            for e in current.entries() {
+                let mut hops = current.next_hops(e).to_vec();
+                if e.prefix == target {
+                    hops.truncate(1);
+                }
+                b.push(e.prefix, hops, e.local);
+            }
+            b.finish()
+        }
+    }
+}
+
+/// Execute a script against a fresh pipeline in `env` and check the
+/// convergence invariants. Fully deterministic: same env + script →
+/// same outcome, including every counter.
+pub fn run_script(env: &SimEnv, script: &Script) -> Result<SimOutcome, InvariantViolation> {
+    run_script_with(env, script, Flaws::default())
+}
+
+/// [`run_script`] with emulated soundness flaws — the self-test hook
+/// proving the invariants catch real staleness bugs.
+pub fn run_script_with(
+    env: &SimEnv,
+    script: &Script,
+    flaws: Flaws,
+) -> Result<SimOutcome, InvariantViolation> {
+    let mut sim = Sim::new(env, flaws);
+    for e in &script.events {
+        sim.schedule(e.at_ms, Task::Script(e.action));
+    }
+    let last = sim.drain();
+    sim.settle(last);
+    sim.check_invariants()?;
+    Ok(sim.out)
+}

@@ -1,0 +1,123 @@
+//! Negative-path tests for [`smtkit::Session`]: misuse and
+//! dead-end-recovery behavior that the happy-path differential tests
+//! never reach.
+//!
+//! The live pipeline leans on sessions surviving failed queries — one
+//! UNSAT contract must not poison the next check, and scope depth must
+//! be exactly restored — so those guarantees get pinned here.
+
+use smtkit::{Session, SmtResult};
+
+#[test]
+#[should_panic(expected = "pop without matching push")]
+fn pop_on_empty_scope_stack_panics() {
+    let mut s = Session::new();
+    s.pop();
+}
+
+#[test]
+#[should_panic(expected = "pop without matching push")]
+fn pop_past_the_last_open_scope_panics() {
+    let mut s = Session::new();
+    s.push();
+    s.pop();
+    s.pop(); // stack is empty again: must panic, not underflow
+}
+
+#[test]
+fn check_assuming_recovers_after_scoped_contradiction() {
+    let mut s = Session::new();
+    let (x, nx) = {
+        let a = s.arena_mut();
+        let x = a.bool_var("x");
+        (x, a.not(x))
+    };
+    s.assert(x);
+    assert_eq!(s.check(), SmtResult::Sat);
+
+    // Contradict inside a scope: the session is now a dead end …
+    s.push();
+    s.assert(nx);
+    assert_eq!(s.check(), SmtResult::Unsat);
+    // … and further assumption queries in the dead scope stay Unsat
+    // rather than wedging or panicking.
+    let t = s.arena().tru();
+    assert_eq!(s.check_assuming(&[t]), SmtResult::Unsat);
+
+    // Popping the scope retires the contradiction entirely.
+    s.pop();
+    assert_eq!(s.check(), SmtResult::Sat);
+    assert_eq!(s.check_assuming(&[x]), SmtResult::Sat);
+}
+
+#[test]
+fn permanent_contradiction_at_scope_zero_is_terminal() {
+    let mut s = Session::new();
+    let (x, nx) = {
+        let a = s.arena_mut();
+        let x = a.bool_var("x");
+        (x, a.not(x))
+    };
+    s.assert(x);
+    s.assert(nx);
+    assert_eq!(s.check(), SmtResult::Unsat);
+    // Depth-0 assertions are permanent: no assumption revives the
+    // session, but every query still answers cleanly.
+    let t = s.arena().tru();
+    assert_eq!(s.check_assuming(&[t]), SmtResult::Unsat);
+    assert_eq!(s.check_assuming(&[x]), SmtResult::Unsat);
+    assert_eq!(s.check(), SmtResult::Unsat);
+}
+
+#[test]
+fn scope_depth_is_restored_across_unsat_queries() {
+    let mut s = Session::new();
+    let (x, y, nx) = {
+        let a = s.arena_mut();
+        let x = a.bool_var("x");
+        let y = a.bool_var("y");
+        (x, y, a.not(x))
+    };
+    s.assert(x);
+    assert_eq!(s.scope_depth(), 0);
+
+    s.push();
+    s.assert(y);
+    assert_eq!(s.scope_depth(), 1);
+
+    // A failing assumption query must not disturb the scope stack.
+    assert_eq!(s.check_assuming(&[nx]), SmtResult::Unsat);
+    assert_eq!(s.scope_depth(), 1);
+
+    s.push();
+    s.assert(nx);
+    assert_eq!(s.check(), SmtResult::Unsat);
+    assert_eq!(s.scope_depth(), 2, "UNSAT check must not pop scopes");
+
+    s.pop();
+    assert_eq!(s.scope_depth(), 1);
+    assert_eq!(s.check(), SmtResult::Sat);
+    s.pop();
+    assert_eq!(s.scope_depth(), 0);
+    assert_eq!(s.check(), SmtResult::Sat);
+}
+
+#[test]
+fn failed_queries_still_count_in_session_stats() {
+    let mut s = Session::new();
+    let (x, nx) = {
+        let a = s.arena_mut();
+        let x = a.bool_var("x");
+        (x, a.not(x))
+    };
+    s.assert(x);
+    s.assert(nx);
+    let before = s.stats().queries;
+    assert_eq!(s.check(), SmtResult::Unsat);
+    assert_eq!(s.check(), SmtResult::Unsat);
+    assert_eq!(
+        s.stats().queries,
+        before + 2,
+        "UNSAT answers are queries too; analytics totals rely on it"
+    );
+}

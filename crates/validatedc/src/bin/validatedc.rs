@@ -160,54 +160,10 @@ fn cmd_validate(args: &[String]) -> Result<bool, String> {
     let meta = MetadataService::from_topology(&topology);
     let validator = Validator::new(&meta).engine(engine).threads(threads).build();
     let report = validator.run(&fibs);
-    println!(
-        "checked {} contracts on {} devices in {:?}: {} violations on {} devices",
-        report.contracts_checked(),
-        topology.devices().len(),
-        report.elapsed,
-        report.total_violations(),
-        report.dirty_devices()
+    print!(
+        "{}",
+        validatedc::render::render_validate_report(&report, &topology, &meta, Some(report.elapsed))
     );
-    let solver = report.solver_totals();
-    if solver.queries > 0 {
-        println!(
-            "solver: {} queries, {} conflicts, {} propagations, {} learned clauses, \
-             {} blast-cache hits / {} misses",
-            solver.queries,
-            solver.conflicts,
-            solver.propagations,
-            solver.learned,
-            solver.blast_cache_hits,
-            solver.blast_cache_misses
-        );
-    }
-    let mut shown = 0;
-    for (i, r) in report.reports.iter().enumerate() {
-        if r.is_clean() {
-            continue;
-        }
-        let device = DeviceId(i as u32);
-        let risk = r
-            .violations
-            .iter()
-            .map(|v| risk_of(v, &meta))
-            .max()
-            .unwrap();
-        let cause = classify_device(device, r, &topology, &meta)
-            .map(|c| format!("{:?}", c.cause))
-            .unwrap_or_default();
-        println!(
-            "  [{risk:?}] {} — {} violations — {}",
-            meta.device(device).name,
-            r.violations.len(),
-            cause
-        );
-        shown += 1;
-        if shown >= 20 {
-            println!("  … ({} more dirty devices)", report.dirty_devices() - shown);
-            break;
-        }
-    }
     Ok(report.is_clean())
 }
 

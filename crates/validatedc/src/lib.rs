@@ -40,6 +40,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod render;
+
 pub use bgpsim;
 pub use dcemu;
 pub use dctopo;

@@ -1,0 +1,92 @@
+//! Deterministic rendering of the `validatedc validate` report.
+//!
+//! Factored out of the CLI so the exact operator-facing text is
+//! golden-snapshot-tested: everything here is a pure function of the
+//! validation result (wall-clock time is the caller's optional
+//! suffix), so the same datacenter must render byte-identically
+//! forever — or the golden file must be re-blessed consciously.
+
+use dctopo::{DeviceId, MetadataService, Topology};
+use rcdc::classify::classify_device;
+use rcdc::report::risk_of;
+use rcdc::runner::DatacenterReport;
+use std::fmt::Write;
+use std::time::Duration;
+
+/// Dirty devices listed before the report truncates.
+const MAX_DEVICES_SHOWN: usize = 20;
+
+/// Render the validation summary, solver totals and triaged dirty-device
+/// list exactly as the CLI prints them. `elapsed` appends wall-clock
+/// time to the summary line when given (the CLI passes it; golden tests
+/// do not, keeping the output deterministic).
+pub fn render_validate_report(
+    report: &DatacenterReport,
+    topology: &Topology,
+    meta: &MetadataService,
+    elapsed: Option<Duration>,
+) -> String {
+    let mut out = String::new();
+    write!(
+        out,
+        "checked {} contracts on {} devices",
+        report.contracts_checked(),
+        topology.devices().len()
+    )
+    .unwrap();
+    if let Some(elapsed) = elapsed {
+        write!(out, " in {elapsed:?}").unwrap();
+    }
+    writeln!(
+        out,
+        ": {} violations on {} devices",
+        report.total_violations(),
+        report.dirty_devices()
+    )
+    .unwrap();
+    let solver = report.solver_totals();
+    if solver.queries > 0 {
+        writeln!(
+            out,
+            "solver: {} queries, {} conflicts, {} propagations, {} learned clauses, \
+             {} blast-cache hits / {} misses",
+            solver.queries,
+            solver.conflicts,
+            solver.propagations,
+            solver.learned,
+            solver.blast_cache_hits,
+            solver.blast_cache_misses
+        )
+        .unwrap();
+    }
+    let mut shown = 0;
+    for (i, r) in report.reports.iter().enumerate() {
+        if r.is_clean() {
+            continue;
+        }
+        let device = DeviceId(i as u32);
+        let risk = r
+            .violations
+            .iter()
+            .map(|v| risk_of(v, meta))
+            .max()
+            .unwrap();
+        let cause = classify_device(device, r, topology, meta)
+            .map(|c| format!("{:?}", c.cause))
+            .unwrap_or_default();
+        writeln!(
+            out,
+            "  [{risk:?}] {} — {} violations — {}",
+            meta.device(device).name,
+            r.violations.len(),
+            cause
+        )
+        .unwrap();
+        shown += 1;
+        if shown >= MAX_DEVICES_SHOWN {
+            writeln!(out, "  … ({} more dirty devices)", report.dirty_devices() - shown).unwrap();
+            break;
+        }
+    }
+    out
+}

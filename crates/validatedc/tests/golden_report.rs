@@ -1,0 +1,89 @@
+//! Golden snapshot of the `validatedc validate` report text.
+//!
+//! The rendered report is the operator-facing contract of the CLI:
+//! summary line, solver totals (`SessionStats`), and the triaged
+//! dirty-device list. This test pins the exact bytes for a fixed
+//! faulted datacenter on the SMT engine; any change to wording,
+//! triage, risk ranking, or solver accounting shows up as a diff.
+//!
+//! To update after an intentional change, bless the snapshot:
+//!
+//! ```text
+//! BLESS=1 cargo test -p validatedc --test golden_report
+//! ```
+
+use validatedc::prelude::*;
+use validatedc::render::render_validate_report;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/validate_report.txt");
+
+/// A small datacenter with two deterministically failed links — enough
+/// to produce violations on several devices with mixed risk ranks.
+fn rendered_report() -> String {
+    let params = ClosParams {
+        clusters: 2,
+        tors_per_cluster: 4,
+        leaves_per_cluster: 2,
+        spines: 4,
+        regional_spines: 2,
+        regional_groups: 1,
+        prefixes_per_tor: 1,
+    };
+    let mut topology = build_clos(&params);
+    let links = topology.links().len() as u32;
+    // Fixed link choices (not RNG-drawn) so the snapshot depends only
+    // on the generator and the validator, not on any PRNG stream.
+    for l in [3u32, links / 2, links - 5] {
+        topology.set_link_state(dctopo::LinkId(l), LinkState::OperDown);
+    }
+    let fibs = simulate(&topology, &SimConfig::healthy());
+    let meta = MetadataService::from_topology(&topology);
+    let validator = Validator::new(&meta)
+        .engine(EngineChoice::Smt)
+        .threads(1)
+        .build();
+    let report = validator.run(&fibs);
+    assert!(
+        !report.is_clean(),
+        "scenario must produce violations or the snapshot tests nothing"
+    );
+    let solver = report.solver_totals();
+    assert!(
+        solver.queries > 0,
+        "SMT engine must contribute SessionStats totals to the report"
+    );
+    render_validate_report(&report, &topology, &meta, None)
+}
+
+#[test]
+fn validate_report_matches_golden_snapshot() {
+    let got = rendered_report();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN).unwrap_or_else(|e| {
+        panic!("missing golden file {GOLDEN} ({e}); run with BLESS=1 to create it")
+    });
+    assert!(
+        got == want,
+        "report drifted from golden snapshot.\n--- golden\n{want}\n--- got\n{got}\n\
+         If the change is intentional, re-bless with:\n  \
+         BLESS=1 cargo test -p validatedc --test golden_report"
+    );
+}
+
+#[test]
+fn rendering_is_deterministic() {
+    assert_eq!(rendered_report(), rendered_report());
+}
+
+#[test]
+fn elapsed_suffix_is_the_only_nondeterministic_part() {
+    // The CLI passes `Some(elapsed)`; everything after the summary
+    // line must be identical with and without it.
+    let without = rendered_report();
+    let tail = without.split_once('\n').unwrap().1;
+    assert!(!tail.is_empty());
+    assert!(without.starts_with("checked "));
+}
