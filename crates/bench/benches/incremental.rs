@@ -21,9 +21,10 @@
 use bgpsim::{simulate, Fib, FibBuilder, SimConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use dctopo::{build_clos, ClosParams, MetadataService};
+use obskit::Registry;
 use rcdc::engine::{trie::TrieEngine, Engine};
 use rcdc::{generate_contracts, Validator};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Churn one device: truncate the first multi-hop entry's hop set.
 fn churn_one(fibs: &[Fib]) -> Vec<Fib> {
@@ -130,5 +131,65 @@ fn incremental(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, incremental);
+/// E15 — observability overhead. The unified metrics layer claims its
+/// pre-resolved handles make instrumentation free on the hot path;
+/// this holds the claim to a number: an instrumented warm incremental
+/// pass (the steady-state workload) must stay within 2% of an
+/// uninstrumented one. Min-of-trials on both sides drowns scheduler
+/// noise, which only ever inflates a measurement.
+fn observability_overhead(c: &mut Criterion) {
+    let topology = build_clos(&ClosParams::default());
+    let fibs = simulate(&topology, &SimConfig::healthy());
+    let meta = MetadataService::from_topology(&topology);
+
+    let plain = Validator::new(&meta).build();
+    let registry = Registry::new();
+    let observed = Validator::new(&meta).metrics(&registry).build();
+    let plain_report = plain.run(&fibs);
+    let observed_report = observed.run(&fibs);
+
+    let mut group = c.benchmark_group("E15/observability_overhead");
+    group.sample_size(10);
+    group.bench_function("warm_plain", |b| {
+        b.iter(|| plain.run_incremental(&fibs, &plain_report))
+    });
+    group.bench_function("warm_observed", |b| {
+        b.iter(|| observed.run_incremental(&fibs, &observed_report))
+    });
+    group.finish();
+
+    // The acceptance number, enforced in `--test` smoke mode too.
+    const TRIALS: usize = 5;
+    const PASSES: u32 = 60;
+    let min_warm = |v: &Validator, warm: &rcdc::DatacenterReport| {
+        (0..TRIALS)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..PASSES {
+                    v.run_incremental(&fibs, warm);
+                }
+                t0.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let base = min_warm(&plain, &plain_report);
+    let instrumented = min_warm(&observed, &observed_report);
+    let overhead =
+        instrumented.as_secs_f64() / base.as_secs_f64() - 1.0;
+    println!(
+        "E15: warm pass {:?} plain vs {:?} instrumented ({:+.2}% overhead)",
+        base / PASSES,
+        instrumented / PASSES,
+        overhead * 100.0
+    );
+    // 2% relative, with a small absolute floor so sub-microsecond
+    // timer jitter cannot fail the run on its own.
+    assert!(
+        instrumented <= base.mul_f64(1.02) + Duration::from_micros(200),
+        "instrumented warm pass exceeds 2% overhead: plain {base:?}, observed {instrumented:?}"
+    );
+}
+
+criterion_group!(benches, incremental, observability_overhead);
 criterion_main!(benches);

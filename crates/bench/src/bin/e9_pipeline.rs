@@ -9,9 +9,11 @@
 
 use bgpsim::{simulate, SimConfig};
 use dctopo::{build_clos, ClosParams, DeviceId, MetadataService};
+use obskit::Registry;
 use rcdc::contracts::generate_contracts;
 use rcdc::pipeline::{
-    run_sweep, ContractStore, FibStore, SimulatedSource, StreamAnalytics, VerdictCache,
+    run_sweep, ContractStore, FibStore, PipelineMetrics, SimulatedSource, StreamAnalytics,
+    VerdictCache,
 };
 use std::time::{Duration, Instant};
 
@@ -35,7 +37,7 @@ fn main() {
     }
     let devices: Vec<DeviceId> = topology.devices().iter().map(|d| d.id).collect();
 
-    println!("pull_workers,devices,pull_latency_ms,sweep_s,devices_per_s,mean_validate_ms,extrapolated_10k_sweep_s");
+    println!("pull_workers,devices,pull_latency_ms,sweep_s,devices_per_s,mean_validate_ms,p50_validate_ms,p99_validate_ms,extrapolated_10k_sweep_s");
     for pull_workers in [8usize, 32, 64] {
         // §2.6.1's 200–800 ms pull latency, scaled down 10x so the
         // bench finishes quickly; the throughput math scales linearly.
@@ -44,6 +46,8 @@ fn main() {
         let fib_store = FibStore::default();
         let cache = VerdictCache::default();
         let analytics = StreamAnalytics::default();
+        let registry = Registry::new();
+        let metrics = PipelineMetrics::new(&registry);
         let t0 = Instant::now();
         run_sweep(
             &devices,
@@ -54,18 +58,30 @@ fn main() {
             &analytics,
             pull_workers,
             2,
+            Some(&metrics),
         );
         let sweep = t0.elapsed();
         let rate = devices.len() as f64 / sweep.as_secs_f64();
         // At 10x the latency, per-worker throughput drops 10x.
         let extrapolated = 10_000.0 / (rate / 10.0);
+        // Quantiles come from the exported validate-latency histogram
+        // (a cold sweep validates everything in full mode).
+        let snap = registry.observe_and_snapshot(&[&analytics]);
+        let quantile_ms = |q: f64| {
+            snap.histogram("rcdc_validate_latency_ns", &[("mode", "full")])
+                .and_then(|h| h.quantile(q))
+                .map(|ns| ns as f64 / 1e6)
+                .unwrap_or(f64::NAN)
+        };
         println!(
-            "{},{},20-80,{:.2},{:.1},{:.3},{:.1}",
+            "{},{},20-80,{:.2},{:.1},{:.3},{:.3},{:.3},{:.1}",
             pull_workers,
             devices.len(),
             sweep.as_secs_f64(),
             rate,
             analytics.mean_validate_time().as_secs_f64() * 1000.0,
+            quantile_ms(0.50),
+            quantile_ms(0.99),
             extrapolated
         );
     }

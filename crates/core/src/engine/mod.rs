@@ -52,6 +52,105 @@ pub trait Engine {
     fn name(&self) -> &'static str;
 }
 
+/// Forwarding impl so boxed engines (the [`crate::runner::EngineChoice`]
+/// registry's output) compose with decorators like [`ObservedEngine`].
+impl Engine for Box<dyn Engine + Sync> {
+    fn validate_device(&self, fib: &Fib, contracts: &DeviceContracts) -> ValidationReport {
+        (**self).validate_device(fib, contracts)
+    }
+
+    fn validate_delta(
+        &self,
+        fib: &Fib,
+        contracts: &DeviceContracts,
+        delta: &FibDelta,
+        prior: &ValidationReport,
+    ) -> ValidationReport {
+        (**self).validate_delta(fib, contracts, delta, prior)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// An [`Engine`] decorator that counts checks and times them into an
+/// [`obskit::Registry`]: the `rcdc_engine_checks_total{engine=...}`
+/// counters and `rcdc_engine_check_latency_ns{engine=...}` histograms,
+/// further labeled by `op` (`full` or `delta`).
+///
+/// Handles are resolved once at construction; each validated device
+/// then costs four atomic ops on top of the wrapped engine's work.
+pub struct ObservedEngine<E> {
+    inner: E,
+    full_checks: obskit::Counter,
+    delta_checks: obskit::Counter,
+    full_latency: obskit::Histogram,
+    delta_latency: obskit::Histogram,
+}
+
+impl<E: Engine> ObservedEngine<E> {
+    /// Wrap `inner`, registering its metric families in `registry`
+    /// under the engine's [`name`](Engine::name) label.
+    pub fn new(inner: E, registry: &obskit::Registry) -> Self {
+        let engine = inner.name();
+        let checks = |op| {
+            registry.counter(
+                "rcdc_engine_checks_total",
+                "per-device validations by engine and operation",
+                &[("engine", engine), ("op", op)],
+            )
+        };
+        let latency = |op| {
+            registry.histogram(
+                "rcdc_engine_check_latency_ns",
+                "per-device validation latency in nanoseconds, by engine and operation",
+                &[("engine", engine), ("op", op)],
+            )
+        };
+        ObservedEngine {
+            inner,
+            full_checks: checks("full"),
+            delta_checks: checks("delta"),
+            full_latency: latency("full"),
+            delta_latency: latency("delta"),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: Engine> Engine for ObservedEngine<E> {
+    fn validate_device(&self, fib: &Fib, contracts: &DeviceContracts) -> ValidationReport {
+        self.full_checks.inc();
+        let timer = self.full_latency.start_timer();
+        let report = self.inner.validate_device(fib, contracts);
+        timer.stop();
+        report
+    }
+
+    fn validate_delta(
+        &self,
+        fib: &Fib,
+        contracts: &DeviceContracts,
+        delta: &FibDelta,
+        prior: &ValidationReport,
+    ) -> ValidationReport {
+        self.delta_checks.inc();
+        let timer = self.delta_latency.start_timer();
+        let report = self.inner.validate_delta(fib, contracts, delta, prior);
+        timer.stop();
+        report
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod testutil {
     use bgpsim::{simulate, Fib, SimConfig};

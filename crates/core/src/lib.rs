@@ -57,9 +57,7 @@ pub mod validator;
 
 pub use clock::{Clock, RealClock, VirtualClock};
 pub use contracts::{generate_contracts, Contract, ContractKind, DeviceContracts};
-pub use engine::{trie::TrieEngine, smt::SmtEngine, Engine};
+pub use engine::{trie::TrieEngine, smt::SmtEngine, Engine, ObservedEngine};
 pub use report::{Risk, ValidationReport, Violation, ViolationReason};
-pub use runner::{DatacenterReport, EngineChoice, RunnerOptions};
-#[allow(deprecated)]
-pub use runner::validate_datacenter;
+pub use runner::{DatacenterReport, EngineChoice, PassMetrics};
 pub use validator::{Validator, ValidatorBuilder};

@@ -37,6 +37,7 @@ use bgpsim::Fib;
 use crossbeam::channel;
 use dctopo::{DeviceId, MetadataService};
 use netprim::wire::WireSnapshot;
+use obskit::{Counter, Gauge, Histogram, MetricsSnapshot, Observer, Registry};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -147,9 +148,9 @@ pub struct CachedVerdict {
 #[derive(Default)]
 pub struct VerdictCache {
     inner: RwLock<HashMap<DeviceId, CachedVerdict>>,
-    lookups: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    lookups: Counter,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl VerdictCache {
@@ -161,18 +162,18 @@ impl VerdictCache {
         fib_hash: u64,
         contract_epoch: u64,
     ) -> Option<ValidationReport> {
-        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.lookups.inc();
         let hit = self.inner.read().get(&device).and_then(|c| {
             (c.fib_hash == fib_hash && c.contract_epoch == contract_epoch)
                 .then(|| c.report.clone())
         });
         match hit {
             Some(r) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(r)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -204,20 +205,61 @@ impl VerdictCache {
     }
 
     /// Lookups answered from cache so far.
+    #[deprecated(since = "0.5.0", note = "read `snapshot()` instead: \
+        `snapshot().counter(\"rcdc_verdict_cache_hits_total\", &[])`")]
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Lookups that required validation so far.
+    #[deprecated(since = "0.5.0", note = "read `snapshot()` instead: \
+        `snapshot().counter(\"rcdc_verdict_cache_misses_total\", &[])`")]
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
-    /// Total [`lookup`](Self::lookup) calls. Always equals
-    /// `hits() + misses()` — the balance invariant the fault-injection
-    /// harness and the stress tests assert.
+    /// Total [`lookup`](Self::lookup) calls. Always equals hits plus
+    /// misses — the balance invariant the fault-injection harness and
+    /// the stress tests assert.
+    #[deprecated(since = "0.5.0", note = "read `snapshot()` instead: \
+        `snapshot().counter(\"rcdc_verdict_cache_lookups_total\", &[])`")]
     pub fn lookups(&self) -> u64 {
-        self.lookups.load(Ordering::Relaxed)
+        self.lookups.get()
+    }
+
+    /// Point-in-time view of the cache's metrics: the
+    /// `rcdc_verdict_cache_{lookups,hits,misses}_total` counter
+    /// families.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let registry = Registry::new();
+        self.observe(&registry);
+        registry.snapshot()
+    }
+}
+
+impl Observer for VerdictCache {
+    /// Adopt the cache's live counters, so every later
+    /// [`lookup`](VerdictCache::lookup) keeps flowing into the
+    /// registry's exported families.
+    fn observe(&self, registry: &Registry) {
+        registry.register_counter(
+            "rcdc_verdict_cache_lookups_total",
+            "verdict-cache lookups by validator workers",
+            &[],
+            &self.lookups,
+        );
+        registry.register_counter(
+            "rcdc_verdict_cache_hits_total",
+            "verdict-cache lookups answered with a cached report",
+            &[],
+            &self.hits,
+        );
+        registry.register_counter(
+            "rcdc_verdict_cache_misses_total",
+            "verdict-cache lookups that required validation",
+            &[],
+            &self.misses,
+        );
     }
 }
 
@@ -354,22 +396,48 @@ pub struct PipelineResult {
 #[derive(Default)]
 pub struct StreamAnalytics {
     results: RwLock<HashMap<DeviceId, PipelineResult>>,
-    ingested: AtomicU64,
+    ingested: Counter,
+    /// Per-mode validate-latency histograms, recording *every* ingested
+    /// result (not just the latest per device): full, incremental,
+    /// cache-hit — indexed by [`latency_slot`].
+    latency: [Histogram; 3],
+}
+
+/// Index of a [`ValidateMode`]'s latency histogram in
+/// [`StreamAnalytics::latency`].
+fn latency_slot(mode: ValidateMode) -> usize {
+    match mode {
+        ValidateMode::Full => 0,
+        ValidateMode::Incremental => 1,
+        ValidateMode::CacheHit => 2,
+    }
+}
+
+/// Exporter label for a [`ValidateMode`].
+fn mode_label(mode: ValidateMode) -> &'static str {
+    match mode {
+        ValidateMode::Full => "full",
+        ValidateMode::Incremental => "incremental",
+        ValidateMode::CacheHit => "cache_hit",
+    }
 }
 
 impl StreamAnalytics {
     /// Ingest one result (latest wins, like a keyed stream).
     pub fn ingest(&self, r: PipelineResult) {
-        self.ingested.fetch_add(1, Ordering::Relaxed);
+        self.ingested.inc();
+        self.latency[latency_slot(r.mode)].record_duration(r.validate_time);
         self.results.write().insert(r.device, r);
     }
 
     /// Total results ever ingested (monotone; `len()` only counts the
     /// latest result per device). The pipeline invariant is
-    /// `ingested() == completed validations`: every verdict a worker
+    /// `ingested == completed validations`: every verdict a worker
     /// produces reaches the sink exactly once.
+    #[deprecated(since = "0.5.0", note = "read `snapshot()` instead: \
+        `snapshot().counter(\"rcdc_analytics_ingested_total\", &[])`")]
     pub fn ingested(&self) -> u64 {
-        self.ingested.load(Ordering::Relaxed)
+        self.ingested.get()
     }
 
     /// Number of devices with results.
@@ -414,14 +482,21 @@ impl StreamAnalytics {
         v
     }
 
-    /// Mean validation latency over all ingested results.
+    /// Mean validation latency over *all* ingested results, not just
+    /// the latest per device — re-validating the same device twice
+    /// averages both measurements. (An earlier version divided the sum
+    /// of the retained latest-per-device results by their count, so a
+    /// duplicate-heavy stream skewed the mean toward whichever result
+    /// happened to be retained.)
     pub fn mean_validate_time(&self) -> Duration {
-        let results = self.results.read();
-        if results.is_empty() {
+        let (sum, count) = self
+            .latency
+            .iter()
+            .fold((0u64, 0u64), |(s, c), h| (s + h.sum(), c + h.count()));
+        if count == 0 {
             return Duration::ZERO;
         }
-        let total: Duration = results.values().map(|r| r.validate_time).sum();
-        total / results.len() as u32
+        Duration::from_nanos(sum / count)
     }
 
     /// The latest result for one device.
@@ -452,6 +527,99 @@ impl StreamAnalytics {
             count(ValidateMode::CacheHit),
         )
     }
+
+    /// Point-in-time view of the sink's metrics: ingest counter,
+    /// per-mode validate-latency histograms, device/dirty gauges, and
+    /// the solver-session totals of the retained reports.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let registry = Registry::new();
+        self.observe(&registry);
+        registry.snapshot()
+    }
+}
+
+impl Observer for StreamAnalytics {
+    /// Adopt the live ingest counter and latency histograms, and
+    /// publish point-in-time gauges over the retained results
+    /// (device counts and summed solver-session stats).
+    fn observe(&self, registry: &Registry) {
+        registry.register_counter(
+            "rcdc_analytics_ingested_total",
+            "results ingested by the stream-analytics sink",
+            &[],
+            &self.ingested,
+        );
+        for mode in [
+            ValidateMode::Full,
+            ValidateMode::Incremental,
+            ValidateMode::CacheHit,
+        ] {
+            registry.register_histogram(
+                "rcdc_validate_latency_ns",
+                "per-notification validate latency in nanoseconds",
+                &[("mode", mode_label(mode))],
+                &self.latency[latency_slot(mode)],
+            );
+        }
+        registry
+            .gauge(
+                "rcdc_analytics_devices",
+                "devices with a retained latest result",
+                &[],
+            )
+            .set(self.len() as i64);
+        registry
+            .gauge(
+                "rcdc_analytics_dirty_devices",
+                "devices whose latest report has violations",
+                &[],
+            )
+            .set(self.dirty_devices().len() as i64);
+        self.solver_totals()
+            .observe_into(registry, "rcdc_solver", &[]);
+    }
+}
+
+/// Pre-resolved metric handles for the pipeline's hot path.
+///
+/// Workers touch these on every notification, so the handles are
+/// created once (a few registry lookups) and then cost one atomic op
+/// each — no name hashing or lock acquisition per event.
+#[derive(Clone)]
+pub struct PipelineMetrics {
+    mode_totals: [Counter; 3],
+    queue_depth: Gauge,
+}
+
+impl PipelineMetrics {
+    /// Create (or re-attach to) the pipeline's metric families in
+    /// `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        let mode_counter = |mode| {
+            registry.counter(
+                "rcdc_validate_mode_total",
+                "verdicts produced, by validation mode",
+                &[("mode", mode_label(mode))],
+            )
+        };
+        PipelineMetrics {
+            mode_totals: [
+                mode_counter(ValidateMode::Full),
+                mode_counter(ValidateMode::Incremental),
+                mode_counter(ValidateMode::CacheHit),
+            ],
+            queue_depth: registry.gauge(
+                "rcdc_queue_depth",
+                "validator work-queue depth sampled at dequeue",
+                &[],
+            ),
+        }
+    }
+
+    /// Count one produced verdict.
+    fn record_mode(&self, mode: ValidateMode) {
+        self.mode_totals[latency_slot(mode)].inc();
+    }
 }
 
 /// Process one validator-queue notification: the exact per-device step
@@ -473,6 +641,7 @@ pub fn validate_notification(
     cache: &VerdictCache,
     engine: &dyn Engine,
     clock: &dyn Clock,
+    metrics: Option<&PipelineMetrics>,
 ) -> Option<PipelineResult> {
     let (contracts, epoch) = contract_store.get_versioned(device)?;
     let fib = fib_store.get(device)?;
@@ -505,6 +674,9 @@ pub fn validate_notification(
             (report, mode)
         }
     };
+    if let Some(m) = metrics {
+        m.record_mode(mode);
+    }
     Some(PipelineResult {
         device,
         report,
@@ -533,6 +705,7 @@ pub fn run_sweep(
     analytics: &StreamAnalytics,
     pull_workers: usize,
     validate_workers: usize,
+    metrics: Option<&PipelineMetrics>,
 ) {
     let (tx, rx) = channel::unbounded::<DeviceId>();
     let device_cursor = std::sync::atomic::AtomicUsize::new(0);
@@ -562,6 +735,9 @@ pub fn run_sweep(
                 let engine = TrieEngine::new();
                 let clock = RealClock::new();
                 while let Ok(device) = rx.recv() {
+                    if let Some(m) = metrics {
+                        m.queue_depth.set(rx.len() as i64);
+                    }
                     if let Some(result) = validate_notification(
                         device,
                         contract_store,
@@ -569,6 +745,7 @@ pub fn run_sweep(
                         cache,
                         &engine,
                         &clock,
+                        metrics,
                     ) {
                         analytics.ingest(result);
                     }
@@ -606,7 +783,7 @@ mod tests {
         let devices: Vec<DeviceId> = f.topology.devices().iter().map(|d| d.id).collect();
         let source = SimulatedSource::new(fibs);
         let (cs, fs, cache, analytics) = stores_for(contracts);
-        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics, 2, 2);
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics, 2, 2, None);
         assert_eq!(analytics.len(), devices.len());
         assert!(analytics.dirty_devices().is_empty());
         // The trie-backed sweep never touches a solver.
@@ -619,7 +796,7 @@ mod tests {
         let devices: Vec<DeviceId> = f.topology.devices().iter().map(|d| d.id).collect();
         let source = SimulatedSource::new(fibs);
         let (cs, fs, cache, analytics) = stores_for(contracts);
-        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics, 3, 2);
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics, 3, 2, None);
         let dirty = analytics.dirty_devices();
         assert_eq!(dirty.len(), 16);
         // High-risk alerts must include both ToRs (default degraded to
@@ -640,7 +817,7 @@ mod tests {
         let devices: Vec<DeviceId> = f.topology.devices().iter().map(|d| d.id).collect();
         let source = SimulatedSource::new(fibs);
         let (cs, fs, cache, analytics) = stores_for(contracts);
-        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics, 2, 2);
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics, 2, 2, None);
         let contracted = devices.iter().filter(|d| cs.get(**d).is_some()).count();
         let (full, incr, hit) = analytics.mode_counts();
         assert_eq!((full, incr, hit), (contracted, 0, 0));
@@ -648,10 +825,13 @@ mod tests {
         // Same snapshots, same contracts: every verdict is one hash
         // comparison away.
         let analytics2 = StreamAnalytics::default();
-        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics2, 2, 2);
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics2, 2, 2, None);
         let (full, incr, hit) = analytics2.mode_counts();
         assert_eq!((full, incr, hit), (0, 0, contracted));
-        assert_eq!(cache.hits(), contracted as u64);
+        assert_eq!(
+            cache.snapshot().counter("rcdc_verdict_cache_hits_total", &[]),
+            Some(contracted as u64)
+        );
         for d in &devices {
             let (a, b) = (analytics.result(*d), analytics2.result(*d));
             assert_eq!(a.map(|r| r.report), b.map(|r| r.report));
@@ -672,6 +852,7 @@ mod tests {
             &analytics,
             2,
             2,
+            None,
         );
 
         // Drop one specific from one ToR between sweeps.
@@ -697,6 +878,7 @@ mod tests {
             &analytics2,
             2,
             2,
+            None,
         );
         let (full, incr, hit) = analytics2.mode_counts();
         assert_eq!((full, incr), (0, 1));
@@ -716,7 +898,7 @@ mod tests {
         let devices: Vec<DeviceId> = f.topology.devices().iter().map(|d| d.id).collect();
         let source = SimulatedSource::new(fibs);
         let (cs, fs, cache, analytics) = stores_for(contracts.clone());
-        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics, 2, 2);
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics, 2, 2, None);
 
         // Republishing bumps the device's contract epoch, so the cached
         // verdict — keyed on (fib hash, epoch) — no longer applies even
@@ -724,14 +906,14 @@ mod tests {
         let tor = f.tors[0];
         cs.put(tor, contracts[tor.0 as usize].clone());
         let analytics2 = StreamAnalytics::default();
-        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics2, 2, 2);
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics2, 2, 2, None);
         let r = analytics2.result(tor).unwrap();
         assert_eq!(r.mode, ValidateMode::Full);
         let (_, _, hit) = analytics2.mode_counts();
         assert_eq!(hit, analytics2.len() - 1);
         // The re-check under the fresh epoch repopulates the cache.
         let analytics3 = StreamAnalytics::default();
-        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics3, 2, 2);
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics3, 2, 2, None);
         assert_eq!(analytics3.result(tor).unwrap().mode, ValidateMode::CacheHit);
     }
 
@@ -787,5 +969,102 @@ mod tests {
         assert_eq!(cs.len(), f.topology.len());
         assert!(!cs.get(f.tors[0]).unwrap().is_empty());
         assert!(cs.get(DeviceId(9999)).is_none());
+    }
+
+    fn result_for(device: DeviceId, micros: u64, mode: ValidateMode) -> PipelineResult {
+        PipelineResult {
+            device,
+            report: ValidationReport::default(),
+            validate_time: Duration::from_micros(micros),
+            mode,
+        }
+    }
+
+    /// The deprecated getters are thin views over the unified metric
+    /// cells — they must agree with `snapshot()` exactly, always.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_getters_match_snapshot_counters() {
+        let cache = VerdictCache::default();
+        let d = DeviceId(0);
+        assert!(cache.lookup(d, 1, 1).is_none());
+        cache.store(d, 1, 1, ValidationReport::default());
+        assert!(cache.lookup(d, 1, 1).is_some());
+        assert!(cache.lookup(d, 2, 1).is_none());
+        let snap = cache.snapshot();
+        assert_eq!(
+            snap.counter("rcdc_verdict_cache_lookups_total", &[]),
+            Some(cache.lookups())
+        );
+        assert_eq!(
+            snap.counter("rcdc_verdict_cache_hits_total", &[]),
+            Some(cache.hits())
+        );
+        assert_eq!(
+            snap.counter("rcdc_verdict_cache_misses_total", &[]),
+            Some(cache.misses())
+        );
+
+        let analytics = StreamAnalytics::default();
+        for i in 0..5 {
+            analytics.ingest(result_for(DeviceId(i), 100, ValidateMode::Full));
+        }
+        assert_eq!(
+            analytics
+                .snapshot()
+                .counter("rcdc_analytics_ingested_total", &[]),
+            Some(analytics.ingested())
+        );
+    }
+
+    /// Regression for the duplicate-ingestion skew: the mean must
+    /// weight every ingested result, not just the retained
+    /// latest-per-device ones. Here one device is revalidated many
+    /// times; the old retained-results mean reported 10 µs (one
+    /// retained result, sum over all ten).
+    #[test]
+    fn mean_validate_time_weights_every_ingested_result() {
+        let analytics = StreamAnalytics::default();
+        for _ in 0..9 {
+            analytics.ingest(result_for(DeviceId(0), 100, ValidateMode::Full));
+        }
+        analytics.ingest(result_for(DeviceId(0), 1_000, ValidateMode::Incremental));
+        assert_eq!(analytics.len(), 1, "latest-wins keying retains one result");
+        let mean = analytics.mean_validate_time();
+        // (9·100 + 1000) / 10 = 190 µs.
+        assert_eq!(mean, Duration::from_micros(190));
+        // The per-mode histograms carry the same story for exporters.
+        let snap = analytics.snapshot();
+        let full = snap
+            .histogram("rcdc_validate_latency_ns", &[("mode", "full")])
+            .unwrap();
+        assert_eq!(full.count, 9);
+        let incr = snap
+            .histogram("rcdc_validate_latency_ns", &[("mode", "incremental")])
+            .unwrap();
+        assert_eq!(incr.count, 1);
+    }
+
+    /// The sweep-facing hot-path handles: mode counters accumulate
+    /// across sweeps sharing one registry, and the queue-depth gauge
+    /// is sampled (present) after a sweep ran with metrics attached.
+    #[test]
+    fn pipeline_metrics_count_modes_across_sweeps() {
+        let (f, fibs, contracts, _meta) = fig3_healthy();
+        let devices: Vec<DeviceId> = f.topology.devices().iter().map(|d| d.id).collect();
+        let source = SimulatedSource::new(fibs);
+        let (cs, fs, cache, analytics) = stores_for(contracts);
+        let registry = Registry::new();
+        let metrics = PipelineMetrics::new(&registry);
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics, 2, 2, Some(&metrics));
+        run_sweep(&devices, &source, &cs, &fs, &cache, &analytics, 2, 2, Some(&metrics));
+        let snap = registry.snapshot();
+        let mode = |m| snap.counter("rcdc_validate_mode_total", &[("mode", m)]);
+        // Every device validates in full on the first sweep and is
+        // served from the cache on the identical second sweep.
+        assert_eq!(mode("full"), Some(devices.len() as u64));
+        assert_eq!(mode("cache_hit"), Some(devices.len() as u64));
+        assert_eq!(mode("incremental"), Some(0));
+        assert!(snap.gauge("rcdc_queue_depth", &[]).is_some());
     }
 }

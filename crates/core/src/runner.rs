@@ -18,6 +18,7 @@ use crate::contracts::DeviceContracts;
 use crate::engine::{smt::SmtEngine, trie::TrieEngine, Engine};
 use crate::report::ValidationReport;
 use bgpsim::Fib;
+use obskit::{Counter, Histogram, Observer, Registry};
 use std::time::{Duration, Instant};
 
 /// Which verification engine the runner uses.
@@ -40,8 +41,8 @@ impl EngineChoice {
     ///
     /// This is the single place an [`Engine`] implementation is chosen
     /// at runtime; everything downstream (the [`crate::Validator`],
-    /// the deprecated [`validate_datacenter`], benchmark harnesses)
-    /// goes through it rather than naming concrete engine types.
+    /// benchmark harnesses) goes through it rather than naming
+    /// concrete engine types.
     pub fn instantiate(self) -> Box<dyn Engine + Sync> {
         match self {
             EngineChoice::Trie => Box::new(TrieEngine::new()),
@@ -92,14 +93,56 @@ impl std::str::FromStr for EngineChoice {
     }
 }
 
-/// Runner configuration (used by the deprecated [`validate_datacenter`]
-/// entry point; new code configures a [`crate::Validator`] instead).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct RunnerOptions {
-    /// Engine backend.
-    pub engine: EngineChoice,
-    /// Worker threads; 0 or 1 = current thread only.
-    pub threads: usize,
+/// Pre-resolved metric handles for validation passes, attached to a
+/// [`crate::Validator`] via
+/// [`ValidatorBuilder::metrics`](crate::ValidatorBuilder::metrics).
+///
+/// Recording one pass is a handful of atomic ops — cheap enough that
+/// instrumented warm passes stay within noise of uninstrumented ones
+/// (EXPERIMENTS.md E15 holds this under 2%).
+#[derive(Clone)]
+pub struct PassMetrics {
+    pass_latency: Histogram,
+    devices_validated: Counter,
+    devices_reused: Counter,
+    violations: Counter,
+}
+
+impl PassMetrics {
+    /// Create (or re-attach to) the pass metric families in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        PassMetrics {
+            pass_latency: registry.histogram(
+                "rcdc_pass_latency_ns",
+                "wall-clock duration of a datacenter validation pass in nanoseconds",
+                &[],
+            ),
+            devices_validated: registry.counter(
+                "rcdc_pass_devices_validated_total",
+                "devices actually validated (not carried over) across passes",
+                &[],
+            ),
+            devices_reused: registry.counter(
+                "rcdc_pass_devices_reused_total",
+                "device verdicts carried over from a warm-start report",
+                &[],
+            ),
+            violations: registry.counter(
+                "rcdc_pass_violations_total",
+                "contract violations reported across passes",
+                &[],
+            ),
+        }
+    }
+
+    /// Record one completed pass.
+    pub(crate) fn record(&self, report: &DatacenterReport) {
+        self.pass_latency.record_duration(report.elapsed);
+        self.devices_validated
+            .add((report.reports.len() - report.reused) as u64);
+        self.devices_reused.add(report.reused as u64);
+        self.violations.add(report.total_violations() as u64);
+    }
 }
 
 /// Aggregate result of a datacenter validation pass.
@@ -117,8 +160,8 @@ pub struct DatacenterReport {
     pub elapsed: Duration,
     /// Per-device FIB content hashes, indexed like `reports`.
     pub fib_hashes: Vec<u64>,
-    /// Contract epoch the pass validated against (0 for the deprecated
-    /// free-function entry point; republishing contracts bumps it).
+    /// Contract epoch the pass validated against (republishing
+    /// contracts bumps it).
     pub contract_epoch: u64,
     /// Devices whose verdict was carried over from the warm-start
     /// report instead of revalidated (0 on a cold pass).
@@ -158,6 +201,42 @@ impl DatacenterReport {
     }
 }
 
+impl Observer for DatacenterReport {
+    /// Publish this pass's point-in-time gauges: device/violation
+    /// counts, reuse, elapsed time, and the summed solver-session
+    /// counters as the `rcdc_solver_*` family.
+    fn observe(&self, registry: &Registry) {
+        let gauge = |name, help, v: i64| registry.gauge(name, help, &[]).set(v);
+        gauge(
+            "rcdc_pass_devices",
+            "devices covered by the last pass",
+            self.reports.len() as i64,
+        );
+        gauge(
+            "rcdc_pass_dirty_devices",
+            "devices with at least one violation in the last pass",
+            self.dirty_devices() as i64,
+        );
+        gauge(
+            "rcdc_pass_violations",
+            "violations found by the last pass",
+            self.total_violations() as i64,
+        );
+        gauge(
+            "rcdc_pass_reused",
+            "verdicts carried over from warm start in the last pass",
+            self.reused as i64,
+        );
+        gauge(
+            "rcdc_pass_elapsed_ns",
+            "wall-clock duration of the last pass in nanoseconds",
+            i64::try_from(self.elapsed.as_nanos()).unwrap_or(i64::MAX),
+        );
+        self.solver_totals()
+            .observe_into(registry, "rcdc_solver", &[]);
+    }
+}
+
 /// Validate `jobs` (device FIB + contracts pairs), returning reports in
 /// job order.
 ///
@@ -194,7 +273,7 @@ fn validate_jobs(
 }
 
 /// One validation pass, cold or warm. Shared implementation behind the
-/// [`crate::Validator`] facade and the deprecated [`validate_datacenter`].
+/// [`crate::Validator`] facade.
 pub(crate) fn run_pass(
     engine: &(dyn Engine + Sync),
     threads: usize,
@@ -202,6 +281,7 @@ pub(crate) fn run_pass(
     contracts: &[DeviceContracts],
     contract_epoch: u64,
     warm: Option<&DatacenterReport>,
+    metrics: Option<&PassMetrics>,
 ) -> DatacenterReport {
     assert_eq!(fibs.len(), contracts.len(), "fibs and contracts must align");
     let start = Instant::now();
@@ -238,30 +318,17 @@ pub(crate) fn run_pass(
         reports[i] = r;
     }
 
-    DatacenterReport {
+    let report = DatacenterReport {
         reports,
         elapsed: start.elapsed(),
         fib_hashes,
         contract_epoch,
         reused,
+    };
+    if let Some(m) = metrics {
+        m.record(&report);
     }
-}
-
-/// Validate every device's FIB against its contracts.
-///
-/// `fibs` and `contracts` are both indexed by device id (as produced by
-/// [`bgpsim::simulate`] and [`crate::generate_contracts`]).
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `Validator` facade: `Validator::with_contracts(contracts).engine(...).threads(...).build().run(fibs)`"
-)]
-pub fn validate_datacenter(
-    fibs: &[Fib],
-    contracts: &[DeviceContracts],
-    options: RunnerOptions,
-) -> DatacenterReport {
-    let engine = options.engine.instantiate();
-    run_pass(engine.as_ref(), options.threads, fibs, contracts, 0, None)
+    report
 }
 
 #[cfg(test)]
@@ -353,15 +420,44 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_validator() {
+    fn pass_metrics_accumulate_across_runs() {
         let (_f, fibs, contracts, _meta) = fig3_faulted();
-        let shim = validate_datacenter(&fibs, &contracts, RunnerOptions::default());
-        let v = Validator::with_contracts(contracts).build();
-        let new = v.run(&fibs);
-        assert_eq!(shim.reports, new.reports);
-        assert_eq!(shim.fib_hashes, new.fib_hashes);
-        assert_eq!(shim.contract_epoch, 0);
+        let registry = Registry::new();
+        let v = Validator::with_contracts(contracts)
+            .metrics(&registry)
+            .build();
+        let first = v.run(&fibs);
+        let second = v.run_incremental(&fibs, &first);
+        assert_eq!(second.reused, fibs.len());
+        let snap = registry.snapshot();
+        let counter = |name| snap.counter(name, &[]).unwrap();
+        assert_eq!(counter("rcdc_pass_devices_validated_total"), fibs.len() as u64);
+        assert_eq!(counter("rcdc_pass_devices_reused_total"), fibs.len() as u64);
+        assert_eq!(
+            counter("rcdc_pass_violations_total"),
+            (first.total_violations() + second.total_violations()) as u64
+        );
+        let latency = snap.histogram("rcdc_pass_latency_ns", &[]).unwrap();
+        assert_eq!(latency.count, 2);
+    }
+
+    #[test]
+    fn report_observer_publishes_pass_gauges() {
+        let (_f, fibs, contracts, _meta) = fig3_faulted();
+        let report = Validator::with_contracts(contracts).build().run(&fibs);
+        let registry = Registry::new();
+        report.observe(&registry);
+        let snap = registry.snapshot();
+        let gauge = |name| snap.gauge(name, &[]).unwrap();
+        assert_eq!(gauge("rcdc_pass_devices"), fibs.len() as i64);
+        assert_eq!(gauge("rcdc_pass_dirty_devices"), 16);
+        assert_eq!(
+            gauge("rcdc_pass_violations"),
+            report.total_violations() as i64
+        );
+        assert_eq!(gauge("rcdc_pass_reused"), 0);
+        // Trie pass: solver gauges bridged, all zero.
+        assert_eq!(snap.gauge("rcdc_solver_queries", &[]), Some(0));
     }
 
     #[test]

@@ -33,9 +33,10 @@
 
 use crate::contracts::{generate_contracts, DeviceContracts};
 use crate::engine::Engine;
-use crate::runner::{run_pass, DatacenterReport, EngineChoice};
+use crate::runner::{run_pass, DatacenterReport, EngineChoice, PassMetrics};
 use bgpsim::Fib;
 use dctopo::MetadataService;
+use obskit::Registry;
 
 /// Configured datacenter validator. Build one with
 /// [`Validator::new`] (contracts generated from metadata) or
@@ -46,6 +47,7 @@ pub struct Validator {
     choice: EngineChoice,
     threads: usize,
     epoch: u64,
+    metrics: Option<PassMetrics>,
 }
 
 /// Builder returned by [`Validator::new`] / [`Validator::with_contracts`].
@@ -53,6 +55,7 @@ pub struct ValidatorBuilder {
     contracts: Vec<DeviceContracts>,
     engine: EngineChoice,
     threads: usize,
+    registry: Option<Registry>,
 }
 
 impl ValidatorBuilder {
@@ -68,15 +71,32 @@ impl ValidatorBuilder {
         self
     }
 
+    /// Export pass metrics into `registry` (the `rcdc_pass_*`
+    /// families). The registry is cheap to clone and shared — handles
+    /// are resolved once at [`build`](Self::build), so the per-pass
+    /// recording cost is a handful of atomic ops.
+    pub fn metrics(mut self, registry: &Registry) -> Self {
+        self.registry = Some(registry.clone());
+        self
+    }
+
     /// Finish: instantiate the engine and fix the initial contract
-    /// epoch.
+    /// epoch. With a metrics registry attached, the engine is wrapped
+    /// in [`crate::engine::ObservedEngine`] so per-device checks also
+    /// feed the `rcdc_engine_*` families.
     pub fn build(self) -> Validator {
+        let engine = self.engine.instantiate();
+        let engine: Box<dyn Engine + Sync> = match &self.registry {
+            Some(registry) => Box::new(crate::engine::ObservedEngine::new(engine, registry)),
+            None => engine,
+        };
         Validator {
             contracts: self.contracts,
-            engine: self.engine.instantiate(),
+            engine,
             choice: self.engine,
             threads: self.threads,
             epoch: 1,
+            metrics: self.registry.as_ref().map(PassMetrics::new),
         }
     }
 }
@@ -98,6 +118,7 @@ impl Validator {
             contracts,
             engine: EngineChoice::default(),
             threads: 0,
+            registry: None,
         }
     }
 
@@ -110,6 +131,7 @@ impl Validator {
             &self.contracts,
             self.epoch,
             None,
+            self.metrics.as_ref(),
         )
     }
 
@@ -128,6 +150,7 @@ impl Validator {
             &self.contracts,
             self.epoch,
             Some(warm),
+            self.metrics.as_ref(),
         )
     }
 

@@ -94,7 +94,12 @@ fn analytics_survives_concurrent_ingest_and_queries() {
     });
 
     // No ingest lost: the monotone counter saw every write.
-    assert_eq!(analytics.ingested(), (WRITERS * ROUNDS) as u64);
+    assert_eq!(
+        analytics
+            .snapshot()
+            .counter("rcdc_analytics_ingested_total", &[]),
+        Some((WRITERS * ROUNDS) as u64)
+    );
     // Latest-wins keying: exactly one result per device.
     assert_eq!(analytics.len(), DEVICES as usize);
     for d in 0..DEVICES {
@@ -129,15 +134,19 @@ fn verdict_cache_counters_balance_under_contention() {
     });
 
     let total = (WRITERS * ROUNDS) as u64;
-    assert_eq!(cache.lookups(), total, "every lookup must be counted");
-    assert_eq!(
-        cache.hits() + cache.misses(),
-        total,
-        "hits {} + misses {} must balance lookups {}",
-        cache.hits(),
-        cache.misses(),
-        cache.lookups()
+    let snap = cache.snapshot();
+    let counter = |name| snap.counter(name, &[]).unwrap_or(0);
+    let (lookups, hits, misses) = (
+        counter("rcdc_verdict_cache_lookups_total"),
+        counter("rcdc_verdict_cache_hits_total"),
+        counter("rcdc_verdict_cache_misses_total"),
     );
-    assert!(cache.hits() > 0, "repeated keys must produce cache hits");
-    assert!(cache.misses() > 0, "cold keys must produce misses");
+    assert_eq!(lookups, total, "every lookup must be counted");
+    assert_eq!(
+        hits + misses,
+        total,
+        "hits {hits} + misses {misses} must balance lookups {lookups}",
+    );
+    assert!(hits > 0, "repeated keys must produce cache hits");
+    assert!(misses > 0, "cold keys must produce misses");
 }

@@ -1,0 +1,390 @@
+//! Exporters: Prometheus text exposition and stable JSON.
+//!
+//! Both render from a [`MetricsSnapshot`], never from the live
+//! registry, so one scrape is internally consistent and golden tests
+//! pin deterministic bytes. A minimal exposition-format parser
+//! ([`parse_prometheus`]) backs the CI metrics-smoke check and the
+//! exporter round-trip tests.
+
+use crate::snapshot::{MetricsSnapshot, SampleValue};
+use std::fmt::Write;
+
+fn escape_label(v: &str, out: &mut String) {
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>, out: &mut String) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra)
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label(v, out);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+impl MetricsSnapshot {
+    /// Render the Prometheus text exposition format (version 0.0.4):
+    /// `# HELP` / `# TYPE` headers, counters/gauges as single samples,
+    /// histograms as cumulative `_bucket{le=…}` series plus `_sum` and
+    /// `_count` — p50/p95/p99 are derivable from the buckets the usual
+    /// way (`histogram_quantile`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for fam in &self.families {
+            if fam.samples.is_empty() {
+                continue;
+            }
+            if !fam.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", fam.name, fam.help.replace('\n', " "));
+            }
+            let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.name());
+            for s in &fam.samples {
+                match &s.value {
+                    SampleValue::Counter(v) => {
+                        out.push_str(&fam.name);
+                        render_labels(&s.labels, None, &mut out);
+                        let _ = writeln!(out, " {v}");
+                    }
+                    SampleValue::Gauge(v) => {
+                        out.push_str(&fam.name);
+                        render_labels(&s.labels, None, &mut out);
+                        let _ = writeln!(out, " {v}");
+                    }
+                    SampleValue::Histogram(h) => {
+                        for (ub, cum) in &h.buckets {
+                            out.push_str(&fam.name);
+                            out.push_str("_bucket");
+                            let le = if *ub == u64::MAX {
+                                "+Inf".to_string()
+                            } else {
+                                ub.to_string()
+                            };
+                            render_labels(&s.labels, Some(("le", &le)), &mut out);
+                            let _ = writeln!(out, " {cum}");
+                        }
+                        // The mandatory +Inf bucket (== _count).
+                        if h.buckets.last().map(|(ub, _)| *ub) != Some(u64::MAX) {
+                            out.push_str(&fam.name);
+                            out.push_str("_bucket");
+                            render_labels(&s.labels, Some(("le", "+Inf")), &mut out);
+                            let _ = writeln!(out, " {}", h.count);
+                        }
+                        out.push_str(&fam.name);
+                        out.push_str("_sum");
+                        render_labels(&s.labels, None, &mut out);
+                        let _ = writeln!(out, " {}", h.sum);
+                        out.push_str(&fam.name);
+                        out.push_str("_count");
+                        render_labels(&s.labels, None, &mut out);
+                        let _ = writeln!(out, " {}", h.count);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Render stable, sorted JSON. Families and label sets keep the
+    /// snapshot's deterministic order, so the output is golden-test
+    /// friendly byte for byte.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"families\": [");
+        for (i, fam) in self.families.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            json_string(&fam.name, &mut out);
+            out.push_str(", \"kind\": ");
+            json_string(fam.kind.name(), &mut out);
+            out.push_str(", \"help\": ");
+            json_string(&fam.help, &mut out);
+            out.push_str(", \"samples\": [");
+            for (j, s) in fam.samples.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n      {\"labels\": {");
+                for (k, (lk, lv)) in s.labels.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    json_string(lk, &mut out);
+                    out.push_str(": ");
+                    json_string(lv, &mut out);
+                }
+                out.push_str("}, ");
+                match &s.value {
+                    SampleValue::Counter(v) => {
+                        let _ = write!(out, "\"value\": {v}");
+                    }
+                    SampleValue::Gauge(v) => {
+                        let _ = write!(out, "\"value\": {v}");
+                    }
+                    SampleValue::Histogram(h) => {
+                        let _ = write!(out, "\"count\": {}, \"sum\": {}", h.count, h.sum);
+                        for (label, q) in
+                            [("p50", h.p50()), ("p95", h.p95()), ("p99", h.p99())]
+                        {
+                            if let Some(v) = q {
+                                let _ = write!(out, ", \"{label}\": {v}");
+                            }
+                        }
+                        out.push_str(", \"buckets\": [");
+                        for (k, (ub, cum)) in h.buckets.iter().enumerate() {
+                            if k > 0 {
+                                out.push_str(", ");
+                            }
+                            let _ = write!(out, "[{ub}, {cum}]");
+                        }
+                        out.push(']');
+                    }
+                }
+                out.push('}');
+            }
+            if !fam.samples.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push(']');
+            out.push('}');
+        }
+        if !self.families.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+impl MetricsSnapshot {
+    /// Write the snapshot to `dest` following the CLI `--metrics`
+    /// convention shared by every binary: `-` prints Prometheus text
+    /// to stdout, a path ending in `.json` writes the JSON form, any
+    /// other path writes Prometheus text.
+    pub fn write_to(&self, dest: &str) -> std::io::Result<()> {
+        if dest == "-" {
+            print!("{}", self.to_prometheus());
+            return Ok(());
+        }
+        let rendered = if dest.ends_with(".json") {
+            self.to_json()
+        } else {
+            self.to_prometheus()
+        };
+        std::fs::write(dest, rendered)
+    }
+}
+
+fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One parsed Prometheus sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Sample name (for histograms, includes the `_bucket` / `_sum` /
+    /// `_count` suffix).
+    pub name: String,
+    /// Label pairs in file order.
+    pub labels: Vec<(String, String)>,
+    /// The numeric value.
+    pub value: f64,
+}
+
+/// Parse Prometheus text exposition, returning every sample line.
+///
+/// Strict enough to catch a malformed exporter (bad label syntax,
+/// non-numeric values, names that are not `[a-zA-Z_:][a-zA-Z0-9_:]*`),
+/// which is all the CI metrics-smoke step needs.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: no value separator"))?;
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v
+                .parse()
+                .map_err(|_| format!("line {n}: bad value {v:?}"))?,
+        };
+        let (name, labels) = match name_labels.split_once('{') {
+            None => (name_labels.trim(), Vec::new()),
+            Some((name, rest)) => {
+                let rest = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+                let mut labels = Vec::new();
+                if !rest.is_empty() {
+                    for pair in split_label_pairs(rest, n)? {
+                        labels.push(pair);
+                    }
+                }
+                (name.trim(), labels)
+            }
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .enumerate()
+                .all(|(i, c)| c == '_' || c == ':' || c.is_ascii_alphabetic()
+                    || (i > 0 && c.is_ascii_digit()))
+        {
+            return Err(format!("line {n}: bad metric name {name:?}"));
+        }
+        out.push(PromSample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+fn split_label_pairs(s: &str, lineno: usize) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut rest = s;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {lineno}: label without '='"))?;
+        let key = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("line {lineno}: label value not quoted"))?;
+        // Scan to the closing quote, honoring backslash escapes.
+        let mut value = String::new();
+        let mut chars = after.char_indices();
+        let close = loop {
+            let (i, c) = chars
+                .next()
+                .ok_or_else(|| format!("line {lineno}: unterminated label value"))?;
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, e)) => value.push(e),
+                    None => return Err(format!("line {lineno}: dangling escape")),
+                },
+                '"' => break i,
+                c => value.push(c),
+            }
+        };
+        pairs.push((key, value));
+        rest = after[close + 1..].trim_start();
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r.trim_start(),
+            None if rest.is_empty() => return Ok(pairs),
+            None => return Err(format!("line {lineno}: junk after label value: {rest:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("hits_total", "cache hits", &[("result", "hit")]).add(7);
+        r.gauge("queue_depth", "pending work", &[]).set(-2);
+        let h = r.histogram("latency_ns", "span latency", &[("op", "validate")]);
+        h.record(3);
+        h.record(900);
+        h.record(u64::MAX);
+        r
+    }
+
+    #[test]
+    fn prometheus_round_trips_through_parser() {
+        let text = sample_registry().snapshot().to_prometheus();
+        let samples = parse_prometheus(&text).unwrap();
+        let find = |n: &str| samples.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(find("hits_total").value, 7.0);
+        assert_eq!(
+            find("hits_total").labels,
+            vec![("result".to_string(), "hit".to_string())]
+        );
+        assert_eq!(find("queue_depth").value, -2.0);
+        assert_eq!(find("latency_ns_count").value, 3.0);
+        // Cumulative buckets end at +Inf == count.
+        let infs: Vec<&PromSample> = samples
+            .iter()
+            .filter(|s| {
+                s.name == "latency_ns_bucket"
+                    && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+            })
+            .collect();
+        assert_eq!(infs.len(), 1);
+        assert_eq!(infs[0].value, 3.0);
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let r = Registry::new();
+        r.counter("c_total", "", &[("path", "a\\b\"c\nd")]).inc();
+        let text = r.snapshot().to_prometheus();
+        let samples = parse_prometheus(&text).unwrap();
+        assert_eq!(samples[0].labels[0].1, "a\\b\"c\nd");
+    }
+
+    #[test]
+    fn json_is_stable_and_contains_quantiles() {
+        let a = sample_registry().snapshot().to_json();
+        let b = sample_registry().snapshot().to_json();
+        assert_eq!(a, b, "same state must render identical JSON");
+        assert!(a.contains("\"p50\": 1023"), "{a}");
+        assert!(a.contains("\"p99\": 18446744073709551615"), "{a}");
+        assert!(a.contains("\"kind\": \"histogram\""));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prometheus("name{oops} 1").is_err());
+        assert!(parse_prometheus("name notanumber").is_err());
+        assert!(parse_prometheus("1name{} 3").is_err());
+        assert!(parse_prometheus("name{a=\"unterminated} 3").is_err());
+        assert!(parse_prometheus("# comment only\n\n").unwrap().is_empty());
+    }
+}

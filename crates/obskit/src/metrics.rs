@@ -1,0 +1,304 @@
+//! The three metric primitives: counter, gauge, histogram.
+//!
+//! Every primitive is a cheaply cloneable handle over shared atomics,
+//! so the same metric can live inside a component (feeding its legacy
+//! getters) *and* inside a [`crate::Registry`] (feeding exporters)
+//! without either copy going stale — both clones observe the same
+//! cells.
+
+use crate::snapshot::HistogramSnapshot;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    v: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (queue depth, resident entries,
+/// bridged solver totals).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    v: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.v.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.v.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: value `v` lands in bucket
+/// `bit_length(v)`, so bucket 0 holds exactly 0, bucket `i` holds
+/// `[2^(i-1), 2^i)`, and bucket 64 holds the top half of the `u64`
+/// range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCells {
+    fn default() -> HistogramCells {
+        HistogramCells {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a recorded value (its bit length).
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+#[inline]
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A lock-free log₂-scale histogram of `u64` observations.
+///
+/// The trade: exact `count` and `sum` (so means are exact), quantiles
+/// at power-of-two resolution — a reported quantile `q` is the upper
+/// bound of the bucket holding the true quantile `t`, so
+/// `t <= q <= 2·t` (and `q == 0` iff `t == 0`). For latencies that is
+/// tighter than any alerting threshold cares about, and recording is
+/// three relaxed fetch-adds with no lock.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    cells: Arc<HistogramCells>,
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.cells.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.cells.count.fetch_add(1, Ordering::Relaxed);
+        self.cells.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Start a span timer; the elapsed wall time is recorded as
+    /// nanoseconds when the returned guard drops (or at
+    /// [`Timer::stop`]).
+    pub fn start_timer(&self) -> Timer {
+        Timer {
+            histogram: self.clone(),
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Time a closure, recording its wall time as nanoseconds.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _t = self.start_timer();
+        f()
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.cells.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.cells.sum.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the full distribution.
+    ///
+    /// Taken bucket by bucket without a lock, so under concurrent
+    /// recording the copy may straddle an in-flight observation; the
+    /// snapshot's own `count`/`sum` are re-derived from the copied
+    /// buckets and therefore always internally consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.cells.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                count += c;
+                buckets.push((bucket_upper_bound(i), count));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.cells.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Quantile estimate (see the type docs for the resolution
+    /// guarantee); `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// A running span timer handed out by [`Histogram::start_timer`].
+#[derive(Debug)]
+pub struct Timer {
+    histogram: Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl Timer {
+    /// Stop now and record, returning the elapsed time.
+    pub fn stop(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.histogram.record_duration(elapsed);
+        self.armed = false;
+        elapsed
+    }
+
+    /// Abandon the span without recording anything.
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.histogram.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 6, "clones share cells");
+
+        let g = Gauge::new();
+        g.set(7);
+        g.dec();
+        g.add(-2);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for v in [0u64, 1, 2, 3, 4, 5, 255, 256, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        for v in [1u64, 2, 3, 100, 1000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1_001_106);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((3..=6).contains(&p50), "true p50 is 3, got {p50}");
+        let p100 = h.quantile(1.0).unwrap();
+        assert!((1_000_000..=2_000_000).contains(&p100));
+    }
+
+    #[test]
+    fn timer_records_into_histogram() {
+        let h = Histogram::new();
+        h.time(|| std::thread::sleep(Duration::from_millis(1)));
+        let t = h.start_timer();
+        let elapsed = t.stop();
+        assert_eq!(h.count(), 2);
+        assert!(h.sum() >= 1_000_000, "1 ms sleep is >= 1e6 ns");
+        assert!(elapsed.as_nanos() > 0);
+        h.start_timer().discard();
+        assert_eq!(h.count(), 2, "discarded spans record nothing");
+    }
+}

@@ -1,0 +1,236 @@
+//! Point-in-time snapshots of a registry: the one value type every
+//! exporter, test, and legacy getter renders from.
+
+use crate::metrics::bucket_index;
+
+/// What kind of metric a family holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Instantaneous signed value.
+    Gauge,
+    /// Log₂-bucketed distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Stable lowercase name (Prometheus `# TYPE` line, JSON `kind`).
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Frozen copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Exact sum of observations.
+    pub sum: u64,
+    /// `(inclusive upper bound, cumulative count)` for every non-empty
+    /// bucket, in increasing bound order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Quantile estimate: the upper bound of the bucket containing the
+    /// `ceil(q·count)`-th smallest observation, so for a true quantile
+    /// `t` the report `r` satisfies `t <= r <= 2·t` (`r == 0` iff
+    /// `t == 0`). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        self.buckets
+            .iter()
+            .find(|(_, cum)| *cum >= rank)
+            .map(|(ub, _)| *ub)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile estimate.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Exact mean of all observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Merge another snapshot into this one. Merging is exact at
+    /// bucket resolution: the result's buckets equal those of a
+    /// histogram that recorded both sample streams.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut dense = [0u64; crate::metrics::HISTOGRAM_BUCKETS];
+        for snap in [&*self, other] {
+            let mut prev = 0u64;
+            for &(ub, cum) in &snap.buckets {
+                dense[bucket_index(ub)] += cum - prev;
+                prev = cum;
+            }
+        }
+        let mut buckets = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in dense.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                buckets.push((crate::metrics::bucket_upper_bound(i), cum));
+            }
+        }
+        self.buckets = buckets;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// One sample's value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One labeled sample of a family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// The reading.
+    pub value: SampleValue,
+}
+
+/// All samples of one metric family (one name, one kind, many label
+/// sets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnapshot {
+    /// Family name (e.g. `rcdc_validate_latency_ns`).
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Metric kind.
+    pub kind: MetricKind,
+    /// Samples, sorted by label set.
+    pub samples: Vec<Sample>,
+}
+
+/// A frozen registry: families sorted by name, samples sorted by
+/// labels — deterministic output for golden tests and diffs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// All families, sorted by name.
+    pub families: Vec<FamilySnapshot>,
+}
+
+fn labels_match(sample: &Sample, labels: &[(&str, &str)]) -> bool {
+    sample.labels.len() == labels.len()
+        && labels
+            .iter()
+            .all(|(k, v)| sample.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+}
+
+impl MetricsSnapshot {
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SampleValue> {
+        self.families
+            .iter()
+            .find(|f| f.name == name)?
+            .samples
+            .iter()
+            .find(|s| labels_match(s, labels))
+            .map(|s| &s.value)
+    }
+
+    /// Counter reading for `name{labels}`, if present.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.find(name, labels)? {
+            SampleValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge reading for `name{labels}`, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.find(name, labels)? {
+            SampleValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram reading for `name{labels}`, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match self.find(name, labels)? {
+            SampleValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Does a family of this name exist (with at least one sample)?
+    pub fn has_family(&self, name: &str) -> bool {
+        self.families
+            .iter()
+            .any(|f| f.name == name && !f.samples.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn merge_equals_concatenated_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let both = Histogram::new();
+        for v in [0u64, 1, 7, 900, 900, 1 << 33] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 7, 65_000] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+    }
+
+    #[test]
+    fn snapshot_lookup_by_labels() {
+        let snap = MetricsSnapshot {
+            families: vec![FamilySnapshot {
+                name: "x_total".into(),
+                help: String::new(),
+                kind: MetricKind::Counter,
+                samples: vec![Sample {
+                    labels: vec![("mode".into(), "full".into())],
+                    value: SampleValue::Counter(3),
+                }],
+            }],
+        };
+        assert_eq!(snap.counter("x_total", &[("mode", "full")]), Some(3));
+        assert_eq!(snap.counter("x_total", &[("mode", "hit")]), None);
+        assert_eq!(snap.counter("x_total", &[]), None);
+        assert!(snap.has_family("x_total"));
+        assert!(!snap.has_family("y_total"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Golden snapshot of the JSON exporter: pins the exact bytes a fixed
+//! registry renders to, matching the repo's golden-report convention.
+//!
+//! To update after an intentional format change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p obskit --test golden_json
+//! ```
+
+use obskit::{parse_prometheus, Registry};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.json");
+
+/// A registry populated with fixed values from every metric kind,
+/// exercising labels, escaping, empty-help, and histogram quantiles.
+fn rendered_json() -> String {
+    let r = Registry::new();
+    r.counter(
+        "rcdc_verdict_cache_hits_total",
+        "lookups answered from cache",
+        &[],
+    )
+    .add(42);
+    r.counter("rcdc_validate_mode_total", "verdicts by mode", &[("mode", "full")])
+        .add(7);
+    r.counter(
+        "rcdc_validate_mode_total",
+        "verdicts by mode",
+        &[("mode", "cache_hit")],
+    )
+    .add(35);
+    r.gauge("rcdc_queue_depth", "validator queue depth", &[]).set(3);
+    r.gauge("rcdc_solver_learned", "", &[("engine", "smt")]).set(-1);
+    let h = r.histogram(
+        "rcdc_validate_latency_ns",
+        "per-notification validate latency",
+        &[("mode", "full")],
+    );
+    for v in [0u64, 1, 3, 900, 900, 65_536, 1 << 33] {
+        h.record(v);
+    }
+    r.counter("escape_total", "quote \" slash \\ newline", &[("p", "a\"b\\c")])
+        .inc();
+    r.snapshot().to_json()
+}
+
+#[test]
+fn json_export_matches_golden_snapshot() {
+    let got = rendered_json();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+            .expect("create golden dir");
+        std::fs::write(GOLDEN, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN).unwrap_or_else(|e| {
+        panic!("missing golden file {GOLDEN} ({e}); run with BLESS=1 to create it")
+    });
+    assert!(
+        got == want,
+        "JSON export drifted from golden snapshot.\n--- golden\n{want}\n--- got\n{got}\n\
+         If the change is intentional, re-bless with:\n  \
+         BLESS=1 cargo test -p obskit --test golden_json"
+    );
+}
+
+#[test]
+fn json_export_is_deterministic() {
+    assert_eq!(rendered_json(), rendered_json());
+}
+
+#[test]
+fn prometheus_of_same_registry_parses() {
+    // The sibling exporter over the same fixed registry must produce
+    // well-formed exposition text with the same sample values.
+    let r = Registry::new();
+    r.counter("a_total", "", &[]).add(5);
+    let h = r.histogram("b_ns", "", &[]);
+    h.record(100);
+    let samples = parse_prometheus(&r.snapshot().to_prometheus()).unwrap();
+    assert!(samples.iter().any(|s| s.name == "a_total" && s.value == 5.0));
+    assert!(samples.iter().any(|s| s.name == "b_ns_sum" && s.value == 100.0));
+}

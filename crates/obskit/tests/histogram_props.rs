@@ -1,0 +1,91 @@
+//! Property tests for the log₂ histogram: the quantile-bracketing and
+//! merge guarantees the pipeline's latency metrics rely on.
+
+use obskit::{Histogram, HistogramSnapshot};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// The true quantile of a sorted sample set, matching the histogram's
+/// rank convention (`ceil(q·n)`-th smallest, 1-based).
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+fn record_all(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Reported quantiles always bracket the recorded values: for any
+    /// quantile q, true value t and reported value r satisfy
+    /// `t <= r <= 2·t` (with `r == 0` iff `t == 0`), and reports are
+    /// monotone in q.
+    #[test]
+    fn quantiles_bracket_recorded_values(
+        values in vec(any::<u64>(), 1..200),
+        small in vec(0u64..1000, 1..100),
+    ) {
+        for values in [&values, &small] {
+            let h = record_all(values);
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let mut prev = 0u64;
+            for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                let t = true_quantile(&sorted, q);
+                let r = h.quantile(q).expect("non-empty histogram");
+                prop_assert!(r >= t, "q={q}: reported {r} below true {t}");
+                prop_assert!(
+                    r <= t.saturating_mul(2).max(t),
+                    "q={q}: reported {r} beyond 2x true {t}"
+                );
+                if t == 0 {
+                    prop_assert_eq!(r, 0);
+                }
+                prop_assert!(r >= prev, "quantiles must be monotone in q");
+                prev = r;
+            }
+            // Exact aggregates regardless of bucketing.
+            prop_assert_eq!(h.count(), values.len() as u64);
+            prop_assert_eq!(
+                h.sum(),
+                values.iter().fold(0u64, |a, v| a.wrapping_add(*v))
+            );
+        }
+    }
+
+    /// Merging two histogram snapshots is exactly the histogram of the
+    /// concatenated sample streams — same buckets, same count, same
+    /// sum, hence identical quantiles (bucket resolution loses nothing
+    /// in the merge itself).
+    #[test]
+    fn merge_equals_concatenation(
+        a in vec(any::<u64>(), 0..150),
+        b in vec(0u64..100_000, 0..150),
+    ) {
+        let ha = record_all(&a);
+        let hb = record_all(&b);
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        let hc = record_all(&concat);
+
+        let mut merged: HistogramSnapshot = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        prop_assert_eq!(&merged, &hc.snapshot());
+
+        // Merge is symmetric.
+        let mut flipped = hb.snapshot();
+        flipped.merge(&ha.snapshot());
+        prop_assert_eq!(&flipped, &merged);
+
+        for q in [0.5, 0.95, 0.99] {
+            prop_assert_eq!(merged.quantile(q), hc.quantile(q));
+        }
+    }
+}

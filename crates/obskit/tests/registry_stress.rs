@@ -1,0 +1,92 @@
+//! Concurrency: one registry hammered from 8 threads — counters,
+//! gauges, histograms, and handle creation racing snapshot scrapes.
+
+use obskit::Registry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: usize = 8;
+const OPS: u64 = 20_000;
+
+#[test]
+fn eight_threads_hammer_one_registry() {
+    let registry = Registry::new();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // A scraper thread snapshots continuously while writers write:
+    // snapshots must never panic, and every counter it sees must be
+    // monotone between scrapes.
+    let scraper = {
+        let registry = registry.clone();
+        let stop = stop.clone();
+        thread::spawn(move || {
+            let mut last_shared = 0u64;
+            let mut scrapes = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = registry.snapshot();
+                if let Some(v) = snap.counter("stress_shared_total", &[]) {
+                    assert!(v >= last_shared, "counter went backwards: {last_shared} -> {v}");
+                    last_shared = v;
+                }
+                scrapes += 1;
+            }
+            scrapes
+        })
+    };
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = registry.clone();
+            thread::spawn(move || {
+                // All threads race get-or-create on the SAME metrics…
+                let shared = registry.counter("stress_shared_total", "shared", &[]);
+                let hist = registry.histogram("stress_latency_ns", "lat", &[]);
+                // …and each also owns a labeled sibling in the family.
+                let tid = t.to_string();
+                let own = registry.counter(
+                    "stress_per_thread_total",
+                    "per-thread",
+                    &[("thread", &tid)],
+                );
+                let gauge = registry.gauge("stress_gauge", "g", &[("thread", &tid)]);
+                for i in 0..OPS {
+                    shared.inc();
+                    own.inc();
+                    hist.record(i % 1024);
+                    gauge.set(i as i64);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().unwrap();
+    assert!(scrapes > 0, "scraper must have run");
+
+    let snap = registry.snapshot();
+    let total = THREADS as u64 * OPS;
+    assert_eq!(
+        snap.counter("stress_shared_total", &[]),
+        Some(total),
+        "racing get-or-create must converge on one set of cells"
+    );
+    for t in 0..THREADS {
+        let tid = t.to_string();
+        assert_eq!(
+            snap.counter("stress_per_thread_total", &[("thread", &tid)]),
+            Some(OPS)
+        );
+        assert_eq!(
+            snap.gauge("stress_gauge", &[("thread", &tid)]),
+            Some(OPS as i64 - 1)
+        );
+    }
+    let h = snap.histogram("stress_latency_ns", &[]).unwrap();
+    assert_eq!(h.count, total, "no recorded observation may be lost");
+    let per_thread: u64 = (0..OPS).map(|i| i % 1024).sum();
+    assert_eq!(h.sum, THREADS as u64 * per_thread);
+    assert_eq!(h.buckets.last().unwrap().1, total, "cumulative tops out at count");
+}

@@ -19,6 +19,7 @@
 use crate::engine::{policy_expr, IntervalEngine, PacketVars};
 use crate::model::{Action, Contract, Policy};
 use netprim::{HeaderSpace, HeaderTuple, PortRange, Protocol};
+use obskit::{Histogram, Observer, Registry};
 use smtkit::{BoolId, Session, SessionStats, SmtResult};
 
 /// One direction of behavioral change.
@@ -250,6 +251,7 @@ pub struct SmtDiff {
     vars: PacketVars,
     old_expr: BoolId,
     new_expr: BoolId,
+    latency: Option<Histogram>,
 }
 
 impl SmtDiff {
@@ -265,12 +267,26 @@ impl SmtDiff {
             vars,
             old_expr,
             new_expr,
+            latency: None,
         }
+    }
+
+    /// Record each direction query's latency into `registry`'s
+    /// `secguru_diff_latency_ns` histogram.
+    #[must_use]
+    pub fn metrics(mut self, registry: &Registry) -> Self {
+        self.latency = Some(registry.histogram(
+            "secguru_diff_latency_ns",
+            "per-direction semantic-diff query latency in nanoseconds",
+            &[],
+        ));
+        self
     }
 
     /// A packet changed in the given direction, if any exists. Exact:
     /// `None` is a proof that no such packet exists.
     pub fn witness(&mut self, direction: ChangeDirection) -> Option<HeaderTuple> {
+        let _span = self.latency.as_ref().map(|h| h.start_timer());
         let query = {
             let (o, n) = (self.old_expr, self.new_expr);
             let a = self.session.arena_mut();
@@ -311,6 +327,12 @@ impl SmtDiff {
     /// Solver counters accumulated across the queries so far.
     pub fn stats(&self) -> SessionStats {
         self.session.stats()
+    }
+}
+
+impl Observer for SmtDiff {
+    fn observe(&self, registry: &Registry) {
+        self.stats().observe_into(registry, "secguru_diff_solver", &[]);
     }
 }
 

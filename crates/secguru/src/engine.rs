@@ -22,6 +22,7 @@
 
 use crate::model::{Action, Contract, Convention, Policy, Rule};
 use netprim::{HeaderSpace, HeaderTuple, Ipv4};
+use obskit::{Counter, Histogram, Observer, Registry};
 use smtkit::{BoolId, Model, Session, SessionStats, SmtResult, TermArena, TermId};
 
 /// Result of checking one contract.
@@ -77,6 +78,38 @@ pub struct SecGuru {
     session: Session,
     policy_expr: BoolId,
     vars: PacketVars,
+    metrics: Option<CheckMetrics>,
+}
+
+/// Pre-resolved handles for per-policy check metrics: the
+/// `secguru_checks_total{policy,outcome}` counters and the
+/// `secguru_check_latency_ns{policy}` histogram.
+#[derive(Clone)]
+struct CheckMetrics {
+    held: Counter,
+    violated: Counter,
+    latency: Histogram,
+}
+
+impl CheckMetrics {
+    fn new(registry: &Registry, policy: &str) -> CheckMetrics {
+        let outcome = |outcome| {
+            registry.counter(
+                "secguru_checks_total",
+                "contract checks by policy and outcome",
+                &[("policy", policy), ("outcome", outcome)],
+            )
+        };
+        CheckMetrics {
+            held: outcome("held"),
+            violated: outcome("violated"),
+            latency: registry.histogram(
+                "secguru_check_latency_ns",
+                "per-contract check latency in nanoseconds, by policy",
+                &[("policy", policy)],
+            ),
+        }
+    }
 }
 
 /// The §3.2 packet tuple `⟨srcIp, srcPort, dstIp, dstPort, protocol⟩`
@@ -193,7 +226,16 @@ impl SecGuru {
             session,
             policy_expr,
             vars,
+            metrics: None,
         }
+    }
+
+    /// Export per-check metrics into `registry`, labeled by this
+    /// engine's policy name. Handles are resolved once here; each
+    /// check then adds a counter bump and a histogram sample.
+    pub fn metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(CheckMetrics::new(registry, &self.policy.name));
+        self
     }
 
     /// The analyzed policy.
@@ -210,6 +252,18 @@ impl SecGuru {
 
     /// Check one contract (§3.2's two outcomes).
     pub fn check(&mut self, contract: &Contract) -> CheckOutcome {
+        let timer = self.metrics.as_ref().map(|m| m.latency.start_timer());
+        let outcome = self.check_inner(contract);
+        if let Some(t) = timer {
+            t.stop();
+        }
+        if let Some(m) = &self.metrics {
+            if outcome.holds { &m.held } else { &m.violated }.inc();
+        }
+        outcome
+    }
+
+    fn check_inner(&mut self, contract: &Contract) -> CheckOutcome {
         let query = {
             let (policy_expr, a) = (self.policy_expr, self.session.arena_mut());
             let c = self.vars.filter_expr(a, &contract.filter);
@@ -242,6 +296,15 @@ impl SecGuru {
             .map(|c| self.check(c))
             .filter(|o| !o.holds)
             .collect()
+    }
+}
+
+impl Observer for SecGuru {
+    /// Publish the engine's solver-session totals as
+    /// `secguru_solver_*{policy=...}` gauges.
+    fn observe(&self, registry: &Registry) {
+        self.stats()
+            .observe_into(registry, "secguru_solver", &[("policy", &self.policy.name)]);
     }
 }
 
@@ -471,6 +534,59 @@ mod tests {
             HeaderSpace::to_dst(dst.parse::<Prefix>().unwrap()),
             expect,
         )
+    }
+
+    #[test]
+    fn check_metrics_count_outcomes_and_time_checks() {
+        let registry = Registry::new();
+        let mut sg = SecGuru::new(figure8_acl()).metrics(&registry);
+        let held = Contract::new(
+            "private-src-isolated",
+            HeaderSpace::from_src("10.0.0.0/8".parse::<Prefix>().unwrap()),
+            Action::Deny,
+        );
+        let violated = dst_contract("svc24-reachable", "104.208.32.0/24", Action::Permit);
+        assert!(sg.check(&held).holds);
+        assert!(!sg.check(&violated).holds);
+        assert!(!sg.check(&violated).holds);
+
+        let policy = sg.policy().name.clone();
+        let snap = registry.observe_and_snapshot(&[&sg]);
+        let held_labels = [("policy", policy.as_str()), ("outcome", "held")];
+        let violated_labels = [("policy", policy.as_str()), ("outcome", "violated")];
+        assert_eq!(snap.counter("secguru_checks_total", &held_labels), Some(1));
+        assert_eq!(snap.counter("secguru_checks_total", &violated_labels), Some(2));
+        let latency = snap
+            .histogram("secguru_check_latency_ns", &[("policy", policy.as_str())])
+            .expect("check latency histogram");
+        assert_eq!(latency.count, 3);
+        // The Observer bridge publishes solver session gauges per policy.
+        let queries = snap
+            .gauge("secguru_solver_queries", &[("policy", policy.as_str())])
+            .expect("solver query gauge");
+        assert!(queries >= 3, "three checks need at least three queries, got {queries}");
+    }
+
+    #[test]
+    fn smt_diff_metrics_time_witness_queries() {
+        let registry = Registry::new();
+        let old = figure8_acl();
+        let smb_deny = old
+            .rules()
+            .iter()
+            .find(|r| r.filter.dst_ports == PortRange::single(445))
+            .expect("figure 8 has a tcp/445 rule")
+            .name
+            .clone();
+        let new = old.without_rule(&smb_deny);
+        let mut diff = crate::diff::SmtDiff::new(&old, &new).metrics(&registry);
+        let _ = diff.diff();
+        let snap = registry.observe_and_snapshot(&[&diff]);
+        let latency = snap
+            .histogram("secguru_diff_latency_ns", &[])
+            .expect("diff latency histogram");
+        assert_eq!(latency.count, 2, "one query per change direction");
+        assert_eq!(snap.gauge("secguru_diff_solver_queries", &[]), Some(2));
     }
 
     #[test]

@@ -109,11 +109,21 @@ pub fn check_seed_with(env: &SimEnv, seed: u64, flaws: Flaws) -> Option<SimFailu
 /// Sweep `count` seeds starting at `start` against one shared
 /// environment, stopping at the first failure.
 pub fn sweep(start: u64, count: u64) -> Result<SweepStats, SimFailure> {
+    sweep_observed(start, count, &obskit::Registry::new())
+}
+
+/// [`sweep`], accumulating every seed's pipeline and simulation
+/// metrics into `registry` (the `simnet --metrics` export path).
+pub fn sweep_observed(
+    start: u64,
+    count: u64,
+    registry: &obskit::Registry,
+) -> Result<SweepStats, SimFailure> {
     let env = SimEnv::figure3();
     let mut stats = SweepStats::default();
     for seed in start..start + count {
         let script = gen::script_for_seed(seed, env.device_count());
-        match sim::run_script(&env, &script) {
+        match sim::run_script_observed(&env, &script, Flaws::default(), registry) {
             Ok(out) => stats.absorb(&out),
             Err(_) => {
                 // Re-run through the shrinking path for the report.

@@ -28,11 +28,13 @@ use crate::script::{Action, ChurnKind, DeliveryFault, Script};
 use bgpsim::{simulate, Fib, FibBuilder, SimConfig};
 use dctopo::{DeviceId, MetadataService};
 use netprim::wire::{frame_kind, FibDelta, FrameKind, WireSnapshot};
+use obskit::Registry;
 use rcdc::clock::VirtualClock;
 use rcdc::contracts::{generate_contracts, DeviceContracts};
 use rcdc::engine::{trie::TrieEngine, Engine};
 use rcdc::pipeline::{
-    validate_notification, ContractStore, FibStore, StreamAnalytics, ValidateMode, VerdictCache,
+    validate_notification, ContractStore, FibStore, PipelineMetrics, StreamAnalytics,
+    ValidateMode, VerdictCache,
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -161,6 +163,10 @@ impl Ord for Scheduled {
 struct Sim<'e> {
     env: &'e SimEnv,
     flaws: Flaws,
+    /// Shared metric registry: pipeline-component metrics bridge in,
+    /// simulation-level counters (`simnet_*`) register directly.
+    registry: Registry,
+    metrics: PipelineMetrics,
     /// The network's true current table per device.
     truth: Vec<Fib>,
     /// Capture history per device (for stale re-deliveries).
@@ -179,7 +185,7 @@ struct Sim<'e> {
 }
 
 impl<'e> Sim<'e> {
-    fn new(env: &'e SimEnv, flaws: Flaws) -> Sim<'e> {
+    fn new(env: &'e SimEnv, flaws: Flaws, registry: Registry) -> Sim<'e> {
         let contract_store = ContractStore::default();
         for (i, dc) in env.contracts.iter().enumerate() {
             contract_store.put(DeviceId(i as u32), dc.clone());
@@ -188,6 +194,8 @@ impl<'e> Sim<'e> {
         Sim {
             env,
             flaws,
+            metrics: PipelineMetrics::new(&registry),
+            registry,
             truth: env.healthy.clone(),
             history: vec![Vec::new(); n],
             acked: vec![None; n],
@@ -251,11 +259,30 @@ impl<'e> Sim<'e> {
         }
     }
 
+    /// Count one injected fault under `simnet_faults_total{kind=...}`.
+    fn count_fault(&self, fault: DeliveryFault) {
+        let kind = match fault {
+            DeliveryFault::None => return,
+            DeliveryFault::Drop => "drop",
+            DeliveryFault::Duplicate { .. } => "duplicate",
+            DeliveryFault::Stale { .. } => "stale",
+            DeliveryFault::CorruptDelta { .. } => "corrupt_delta",
+        };
+        self.registry
+            .counter(
+                "simnet_faults_total",
+                "injected delivery faults by kind",
+                &[("kind", kind)],
+            )
+            .inc();
+    }
+
     /// The puller side: capture the device's current table, frame it
     /// (delta against the last acked table when one exists, full
     /// snapshot otherwise), apply the wire fault, and schedule the
     /// delivery after the pull latency.
     fn pull(&mut self, now_ms: u64, device: usize, latency_ms: u64, fault: DeliveryFault) {
+        self.count_fault(fault);
         let capture = self.truth[device].clone();
         self.history[device].push(capture.clone());
         let payload = match fault {
@@ -308,6 +335,13 @@ impl<'e> Sim<'e> {
     /// notification — the same code path `run_sweep`'s workers run.
     fn deliver(&mut self, device: usize, frame: &[u8], payload: Fib) {
         self.out.deliveries += 1;
+        self.registry
+            .counter(
+                "simnet_deliveries_total",
+                "wire frames delivered to the receiver",
+                &[],
+            )
+            .inc();
         let decoded: Option<Fib> = match frame_kind(frame) {
             Some(FrameKind::Snapshot) => WireSnapshot::decode(frame)
                 .and_then(|w| Fib::from_wire(&w))
@@ -325,6 +359,13 @@ impl<'e> Sim<'e> {
                 // Full-snapshot fallback: re-pull the table behind the
                 // unusable frame.
                 self.out.fallbacks += 1;
+                self.registry
+                    .counter(
+                        "simnet_fallbacks_total",
+                        "deliveries recovered via the full-snapshot fallback",
+                        &[],
+                    )
+                    .inc();
                 payload
             }
         };
@@ -361,6 +402,7 @@ impl<'e> Sim<'e> {
             &self.cache,
             &self.engine,
             &self.clock,
+            Some(&self.metrics),
         ) {
             self.out.completed += 1;
             match result.mode {
@@ -383,6 +425,16 @@ impl<'e> Sim<'e> {
     }
 
     fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        // Wall-clock timing of the whole convergence check (records on
+        // drop, so both the Ok and Err exits are measured).
+        let _span = self
+            .registry
+            .histogram(
+                "simnet_convergence_check_latency_ns",
+                "wall-clock duration of the post-settle invariant check in nanoseconds",
+                &[],
+            )
+            .start_timer();
         let n = self.truth.len();
         for device in 0..n {
             let id = DeviceId(device as u32);
@@ -457,20 +509,28 @@ impl<'e> Sim<'e> {
             }
         }
 
-        // 3. Counter balance.
-        let (lookups, hits, misses) = (self.cache.lookups(), self.cache.hits(), self.cache.misses());
+        // 3. Counter balance, read through the unified metrics API.
+        let cache_snap = self.cache.snapshot();
+        let counter = |name| cache_snap.counter(name, &[]).unwrap_or(0);
+        let lookups = counter("rcdc_verdict_cache_lookups_total");
+        let hits = counter("rcdc_verdict_cache_hits_total");
+        let misses = counter("rcdc_verdict_cache_misses_total");
         if hits + misses != lookups {
             return Err(InvariantViolation {
                 invariant: "counter-balance",
                 detail: format!("cache lookups {lookups} != hits {hits} + misses {misses}"),
             });
         }
-        if self.analytics.ingested() != self.out.completed {
+        let ingested = self
+            .analytics
+            .snapshot()
+            .counter("rcdc_analytics_ingested_total", &[])
+            .unwrap_or(0);
+        if ingested != self.out.completed {
             return Err(InvariantViolation {
                 invariant: "counter-balance",
                 detail: format!(
-                    "analytics ingested {} != completed validations {}",
-                    self.analytics.ingested(),
+                    "analytics ingested {ingested} != completed validations {}",
                     self.out.completed
                 ),
             });
@@ -541,12 +601,52 @@ pub fn run_script_with(
     script: &Script,
     flaws: Flaws,
 ) -> Result<SimOutcome, InvariantViolation> {
-    let mut sim = Sim::new(env, flaws);
+    run_script_observed(env, script, flaws, &Registry::new())
+}
+
+/// [`run_script_with`], exporting metrics into `registry`: the
+/// simulation's own `simnet_*` families plus the live pipeline
+/// components' `rcdc_*` families, bridged in after the run.
+pub fn run_script_observed(
+    env: &SimEnv,
+    script: &Script,
+    flaws: Flaws,
+    registry: &Registry,
+) -> Result<SimOutcome, InvariantViolation> {
+    let mut sim = Sim::new(env, flaws, registry.clone());
     for e in &script.events {
         sim.schedule(e.at_ms, Task::Script(e.action));
     }
     let last = sim.drain();
     sim.settle(last);
-    sim.check_invariants()?;
+    let result = sim.check_invariants();
+    // Accumulate the per-run pipeline counters into the (possibly
+    // sweep-shared) registry — even when an invariant broke, the
+    // counters are part of the evidence. Accumulation rather than
+    // handle adoption: each script runs fresh stores, but a seed sweep
+    // shares one registry across all of them.
+    let cache_snap = sim.cache.snapshot();
+    for (name, help) in [
+        ("rcdc_verdict_cache_lookups_total", "verdict-cache lookups"),
+        ("rcdc_verdict_cache_hits_total", "verdict-cache hits"),
+        ("rcdc_verdict_cache_misses_total", "verdict-cache misses"),
+    ] {
+        registry
+            .counter(name, help, &[])
+            .add(cache_snap.counter(name, &[]).unwrap_or(0));
+    }
+    let ingested = sim
+        .analytics
+        .snapshot()
+        .counter("rcdc_analytics_ingested_total", &[])
+        .unwrap_or(0);
+    registry
+        .counter(
+            "rcdc_analytics_ingested_total",
+            "results ingested by the stream-analytics sink",
+            &[],
+        )
+        .add(ingested);
+    result?;
     Ok(sim.out)
 }

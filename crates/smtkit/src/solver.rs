@@ -79,6 +79,43 @@ pub struct SessionStats {
 }
 
 impl SessionStats {
+    /// The counters as `(stable name, value)` pairs, in declaration
+    /// order — the single source of truth for every exporter and
+    /// report renderer that spells these fields out.
+    pub fn fields(&self) -> [(&'static str, u64); 8] {
+        [
+            ("queries", self.queries),
+            ("conflicts", self.conflicts),
+            ("decisions", self.decisions),
+            ("propagations", self.propagations),
+            ("learned", self.learned),
+            ("sat_vars", self.sat_vars),
+            ("blast_cache_hits", self.blast_cache_hits),
+            ("blast_cache_misses", self.blast_cache_misses),
+        ]
+    }
+
+    /// Bridge the counters into `registry` as gauges named
+    /// `{prefix}_{field}` with the given labels — gauges, not
+    /// counters, because a [`SessionStats`] is a point-in-time total
+    /// (and `learned` can shrink when the clause database is reduced).
+    pub fn observe_into(
+        &self,
+        registry: &obskit::Registry,
+        prefix: &str,
+        labels: &[(&str, &str)],
+    ) {
+        for (field, value) in self.fields() {
+            registry
+                .gauge(
+                    &format!("{prefix}_{field}"),
+                    "solver session totals (see smtkit::SessionStats)",
+                    labels,
+                )
+                .set(i64::try_from(value).unwrap_or(i64::MAX));
+        }
+    }
+
     /// Field-wise accumulate, for merging per-session counters into a
     /// per-device or per-sweep total.
     pub fn absorb(&mut self, other: &SessionStats) {
@@ -90,6 +127,15 @@ impl SessionStats {
         self.sat_vars += other.sat_vars;
         self.blast_cache_hits += other.blast_cache_hits;
         self.blast_cache_misses += other.blast_cache_misses;
+    }
+}
+
+/// Bridge with the default `smt_session` gauge prefix and no labels —
+/// callers wanting per-engine or per-policy labels use
+/// [`SessionStats::observe_into`] directly.
+impl obskit::Observer for SessionStats {
+    fn observe(&self, registry: &obskit::Registry) {
+        self.observe_into(registry, "smt_session", &[]);
     }
 }
 

@@ -4,12 +4,13 @@
 //! ```text
 //! validatedc validate [--clusters N] [--tors N] [--leaves N] [--spines N]
 //!                     [--fail-links N] [--seed S] [--engine trie|trie-semantic|smt|smt-semantic]
-//!                     [--threads N]
+//!                     [--threads N] [--metrics <path|->]
 //!     Generate a Clos datacenter, optionally inject random link
 //!     faults, converge BGP, validate all local contracts, and print
 //!     the triaged report.
 //!
 //! validatedc check-acl <FILE> [--contract "<filter>;<permit|deny>"]...
+//!                     [--metrics <path|->]
 //!     Parse a Cisco-IOS-style ACL and check contracts against it.
 //!     With no contracts given, runs the built-in edge-ACL regression
 //!     suite.
@@ -18,14 +19,24 @@
 //!     Validate an NSG policy file against the auto-generated
 //!     database-backup reachability contracts (§3.4).
 //!
-//! validatedc diff-acl <OLD> <NEW>
+//! validatedc diff-acl <OLD> <NEW> [--metrics <path|->]
 //!     Semantic diff of two ACL files: witnesses for newly-denied and
 //!     newly-permitted traffic, or a proof of equivalence.
 //! ```
+//!
+//! `--metrics` exports the run's metric registry after the command
+//! finishes: `-` writes Prometheus text to stdout (the human report
+//! moves to stderr so the exposition stays parseable), a `.json` path
+//! writes the JSON form, any other path Prometheus text. On
+//! `validate` the export covers the batch pass (`rcdc_pass_*`,
+//! `rcdc_engine_*`, `rcdc_solver_*`) plus a cold+warm live-pipeline
+//! sweep over the same FIBs (`rcdc_validate_latency_ns`,
+//! `rcdc_validate_mode_total`, `rcdc_verdict_cache_*`,
+//! `rcdc_analytics_*`).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use secguru::diff::semantic_diff;
+use secguru::diff::{semantic_diff, SmtDiff};
 use secguru::nsg_gate::{NsgApi, UpdateResult, VnetMetadata};
 use std::process::ExitCode;
 use validatedc::prelude::*;
@@ -61,10 +72,12 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   validatedc validate [--clusters N] [--tors N] [--leaves N] [--spines N]
                       [--fail-links N] [--seed S] [--engine trie|trie-semantic|smt|smt-semantic] [--threads N]
-  validatedc check-acl <FILE> [--contract '<src>;<dst>;<dport>;<proto>;<permit|deny>']...
+                      [--metrics <path|->]
+  validatedc check-acl <FILE> [--contract '<src>;<dst>;<dport>;<proto>;<permit|deny>']... [--metrics <path|->]
   validatedc check-nsg <FILE> --db-subnet <PREFIX> --infra <PREFIX> --port <PORT>
-  validatedc diff-acl <OLD> <NEW>
-exit status: 0 = clean, 2 = violations found, 1 = error";
+  validatedc diff-acl <OLD> <NEW> [--metrics <path|->]
+exit status: 0 = clean, 2 = violations found, 1 = error
+--metrics: export the metric registry after the run (- = Prometheus on stdout, *.json = JSON file, else Prometheus file)";
 
 /// Pull `--key value` options out of an argument list; returns
 /// (positional args, extractor closure results).
@@ -140,6 +153,7 @@ fn cmd_validate(args: &[String]) -> Result<bool, String> {
     let seed: u64 = opts.parsed("--seed", 7u64)?;
     let threads: usize = opts.parsed("--threads", 0usize)?;
     let engine: EngineChoice = opts.value("--engine").unwrap_or("trie").parse()?;
+    let metrics_dest = opts.value("--metrics");
 
     let mut topology = build_clos(&params);
     eprintln!(
@@ -158,12 +172,34 @@ fn cmd_validate(args: &[String]) -> Result<bool, String> {
     }
     let fibs = simulate(&topology, &SimConfig::healthy());
     let meta = MetadataService::from_topology(&topology);
-    let validator = Validator::new(&meta).engine(engine).threads(threads).build();
+    let registry = Registry::new();
+    let mut builder = Validator::new(&meta).engine(engine).threads(threads);
+    if metrics_dest.is_some() {
+        builder = builder.metrics(&registry);
+    }
+    let validator = builder.build();
     let report = validator.run(&fibs);
-    print!(
-        "{}",
-        validatedc::render::render_validate_report(&report, &topology, &meta, Some(report.elapsed))
-    );
+    let rendered =
+        validatedc::render::render_validate_report(&report, &topology, &meta, Some(report.elapsed));
+    // With metrics on stdout, the human report moves to stderr so the
+    // Prometheus exposition stays machine-parseable.
+    if metrics_dest == Some("-") {
+        eprint!("{rendered}");
+    } else {
+        print!("{rendered}");
+    }
+    if let Some(dest) = metrics_dest {
+        // The batch pass alone says nothing about the live pipeline,
+        // so the export also runs a cold + warm monitoring sweep over
+        // the same FIBs (validate-latency histograms, verdict-cache
+        // counters) alongside the batch pass's rcdc_pass_* /
+        // rcdc_engine_* / rcdc_solver_* families.
+        let (cache, analytics) = validatedc::metrics::live_sweep(&meta, &fibs, &registry);
+        registry
+            .observe_and_snapshot(&[&cache, &analytics, &report])
+            .write_to(dest)
+            .map_err(|e| format!("cannot write metrics to {dest:?}: {e}"))?;
+    }
     Ok(report.is_clean())
 }
 
@@ -234,23 +270,39 @@ fn cmd_check_acl(args: &[String]) -> Result<bool, String> {
         }
     };
 
+    let metrics_dest = opts.value("--metrics");
+    let registry = Registry::new();
     let mut sg = SecGuru::new(policy);
+    if metrics_dest.is_some() {
+        sg = sg.metrics(&registry);
+    }
     let failures = sg.check_all(&contracts);
-    if failures.is_empty() {
-        println!("all {} contracts hold", contracts.len());
-        return Ok(true);
+    let say = |line: String| {
+        if metrics_dest == Some("-") {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    let clean = failures.is_empty();
+    if clean {
+        say(format!("all {} contracts hold", contracts.len()));
     }
     for f in &failures {
-        println!(
+        say(format!(
             "VIOLATED {} — rule {} — witness {}",
             f.contract,
             f.violating_rule.as_deref().unwrap_or("?"),
-            f.witness
-                .map(|w| w.to_string())
-                .unwrap_or_default()
-        );
+            f.witness.map(|w| w.to_string()).unwrap_or_default()
+        ));
     }
-    Ok(false)
+    if let Some(dest) = metrics_dest {
+        registry
+            .observe_and_snapshot(&[&sg])
+            .write_to(dest)
+            .map_err(|e| format!("cannot write metrics to {dest:?}: {e}"))?;
+    }
+    Ok(clean)
 }
 
 fn cmd_check_nsg(args: &[String]) -> Result<bool, String> {
@@ -310,18 +362,41 @@ fn cmd_diff_acl(args: &[String]) -> Result<bool, String> {
     let new_text = std::fs::read_to_string(new_file).map_err(|e| format!("{new_file}: {e}"))?;
     let old = parse_acl(old_file, &old_text).map_err(|e| e.to_string())?;
     let new = parse_acl(new_file, &new_text).map_err(|e| e.to_string())?;
-    let diff = semantic_diff(&old, &new);
+    let metrics_dest = opts.value("--metrics");
+    // The instrumented path diffs with the SMT engine (whose query
+    // latencies and solver counters the registry captures); the
+    // default path uses the interval baseline. Both are exact.
+    let diff = match metrics_dest {
+        Some(dest) => {
+            let registry = Registry::new();
+            let mut smt = SmtDiff::new(&old, &new).metrics(&registry);
+            let diff = smt.diff();
+            registry
+                .observe_and_snapshot(&[&smt])
+                .write_to(dest)
+                .map_err(|e| format!("cannot write metrics to {dest:?}: {e}"))?;
+            diff
+        }
+        None => semantic_diff(&old, &new),
+    };
+    let say = |line: String| {
+        if metrics_dest == Some("-") {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
     match (&diff.newly_denied, &diff.newly_permitted) {
         (None, None) => {
-            println!("policies are semantically equivalent");
+            say("policies are semantically equivalent".to_string());
             Ok(true)
         }
         (denied, permitted) => {
             if let Some(w) = denied {
-                println!("newly DENIED traffic exists, e.g. {w}");
+                say(format!("newly DENIED traffic exists, e.g. {w}"));
             }
             if let Some(w) = permitted {
-                println!("newly PERMITTED traffic exists, e.g. {w}");
+                say(format!("newly PERMITTED traffic exists, e.g. {w}"));
             }
             Ok(false)
         }

@@ -14,6 +14,7 @@
 //! | [`rcdc`] | local contracts, verification engines, monitoring pipeline |
 //! | [`secguru`] | ACL/NSG/firewall verification and change gating |
 //! | [`dcemu`] | emulated-network pre-checks for configuration changes |
+//! | [`obskit`] | dependency-free metrics: counters, gauges, histograms, exporters |
 //!
 //! ## Quickstart
 //!
@@ -40,12 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod render;
 
 pub use bgpsim;
 pub use dcemu;
 pub use dctopo;
 pub use netprim;
+pub use obskit;
 pub use rcdc;
 pub use secguru;
 pub use smtkit;
@@ -57,6 +60,7 @@ pub mod prelude {
     pub use dctopo::generator::figure3;
     pub use dctopo::{build_clos, ClosParams, DeviceId, LinkState, MetadataService, Role, Topology};
     pub use netprim::{HeaderSpace, HeaderTuple, IpRange, Ipv4, PortRange, Prefix, Protocol};
+    pub use obskit::{MetricsSnapshot, Observer, Registry};
     pub use rcdc::classify::{classify_device, Classification, RootCause};
     pub use rcdc::contracts::generate_contracts;
     pub use rcdc::engine::{smt::SmtEngine, trie::TrieEngine, Engine};

@@ -6,7 +6,8 @@
 //! ```
 
 use rcdc::pipeline::{
-    run_sweep, ContractStore, FibStore, SimulatedSource, StreamAnalytics, VerdictCache,
+    run_sweep, ContractStore, FibStore, PipelineMetrics, SimulatedSource, StreamAnalytics,
+    VerdictCache,
 };
 use validatedc::prelude::*;
 
@@ -47,6 +48,8 @@ fn main() {
     let cache = VerdictCache::default();
     let analytics = StreamAnalytics::default();
     let devices: Vec<DeviceId> = topology.devices().iter().map(|d| d.id).collect();
+    let registry = Registry::new();
+    let metrics = PipelineMetrics::new(&registry);
     run_sweep(
         &devices,
         &source,
@@ -56,6 +59,7 @@ fn main() {
         &analytics,
         4, // pull workers
         2, // validate workers
+        Some(&metrics),
     );
     println!(
         "swept {} devices, mean validation time {:?}",
@@ -75,10 +79,22 @@ fn main() {
         &analytics2,
         4,
         2,
+        Some(&metrics),
     );
     let (full, incremental, cached) = analytics2.mode_counts();
     println!(
         "second sweep: {full} full / {incremental} incremental / {cached} cached verdicts"
+    );
+
+    // The unified metrics surface: every counter the two sweeps
+    // touched, in one consistent snapshot.
+    let snap = registry.observe_and_snapshot(&[&cache]);
+    let counter = |name| snap.counter(name, &[]).unwrap_or(0);
+    println!(
+        "verdict cache: {} lookups, {} hits, {} misses",
+        counter("rcdc_verdict_cache_lookups_total"),
+        counter("rcdc_verdict_cache_hits_total"),
+        counter("rcdc_verdict_cache_misses_total"),
     );
 
     println!("\n== alerts (high risk first) ==");

@@ -145,6 +145,17 @@ pub mod channel {
             }
         }
 
+        /// Messages currently queued (like crossbeam's `Receiver::len`;
+        /// a snapshot — concurrent sends/recvs may change it at once).
+        pub fn len(&self) -> usize {
+            self.0.queue.lock().unwrap().items.len()
+        }
+
+        /// Is the queue currently empty?
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Dequeue without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut st = self.0.queue.lock().unwrap();
