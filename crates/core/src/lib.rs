@@ -33,6 +33,10 @@
 //! 6. **Live monitoring** ([`pipeline`]): the §2.6.1 microservice
 //!    architecture — contract generator, FIB puller, validator workers,
 //!    stream-analytics sink — as an in-process, multi-threaded system.
+//!    The always-on form is [`service`]: the device space partitioned
+//!    across shard-local store sets ([`shard`]), bounded ingest queues
+//!    with back-pressure, and a [`ServiceHandle`] answering verdict and
+//!    alert queries concurrently with in-flight sweeps.
 //! 7. **Triage** ([`triage`]): the automated remediation-queue routing
 //!    of §2.6.4 — classified errors land in per-action queues drained
 //!    high-risk first.
@@ -52,6 +56,8 @@ pub mod global_baseline;
 pub mod pipeline;
 pub mod report;
 pub mod runner;
+pub mod service;
+pub mod shard;
 pub mod triage;
 pub mod validator;
 
@@ -60,4 +66,6 @@ pub use contracts::{generate_contracts, Contract, ContractKind, DeviceContracts}
 pub use engine::{trie::TrieEngine, smt::SmtEngine, Engine, ObservedEngine};
 pub use report::{Risk, ValidationReport, Violation, ViolationReason};
 pub use runner::{DatacenterReport, EngineChoice, PassMetrics};
+pub use service::{IngestEvent, ServiceHandle, ValidationService};
+pub use shard::{ShardRouter, ShardStores};
 pub use validator::{Validator, ValidatorBuilder};

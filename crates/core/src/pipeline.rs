@@ -39,7 +39,7 @@ use dctopo::{DeviceId, MetadataService};
 use netprim::wire::WireSnapshot;
 use obskit::{Counter, Gauge, Histogram, MetricsSnapshot, Observer, Registry};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -202,29 +202,6 @@ impl VerdictCache {
                 report,
             },
         );
-    }
-
-    /// Lookups answered from cache so far.
-    #[deprecated(since = "0.5.0", note = "read `snapshot()` instead: \
-        `snapshot().counter(\"rcdc_verdict_cache_hits_total\", &[])`")]
-    pub fn hits(&self) -> u64 {
-        self.hits.get()
-    }
-
-    /// Lookups that required validation so far.
-    #[deprecated(since = "0.5.0", note = "read `snapshot()` instead: \
-        `snapshot().counter(\"rcdc_verdict_cache_misses_total\", &[])`")]
-    pub fn misses(&self) -> u64 {
-        self.misses.get()
-    }
-
-    /// Total [`lookup`](Self::lookup) calls. Always equals hits plus
-    /// misses — the balance invariant the fault-injection harness and
-    /// the stress tests assert.
-    #[deprecated(since = "0.5.0", note = "read `snapshot()` instead: \
-        `snapshot().counter(\"rcdc_verdict_cache_lookups_total\", &[])`")]
-    pub fn lookups(&self) -> u64 {
-        self.lookups.get()
     }
 
     /// Point-in-time view of the cache's metrics: the
@@ -393,14 +370,31 @@ pub struct PipelineResult {
 
 /// The stream-analytics sink: collects results and answers the alert
 /// and triage queries of §2.6.1/§2.6.4.
+///
+/// Dashboard-style queries ([`dirty_devices`](Self::dirty_devices),
+/// [`alerts`](Self::alerts)) read a pre-sorted dirty index maintained
+/// at ingest instead of scanning — and cloning filters of — the full
+/// result map under the lock, so their cost tracks the (typically
+/// tiny) number of dirty devices rather than the fleet size. The
+/// always-on service serves these concurrently with in-flight sweeps.
 #[derive(Default)]
 pub struct StreamAnalytics {
-    results: RwLock<HashMap<DeviceId, PipelineResult>>,
+    inner: RwLock<AnalyticsIndex>,
     ingested: Counter,
     /// Per-mode validate-latency histograms, recording *every* ingested
     /// result (not just the latest per device): full, incremental,
     /// cache-hit — indexed by [`latency_slot`].
     latency: [Histogram; 3],
+}
+
+/// The sink's keyed state: latest result per device plus the dirty
+/// index dashboard queries walk.
+#[derive(Default)]
+struct AnalyticsIndex {
+    results: HashMap<DeviceId, PipelineResult>,
+    /// Devices whose latest report has violations, pre-sorted by id,
+    /// with their violation counts. Updated on every ingest.
+    dirty: BTreeMap<DeviceId, usize>,
 }
 
 /// Index of a [`ValidateMode`]'s latency histogram in
@@ -423,63 +417,64 @@ fn mode_label(mode: ValidateMode) -> &'static str {
 }
 
 impl StreamAnalytics {
-    /// Ingest one result (latest wins, like a keyed stream).
+    /// Ingest one result (latest wins, like a keyed stream), keeping
+    /// the dirty index in step under the same write lock.
     pub fn ingest(&self, r: PipelineResult) {
         self.ingested.inc();
         self.latency[latency_slot(r.mode)].record_duration(r.validate_time);
-        self.results.write().insert(r.device, r);
-    }
-
-    /// Total results ever ingested (monotone; `len()` only counts the
-    /// latest result per device). The pipeline invariant is
-    /// `ingested == completed validations`: every verdict a worker
-    /// produces reaches the sink exactly once.
-    #[deprecated(since = "0.5.0", note = "read `snapshot()` instead: \
-        `snapshot().counter(\"rcdc_analytics_ingested_total\", &[])`")]
-    pub fn ingested(&self) -> u64 {
-        self.ingested.get()
+        let mut inner = self.inner.write();
+        if r.report.is_clean() {
+            inner.dirty.remove(&r.device);
+        } else {
+            inner.dirty.insert(r.device, r.report.violations.len());
+        }
+        inner.results.insert(r.device, r);
     }
 
     /// Number of devices with results.
     pub fn len(&self) -> usize {
-        self.results.read().len()
+        self.inner.read().results.len()
     }
 
     /// Is the sink empty?
     pub fn is_empty(&self) -> bool {
-        self.results.read().is_empty()
+        self.inner.read().results.is_empty()
     }
 
     /// Devices whose latest report is dirty, with violation counts.
+    /// Served from the pre-sorted dirty index: O(dirty), not O(fleet).
     pub fn dirty_devices(&self) -> Vec<(DeviceId, usize)> {
-        let mut v: Vec<(DeviceId, usize)> = self
-            .results
+        self.inner
             .read()
-            .values()
-            .filter(|r| !r.report.is_clean())
-            .map(|r| (r.device, r.report.violations.len()))
-            .collect();
-        v.sort();
-        v
+            .dirty
+            .iter()
+            .map(|(d, n)| (*d, *n))
+            .collect()
+    }
+
+    /// Number of dirty devices, without materializing the list.
+    pub fn dirty_count(&self) -> usize {
+        self.inner.read().dirty.len()
     }
 
     /// Alert query: devices with at least one violation at or above the
-    /// given risk (requires metadata for ranking).
+    /// given risk (requires metadata for ranking). Walks only the dirty
+    /// index — clean devices cannot alert — so a dashboard hammering
+    /// this on a healthy fleet costs an empty iteration, not a scan.
     pub fn alerts(&self, meta: &MetadataService, at_least: Risk) -> Vec<DeviceId> {
-        let mut v: Vec<DeviceId> = self
-            .results
-            .read()
-            .values()
-            .filter(|r| {
-                r.report
+        let inner = self.inner.read();
+        inner
+            .dirty
+            .keys()
+            .filter(|d| {
+                inner.results[d]
+                    .report
                     .violations
                     .iter()
                     .any(|viol| risk_of(viol, meta) >= at_least)
             })
-            .map(|r| r.device)
-            .collect();
-        v.sort();
-        v
+            .copied()
+            .collect()
     }
 
     /// Mean validation latency over *all* ingested results, not just
@@ -501,7 +496,7 @@ impl StreamAnalytics {
 
     /// The latest result for one device.
     pub fn result(&self, device: DeviceId) -> Option<PipelineResult> {
-        self.results.read().get(&device).cloned()
+        self.inner.read().results.get(&device).cloned()
     }
 
     /// Solver counters summed over the latest result of every device —
@@ -509,9 +504,9 @@ impl StreamAnalytics {
     /// observable footprint of session reuse (queries, conflicts,
     /// bit-blast cache hits).
     pub fn solver_totals(&self) -> smtkit::SessionStats {
-        let results = self.results.read();
+        let inner = self.inner.read();
         let mut total = smtkit::SessionStats::default();
-        for r in results.values() {
+        for r in inner.results.values() {
             total.absorb(&r.report.solver_stats);
         }
         total
@@ -519,8 +514,8 @@ impl StreamAnalytics {
 
     /// How many of the latest results were produced each way.
     pub fn mode_counts(&self) -> (usize, usize, usize) {
-        let results = self.results.read();
-        let count = |m: ValidateMode| results.values().filter(|r| r.mode == m).count();
+        let inner = self.inner.read();
+        let count = |m: ValidateMode| inner.results.values().filter(|r| r.mode == m).count();
         (
             count(ValidateMode::Full),
             count(ValidateMode::Incremental),
@@ -574,7 +569,7 @@ impl Observer for StreamAnalytics {
                 "devices whose latest report has violations",
                 &[],
             )
-            .set(self.dirty_devices().len() as i64);
+            .set(self.dirty_count() as i64);
         self.solver_totals()
             .observe_into(registry, "rcdc_solver", &[]);
     }
@@ -980,11 +975,10 @@ mod tests {
         }
     }
 
-    /// The deprecated getters are thin views over the unified metric
-    /// cells — they must agree with `snapshot()` exactly, always.
+    /// `snapshot()` is the one stats surface (the PR-5 getter shims are
+    /// gone): the counter families must reflect every lookup exactly.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_getters_match_snapshot_counters() {
+    fn snapshot_counters_track_cache_and_ingest_activity() {
         let cache = VerdictCache::default();
         let d = DeviceId(0);
         assert!(cache.lookup(d, 1, 1).is_none());
@@ -992,18 +986,9 @@ mod tests {
         assert!(cache.lookup(d, 1, 1).is_some());
         assert!(cache.lookup(d, 2, 1).is_none());
         let snap = cache.snapshot();
-        assert_eq!(
-            snap.counter("rcdc_verdict_cache_lookups_total", &[]),
-            Some(cache.lookups())
-        );
-        assert_eq!(
-            snap.counter("rcdc_verdict_cache_hits_total", &[]),
-            Some(cache.hits())
-        );
-        assert_eq!(
-            snap.counter("rcdc_verdict_cache_misses_total", &[]),
-            Some(cache.misses())
-        );
+        assert_eq!(snap.counter("rcdc_verdict_cache_lookups_total", &[]), Some(3));
+        assert_eq!(snap.counter("rcdc_verdict_cache_hits_total", &[]), Some(1));
+        assert_eq!(snap.counter("rcdc_verdict_cache_misses_total", &[]), Some(2));
 
         let analytics = StreamAnalytics::default();
         for i in 0..5 {
@@ -1013,8 +998,43 @@ mod tests {
             analytics
                 .snapshot()
                 .counter("rcdc_analytics_ingested_total", &[]),
-            Some(analytics.ingested())
+            Some(5)
         );
+    }
+
+    /// The dirty index answers dashboard queries without scanning the
+    /// result map: it must track ingests exactly — a device turning
+    /// clean leaves the index, latest-wins updates replace counts.
+    #[test]
+    fn dirty_index_tracks_latest_reports() {
+        let (_f, fibs, contracts, meta) = fig3_faulted();
+        let engine = TrieEngine::new();
+        let analytics = StreamAnalytics::default();
+        // Ingest real faulted reports for every device.
+        for (i, fib) in fibs.iter().enumerate() {
+            let report = engine.validate_device(fib, &contracts[i]);
+            analytics.ingest(PipelineResult {
+                device: DeviceId(i as u32),
+                report,
+                validate_time: Duration::ZERO,
+                mode: ValidateMode::Full,
+            });
+        }
+        let dirty = analytics.dirty_devices();
+        assert_eq!(dirty.len(), 16);
+        assert_eq!(analytics.dirty_count(), 16);
+        assert!(dirty.windows(2).all(|w| w[0].0 < w[1].0), "pre-sorted");
+        assert!(!analytics.alerts(&meta, Risk::High).is_empty());
+        // A dirty device turning clean leaves the index.
+        let dirty_device = dirty[0].0;
+        analytics.ingest(result_for(dirty_device, 10, ValidateMode::Full));
+        assert_eq!(analytics.dirty_count(), 15);
+        assert!(!analytics
+            .dirty_devices()
+            .iter()
+            .any(|(d, _)| *d == dirty_device));
+        // Alerts walk only the index; the clean device cannot alert.
+        assert!(!analytics.alerts(&meta, Risk::Low).contains(&dirty_device));
     }
 
     /// Regression for the duplicate-ingestion skew: the mean must

@@ -1,0 +1,294 @@
+//! Shard routing for the pipeline stores: partition the device space
+//! across N independent store sets so validation scales by adding
+//! shards instead of contending on shared locks.
+//!
+//! The decomposition follows the paper's observation that local,
+//! per-device contracts make validation embarrassingly parallel
+//! (§2.4): a device's verdict depends only on its own FIB and
+//! contracts, so any partition of the device space is sound. The
+//! [`ShardRouter`] uses the simplest one — `device mod shards` — which
+//! balances Clos topologies well because device ids are assigned
+//! round-robin across clusters by the generator.
+//!
+//! Each shard owns a full set of pipeline stores plus its own obskit
+//! [`Registry`], so shard workers never share a lock or a metric cell.
+//! Fleet-wide views are produced by merging: [`merged_snapshot`]
+//! absorbs every shard's registry under a `shard` label, and the query
+//! helpers ([`verdict`], [`alerts`], [`solver_totals`]) fan out and
+//! combine. Single-shard construction is the existing pipeline
+//! unchanged — `ShardRouter::new(1)` routes everything to shard 0.
+//!
+//! [`merged_snapshot`]: ShardRouter::merged_snapshot
+//! [`verdict`]: ShardRouter::verdict
+//! [`alerts`]: ShardRouter::alerts
+//! [`solver_totals`]: ShardRouter::solver_totals
+
+use crate::contracts::DeviceContracts;
+use crate::pipeline::{CachedVerdict, ContractStore, FibStore, StreamAnalytics, VerdictCache};
+use crate::report::Risk;
+use dctopo::{DeviceId, MetadataService};
+use obskit::{MetricsSnapshot, Observer, Registry};
+
+/// One shard's complete store set: everything a shard worker touches
+/// lives here and nowhere else.
+pub struct ShardStores {
+    /// Contracts for the devices routed to this shard.
+    pub contracts: ContractStore,
+    /// FIB snapshots (current + previous) for this shard's devices.
+    pub fibs: FibStore,
+    /// Verdict cache for this shard's devices.
+    pub cache: VerdictCache,
+    /// Stream-analytics sink for this shard's results.
+    pub analytics: StreamAnalytics,
+    /// This shard's private metric registry; merged views label it
+    /// with `shard="<index>"`.
+    pub registry: Registry,
+}
+
+impl Default for ShardStores {
+    fn default() -> Self {
+        ShardStores {
+            contracts: ContractStore::default(),
+            fibs: FibStore::default(),
+            cache: VerdictCache::default(),
+            analytics: StreamAnalytics::default(),
+            registry: Registry::new(),
+        }
+    }
+}
+
+impl ShardStores {
+    /// This shard's metrics: registry families plus the cache and
+    /// analytics observers, unlabeled.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.cache.observe(&self.registry);
+        self.analytics.observe(&self.registry);
+        self.registry.snapshot()
+    }
+}
+
+/// Routes devices to shards and owns every shard's stores.
+pub struct ShardRouter {
+    shards: Vec<ShardStores>,
+}
+
+impl ShardRouter {
+    /// Create a router with `shards` store sets (`shards` ≥ 1
+    /// enforced). `ShardRouter::new(1)` is the pre-sharding pipeline:
+    /// one store set, every device routed to it.
+    pub fn new(shards: usize) -> Self {
+        ShardRouter {
+            shards: (0..shards.max(1)).map(|_| ShardStores::default()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns `device`.
+    pub fn shard_of(&self, device: DeviceId) -> usize {
+        device.0 as usize % self.shards.len()
+    }
+
+    /// The stores owning `device`.
+    pub fn stores(&self, device: DeviceId) -> &ShardStores {
+        &self.shards[self.shard_of(device)]
+    }
+
+    /// Stores of shard `idx` (panics when out of range).
+    pub fn shard(&self, idx: usize) -> &ShardStores {
+        &self.shards[idx]
+    }
+
+    /// Iterate every shard's stores in shard order.
+    pub fn iter(&self) -> impl Iterator<Item = &ShardStores> {
+        self.shards.iter()
+    }
+
+    /// Publish per-device contracts (indexed by device id, like
+    /// [`crate::contracts::generate_contracts`]'s output), each routed
+    /// to its owning shard.
+    pub fn publish_contracts(&self, contracts: Vec<DeviceContracts>) {
+        for (i, dc) in contracts.into_iter().enumerate() {
+            let device = DeviceId(i as u32);
+            self.stores(device).contracts.put(device, dc);
+        }
+    }
+
+    /// Split `devices` into per-shard work lists, preserving order
+    /// within each shard.
+    pub fn partition(&self, devices: &[DeviceId]) -> Vec<Vec<DeviceId>> {
+        let mut parts = vec![Vec::new(); self.shards.len()];
+        for &d in devices {
+            parts[self.shard_of(d)].push(d);
+        }
+        parts
+    }
+
+    /// The device's cached verdict, from its owning shard. The
+    /// [`CachedVerdict`] is cloned atomically under the shard cache's
+    /// read lock, so the `(fib_hash, contract_epoch, report)` triple is
+    /// always internally consistent — readers never observe a torn
+    /// pair even while that shard is mid-sweep.
+    pub fn verdict(&self, device: DeviceId) -> Option<CachedVerdict> {
+        self.stores(device).cache.prior(device)
+    }
+
+    /// Devices alerting at `at_least` risk across every shard, sorted
+    /// by device id (each shard's dirty index is pre-sorted; the merge
+    /// concatenates and sorts the — typically short — union).
+    pub fn alerts(&self, meta: &MetadataService, at_least: Risk) -> Vec<DeviceId> {
+        let mut all: Vec<DeviceId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.analytics.alerts(meta, at_least))
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Dirty devices across every shard, with violation counts, sorted
+    /// by device id.
+    pub fn dirty_devices(&self) -> Vec<(DeviceId, usize)> {
+        let mut all: Vec<(DeviceId, usize)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.analytics.dirty_devices())
+            .collect();
+        all.sort_unstable_by_key(|(d, _)| *d);
+        all
+    }
+
+    /// Total dirty devices across every shard.
+    pub fn dirty_count(&self) -> usize {
+        self.shards.iter().map(|s| s.analytics.dirty_count()).sum()
+    }
+
+    /// Aggregate solver statistics across every shard's analytics.
+    pub fn solver_totals(&self) -> smtkit::SessionStats {
+        let mut total = smtkit::SessionStats::default();
+        for s in &self.shards {
+            total.absorb(&s.analytics.solver_totals());
+        }
+        total
+    }
+
+    /// Fleet-wide metrics: every shard's [`ShardStores::snapshot`]
+    /// labeled `shard="<index>"` and absorbed into one snapshot, so
+    /// exports carry per-shard series of each family side by side.
+    pub fn merged_snapshot(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        for (i, s) in self.shards.iter().enumerate() {
+            merged.absorb(&s.snapshot().with_label("shard", &i.to_string()));
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::testutil::fig3_faulted;
+    use crate::engine::Engine;
+    use crate::pipeline::{PipelineResult, ValidateMode};
+    use crate::TrieEngine;
+    use std::time::Duration;
+
+    fn ingest_all(router: &ShardRouter, fibs: &[bgpsim::Fib]) {
+        let engine = TrieEngine::new();
+        for (i, fib) in fibs.iter().enumerate() {
+            let device = DeviceId(i as u32);
+            let stores = router.stores(device);
+            let contracts = match stores.contracts.get(device) {
+                Some(c) => c,
+                None => continue,
+            };
+            let report = engine.validate_device(fib, &contracts);
+            stores
+                .cache
+                .store(device, fib.content_hash(), 1, report.clone());
+            stores.analytics.ingest(PipelineResult {
+                device,
+                report,
+                validate_time: Duration::ZERO,
+                mode: ValidateMode::Full,
+            });
+        }
+    }
+
+    #[test]
+    fn routing_is_total_and_stable() {
+        let router = ShardRouter::new(4);
+        assert_eq!(router.shard_count(), 4);
+        for d in 0..128u32 {
+            let shard = router.shard_of(DeviceId(d));
+            assert!(shard < 4);
+            assert_eq!(shard, router.shard_of(DeviceId(d)), "stable");
+        }
+        // Round-robin ids spread evenly.
+        let devices: Vec<DeviceId> = (0..128).map(DeviceId).collect();
+        let parts = router.partition(&devices);
+        assert!(parts.iter().all(|p| p.len() == 32));
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let router = ShardRouter::new(1);
+        for d in 0..50u32 {
+            assert_eq!(router.shard_of(DeviceId(d)), 0);
+        }
+        // new(0) is promoted to one shard, not a panic.
+        assert_eq!(ShardRouter::new(0).shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_queries_agree_with_single_shard() {
+        let (_f, fibs, contracts, meta) = fig3_faulted();
+        let single = ShardRouter::new(1);
+        single.publish_contracts(contracts.clone());
+        ingest_all(&single, &fibs);
+        let sharded = ShardRouter::new(3);
+        sharded.publish_contracts(contracts);
+        ingest_all(&sharded, &fibs);
+
+        assert_eq!(sharded.dirty_count(), single.dirty_count());
+        assert_eq!(sharded.dirty_devices(), single.dirty_devices());
+        assert_eq!(
+            sharded.alerts(&meta, Risk::High),
+            single.alerts(&meta, Risk::High)
+        );
+        for i in 0..fibs.len() as u32 {
+            let d = DeviceId(i);
+            match (single.verdict(d), sharded.verdict(d)) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.fib_hash, b.fib_hash);
+                    assert_eq!(a.report, b.report);
+                }
+                (None, None) => {}
+                _ => panic!("verdict presence must not depend on sharding"),
+            }
+        }
+    }
+
+    #[test]
+    fn merged_snapshot_labels_every_shard() {
+        let (_f, fibs, contracts, _meta) = fig3_faulted();
+        let router = ShardRouter::new(2);
+        router.publish_contracts(contracts);
+        ingest_all(&router, &fibs);
+        let snap = router.merged_snapshot();
+        let per_shard: Vec<u64> = (0..2)
+            .map(|i| {
+                snap.counter(
+                    "rcdc_analytics_ingested_total",
+                    &[("shard", &i.to_string())],
+                )
+                .unwrap_or(0)
+            })
+            .collect();
+        assert_eq!(per_shard.iter().sum::<u64>(), fibs.len() as u64);
+        assert!(per_shard.iter().all(|&c| c > 0), "both shards ingested");
+    }
+}

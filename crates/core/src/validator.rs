@@ -33,10 +33,13 @@
 
 use crate::contracts::{generate_contracts, DeviceContracts};
 use crate::engine::Engine;
+use crate::pipeline::SnapshotSource;
 use crate::runner::{run_pass, DatacenterReport, EngineChoice, PassMetrics};
+use crate::service::{ServiceConfig, ValidationService};
 use bgpsim::Fib;
 use dctopo::MetadataService;
 use obskit::Registry;
+use std::sync::Arc;
 
 /// Configured datacenter validator. Build one with
 /// [`Validator::new`] (contracts generated from metadata) or
@@ -50,11 +53,18 @@ pub struct Validator {
     metrics: Option<PassMetrics>,
 }
 
-/// Builder returned by [`Validator::new`] / [`Validator::with_contracts`].
+/// Builder returned by [`Validator::new`] / [`Validator::with_contracts`]
+/// — the single construction path for both one-shot sweeps
+/// ([`build`](Self::build)) and the always-on sharded service
+/// ([`build_service`](Self::build_service)).
 pub struct ValidatorBuilder {
     contracts: Vec<DeviceContracts>,
     engine: EngineChoice,
     threads: usize,
+    shards: usize,
+    ingest_capacity: usize,
+    meta: Option<MetadataService>,
+    clock: Option<Arc<dyn crate::Clock>>,
     registry: Option<Registry>,
 }
 
@@ -69,6 +79,81 @@ impl ValidatorBuilder {
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Worker shards for [`build_service`](Self::build_service)
+    /// (default 1 — the pre-sharding pipeline). One-shot
+    /// [`build`](Self::build) passes ignore this.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Per-shard bounded ingest-queue capacity for
+    /// [`build_service`](Self::build_service) (default 1024). Submits
+    /// beyond a full queue block — the service's back-pressure seam.
+    pub fn ingest_capacity(mut self, capacity: usize) -> Self {
+        self.ingest_capacity = capacity.max(1);
+        self
+    }
+
+    /// Attach the metadata service ([`Validator::new`] already does).
+    /// [`build_service`](Self::build_service) requires it — the
+    /// service's `alerts(risk)` query correlates verdicts against
+    /// architectural metadata.
+    pub fn metadata(mut self, meta: &MetadataService) -> Self {
+        self.meta = Some(meta.clone());
+        self
+    }
+
+    /// Drive service timestamps (notification→verdict latency, pull
+    /// latency) from `clock` instead of the wall clock.
+    pub fn clock(mut self, clock: Arc<dyn crate::Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Apply engine/thread/shard settings from the process
+    /// environment: `RCDC_ENGINE` (an [`EngineChoice`] name),
+    /// `RCDC_THREADS`, `RCDC_SHARDS`, `RCDC_INGEST_CAPACITY`. Unset
+    /// variables keep the builder's current values; a set-but-invalid
+    /// value is an error naming the variable — benches and CI fail
+    /// loudly instead of silently running a misconfigured pass.
+    pub fn from_env(self) -> Result<Self, String> {
+        self.from_env_lookup(|k| std::env::var(k).ok())
+    }
+
+    /// [`from_env`](Self::from_env) over an injectable lookup, so
+    /// tests exercise parsing without touching process globals.
+    pub fn from_env_lookup(
+        mut self,
+        get: impl Fn(&str) -> Option<String>,
+    ) -> Result<Self, String> {
+        if let Some(v) = get("RCDC_ENGINE") {
+            self.engine = v
+                .parse::<EngineChoice>()
+                .map_err(|e| format!("RCDC_ENGINE: {e}"))?;
+        }
+        let count = |key: &str| -> Result<Option<usize>, String> {
+            match get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .trim()
+                    .parse::<usize>()
+                    .map(Some)
+                    .map_err(|_| format!("{key}: expected a non-negative integer, got {v:?}")),
+            }
+        };
+        if let Some(n) = count("RCDC_THREADS")? {
+            self.threads = n;
+        }
+        if let Some(n) = count("RCDC_SHARDS")? {
+            self.shards = n.max(1);
+        }
+        if let Some(n) = count("RCDC_INGEST_CAPACITY")? {
+            self.ingest_capacity = n.max(1);
+        }
+        Ok(self)
     }
 
     /// Export pass metrics into `registry` (the `rcdc_pass_*`
@@ -99,6 +184,35 @@ impl ValidatorBuilder {
             metrics: self.registry.as_ref().map(PassMetrics::new),
         }
     }
+
+    /// Finish as a long-running [`ValidationService`]: the contracts
+    /// are published across [`shards`](Self::shards) shard-local
+    /// stores, one worker thread per shard starts draining its bounded
+    /// ingest queue, and FIB snapshots are pulled from `source`.
+    ///
+    /// # Panics
+    ///
+    /// When no metadata service is attached — use [`Validator::new`]
+    /// or [`metadata`](Self::metadata) before building the service.
+    pub fn build_service(self, source: Arc<dyn SnapshotSource + Send + Sync>) -> ValidationService {
+        let meta = self.meta.expect(
+            "build_service requires metadata: construct via Validator::new(&meta) \
+             or attach it with .metadata(&meta)",
+        );
+        ValidationService::start(
+            ServiceConfig {
+                shards: self.shards,
+                ingest_capacity: self.ingest_capacity,
+                engine: self.engine,
+                meta,
+                contracts: self.contracts,
+                clock: self
+                    .clock
+                    .unwrap_or_else(|| Arc::new(crate::RealClock::new())),
+            },
+            source,
+        )
+    }
 }
 
 impl Validator {
@@ -108,7 +222,7 @@ impl Validator {
     // through `.build()`.
     #[allow(clippy::new_ret_no_self)]
     pub fn new(meta: &MetadataService) -> ValidatorBuilder {
-        Self::with_contracts(generate_contracts(meta))
+        Self::with_contracts(generate_contracts(meta)).metadata(meta)
     }
 
     /// Start a builder over pre-built contracts (indexed by device id,
@@ -118,6 +232,10 @@ impl Validator {
             contracts,
             engine: EngineChoice::default(),
             threads: 0,
+            shards: 1,
+            ingest_capacity: 1024,
+            meta: None,
+            clock: None,
             registry: None,
         }
     }
@@ -195,6 +313,60 @@ mod tests {
         assert_eq!(v.engine_choice(), EngineChoice::Smt);
         assert_eq!(v.contract_epoch(), 1);
         assert!(v.run(&fibs).is_clean());
+    }
+
+    #[test]
+    fn from_env_applies_engine_threads_and_shards() {
+        let (_f, _fibs, _contracts, meta) = fig3_healthy();
+        let env = |k: &str| -> Option<String> {
+            match k {
+                "RCDC_ENGINE" => Some("smt".into()),
+                "RCDC_THREADS" => Some("6".into()),
+                "RCDC_SHARDS" => Some("4".into()),
+                "RCDC_INGEST_CAPACITY" => Some("32".into()),
+                _ => None,
+            }
+        };
+        let b = Validator::new(&meta).from_env_lookup(env).unwrap();
+        assert_eq!(b.engine, EngineChoice::Smt);
+        assert_eq!(b.threads, 6);
+        assert_eq!(b.shards, 4);
+        assert_eq!(b.ingest_capacity, 32);
+        // Unset vars keep builder values.
+        let b = Validator::new(&meta)
+            .engine(EngineChoice::TrieSemantic)
+            .threads(2)
+            .from_env_lookup(|_| None)
+            .unwrap();
+        assert_eq!(b.engine, EngineChoice::TrieSemantic);
+        assert_eq!(b.threads, 2);
+        assert_eq!(b.shards, 1);
+    }
+
+    #[test]
+    fn from_env_rejects_bad_values_naming_the_variable() {
+        let (_f, _fibs, _contracts, meta) = fig3_healthy();
+        let err = Validator::new(&meta)
+            .from_env_lookup(|k| (k == "RCDC_ENGINE").then(|| "warp-drive".into()))
+            .err().expect("must fail");
+        assert!(err.contains("RCDC_ENGINE"), "{err}");
+        let err = Validator::new(&meta)
+            .from_env_lookup(|k| (k == "RCDC_THREADS").then(|| "many".into()))
+            .err().expect("must fail");
+        assert!(err.contains("RCDC_THREADS") && err.contains("many"), "{err}");
+        let err = Validator::new(&meta)
+            .from_env_lookup(|k| (k == "RCDC_SHARDS").then(|| "-3".into()))
+            .err().expect("must fail");
+        assert!(err.contains("RCDC_SHARDS"), "{err}");
+        let err = Validator::new(&meta)
+            .from_env_lookup(|k| (k == "RCDC_INGEST_CAPACITY").then(|| "1e4".into()))
+            .err().expect("must fail");
+        assert!(err.contains("RCDC_INGEST_CAPACITY"), "{err}");
+        // Zero shards/capacity are clamped, not errors.
+        let b = Validator::new(&meta)
+            .from_env_lookup(|k| (k == "RCDC_SHARDS").then(|| "0".into()))
+            .unwrap();
+        assert_eq!(b.shards, 1);
     }
 
     #[test]

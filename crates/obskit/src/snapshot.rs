@@ -189,6 +189,69 @@ impl MetricsSnapshot {
             .iter()
             .any(|f| f.name == name && !f.samples.is_empty())
     }
+
+    /// Return a copy with `(key, value)` added to every sample's label
+    /// set (keeping labels sorted by key). Sharded services use this to
+    /// tag each shard's registry snapshot — e.g. `shard="3"` — before
+    /// [`absorb`](Self::absorb)-ing them into one export.
+    pub fn with_label(&self, key: &str, value: &str) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for family in &mut out.families {
+            for sample in &mut family.samples {
+                let at = sample
+                    .labels
+                    .partition_point(|(k, _)| k.as_str() < key);
+                sample.labels.insert(at, (key.into(), value.into()));
+            }
+            family.samples.sort_by(|a, b| a.labels.cmp(&b.labels));
+        }
+        out
+    }
+
+    /// Merge another snapshot into this one. Families are matched by
+    /// name and samples by label set; colliding counters and gauges
+    /// add, histograms [`merge`](HistogramSnapshot::merge) (kind
+    /// mismatches keep the existing sample). Sorted-output invariants
+    /// are preserved, so absorbing N labeled shard snapshots yields a
+    /// deterministic fleet-wide export.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        for family in &other.families {
+            let dst = match self.families.iter_mut().find(|f| f.name == family.name) {
+                Some(dst) => dst,
+                None => {
+                    let at = self
+                        .families
+                        .partition_point(|f| f.name < family.name);
+                    self.families.insert(
+                        at,
+                        FamilySnapshot {
+                            name: family.name.clone(),
+                            help: family.help.clone(),
+                            kind: family.kind,
+                            samples: Vec::new(),
+                        },
+                    );
+                    &mut self.families[at]
+                }
+            };
+            for sample in &family.samples {
+                match dst.samples.iter_mut().find(|s| s.labels == sample.labels) {
+                    Some(existing) => match (&mut existing.value, &sample.value) {
+                        (SampleValue::Counter(a), SampleValue::Counter(b)) => *a += b,
+                        (SampleValue::Gauge(a), SampleValue::Gauge(b)) => *a += b,
+                        (SampleValue::Histogram(a), SampleValue::Histogram(b)) => a.merge(b),
+                        _ => {}
+                    },
+                    None => {
+                        let at = dst
+                            .samples
+                            .partition_point(|s| s.labels < sample.labels);
+                        dst.samples.insert(at, sample.clone());
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +275,85 @@ mod tests {
         let mut merged = a.snapshot();
         merged.merge(&b.snapshot());
         assert_eq!(merged, both.snapshot());
+    }
+
+    #[test]
+    fn with_label_then_absorb_builds_fleet_export() {
+        // Two "shards" each with the same counter family and a
+        // histogram; labeling keeps samples distinct, absorbing without
+        // labels adds them.
+        let shard = |n: u64| {
+            let h = Histogram::new();
+            h.record(10 * n);
+            MetricsSnapshot {
+                families: vec![
+                    FamilySnapshot {
+                        name: "a_total".into(),
+                        help: "h".into(),
+                        kind: MetricKind::Counter,
+                        samples: vec![Sample {
+                            labels: vec![],
+                            value: SampleValue::Counter(n),
+                        }],
+                    },
+                    FamilySnapshot {
+                        name: "lat_ns".into(),
+                        help: "h".into(),
+                        kind: MetricKind::Histogram,
+                        samples: vec![Sample {
+                            labels: vec![],
+                            value: SampleValue::Histogram(h.snapshot()),
+                        }],
+                    },
+                ],
+            }
+        };
+
+        // Labeled: per-shard samples stay separate.
+        let mut labeled = shard(1).with_label("shard", "0");
+        labeled.absorb(&shard(2).with_label("shard", "1"));
+        assert_eq!(labeled.counter("a_total", &[("shard", "0")]), Some(1));
+        assert_eq!(labeled.counter("a_total", &[("shard", "1")]), Some(2));
+        assert_eq!(labeled.families[0].samples.len(), 2);
+
+        // Unlabeled: colliding samples add / merge.
+        let mut total = shard(1);
+        total.absorb(&shard(2));
+        assert_eq!(total.counter("a_total", &[]), Some(3));
+        let h = total.histogram("lat_ns", &[]).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 30);
+
+        // Families stay sorted by name after absorbing a new family.
+        let mut base = MetricsSnapshot::default();
+        base.absorb(&shard(1));
+        assert_eq!(base.families[0].name, "a_total");
+        assert_eq!(base.families[1].name, "lat_ns");
+    }
+
+    #[test]
+    fn with_label_keeps_labels_sorted() {
+        let snap = MetricsSnapshot {
+            families: vec![FamilySnapshot {
+                name: "x_total".into(),
+                help: String::new(),
+                kind: MetricKind::Counter,
+                samples: vec![Sample {
+                    labels: vec![("mode".into(), "full".into())],
+                    value: SampleValue::Counter(3),
+                }],
+            }],
+        };
+        let labeled = snap.with_label("shard", "7");
+        assert_eq!(
+            labeled.families[0].samples[0].labels,
+            vec![
+                ("mode".into(), "full".into()),
+                ("shard".into(), "7".into())
+            ]
+        );
+        let relabeled = snap.with_label("a", "z");
+        assert_eq!(relabeled.families[0].samples[0].labels[0].0, "a");
     }
 
     #[test]

@@ -119,11 +119,24 @@ pub fn sweep_observed(
     count: u64,
     registry: &obskit::Registry,
 ) -> Result<SweepStats, SimFailure> {
+    sweep_sharded(start, count, registry, 1)
+}
+
+/// [`sweep_observed`] with every script executed against `shards`
+/// shard-partitioned store sets — the deterministic mirror of the live
+/// sharded [`rcdc::service::ValidationService`], with the convergence
+/// invariants checked per shard and globally.
+pub fn sweep_sharded(
+    start: u64,
+    count: u64,
+    registry: &obskit::Registry,
+    shards: usize,
+) -> Result<SweepStats, SimFailure> {
     let env = SimEnv::figure3();
     let mut stats = SweepStats::default();
     for seed in start..start + count {
         let script = gen::script_for_seed(seed, env.device_count());
-        match sim::run_script_observed(&env, &script, Flaws::default(), registry) {
+        match sim::run_script_sharded(&env, &script, Flaws::default(), registry, shards) {
             Ok(out) => stats.absorb(&out),
             Err(_) => {
                 // Re-run through the shrinking path for the report.
@@ -273,5 +286,42 @@ mod tests {
             }
             Err(failure) => panic!("{failure}"),
         }
+    }
+
+    #[test]
+    fn sharded_sweep_matches_unsharded_outcomes() {
+        // Sharding partitions the device space; it must not change a
+        // single outcome counter of a deterministic run.
+        let r1 = obskit::Registry::new();
+        let r4 = obskit::Registry::new();
+        let unsharded = sweep_sharded(0, 10, &r1, 1).expect("clean");
+        let sharded = sweep_sharded(0, 10, &r4, 4).expect("clean");
+        assert_eq!(unsharded, sharded);
+        // The bridged pipeline counters agree too (shard sums).
+        for name in [
+            "rcdc_verdict_cache_lookups_total",
+            "rcdc_verdict_cache_hits_total",
+            "rcdc_analytics_ingested_total",
+        ] {
+            assert_eq!(
+                r1.snapshot().counter(name, &[]),
+                r4.snapshot().counter(name, &[]),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_runner_still_catches_emulated_bugs() {
+        let env = SimEnv::figure3();
+        let flaws = Flaws { stale_epoch_cache: true };
+        let broke = (0..64).find_map(|seed| {
+            let script = gen::script_for_seed(seed, env.device_count());
+            sim::run_script_sharded(&env, &script, flaws, &obskit::Registry::new(), 4).err()
+        });
+        assert_eq!(
+            broke.expect("some seed must expose the bug under sharding").invariant,
+            "cache-freshness"
+        );
     }
 }

@@ -1,26 +1,31 @@
 //! Seed-sweep driver for the deterministic pipeline simulation.
 //!
 //! ```text
-//! simnet --seed 0 --count 300 [--metrics <path|->]
+//! simnet --seed 0 --count 300 [--shards N] [--metrics <path|->]
 //! ```
 //!
 //! Exit status 0 when every seed's schedule converges; on an invariant
 //! violation, prints the minimized schedule plus a replay command and
-//! exits 1. With `--metrics`, the sweep's accumulated metric registry
-//! is exported after the run: `-` writes Prometheus text to stdout, a
-//! `.json` path writes the JSON form, any other path Prometheus text.
+//! exits 1. `--shards N` runs every script against N shard-partitioned
+//! store sets (the sharded-service configuration) with the invariants
+//! checked per shard and globally. With `--metrics`, the sweep's
+//! accumulated metric registry is exported after the run: `-` writes
+//! Prometheus text to stdout, a `.json` path writes the JSON form, any
+//! other path Prometheus text.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut seed = 0u64;
     let mut count = 300u64;
+    let mut shards = 1u64;
     let mut metrics_dest: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seed" => seed = parse(args.next(), "--seed"),
             "--count" => count = parse(args.next(), "--count"),
+            "--shards" => shards = parse(args.next(), "--shards").max(1),
             "--metrics" => {
                 metrics_dest = Some(args.next().unwrap_or_else(|| {
                     eprintln!("simnet: --metrics needs a path (or - for stdout)");
@@ -28,7 +33,7 @@ fn main() -> ExitCode {
                 }))
             }
             "--help" | "-h" => {
-                println!("usage: simnet [--seed N] [--count M] [--metrics <path|->]");
+                println!("usage: simnet [--seed N] [--count M] [--shards N] [--metrics <path|->]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -40,13 +45,18 @@ fn main() -> ExitCode {
     // With metrics on stdout, the human-facing lines move to stderr so
     // the Prometheus exposition stays machine-parseable.
     let metrics_stdout = metrics_dest.as_deref() == Some("-");
-    if metrics_stdout {
-        eprintln!("simnet: sweeping {count} seeds from {seed}");
+    let over = if shards > 1 {
+        format!(" over {shards} shards")
     } else {
-        println!("simnet: sweeping {count} seeds from {seed}");
+        String::new()
+    };
+    if metrics_stdout {
+        eprintln!("simnet: sweeping {count} seeds from {seed}{over}");
+    } else {
+        println!("simnet: sweeping {count} seeds from {seed}{over}");
     }
     let registry = obskit::Registry::new();
-    let result = simnet::sweep_observed(seed, count, &registry);
+    let result = simnet::sweep_sharded(seed, count, &registry, shards as usize);
     if let Some(dest) = metrics_dest {
         if let Err(e) = export_metrics(&registry, &dest) {
             eprintln!("simnet: cannot write metrics to {dest:?}: {e}");

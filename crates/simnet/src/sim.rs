@@ -32,10 +32,8 @@ use obskit::Registry;
 use rcdc::clock::VirtualClock;
 use rcdc::contracts::{generate_contracts, DeviceContracts};
 use rcdc::engine::{trie::TrieEngine, Engine};
-use rcdc::pipeline::{
-    validate_notification, ContractStore, FibStore, PipelineMetrics, StreamAnalytics,
-    ValidateMode, VerdictCache,
-};
+use rcdc::pipeline::{validate_notification, PipelineMetrics, ValidateMode};
+use rcdc::shard::ShardRouter;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -173,10 +171,15 @@ struct Sim<'e> {
     history: Vec<Vec<Fib>>,
     /// The puller's record of the last table each receiver acked.
     acked: Vec<Option<Fib>>,
-    contract_store: ContractStore,
-    fib_store: FibStore,
-    cache: VerdictCache,
-    analytics: StreamAnalytics,
+    /// The pipeline stores, partitioned across shards exactly as the
+    /// live [`rcdc::service::ValidationService`] partitions them. The
+    /// scheduler stays single-threaded — sharding is a partition of
+    /// the device space, so one deterministic event loop drives all
+    /// shards without losing reproducibility.
+    router: ShardRouter,
+    /// Verdicts completed per shard (the per-shard half of the
+    /// counter-balance invariant).
+    completed_per_shard: Vec<u64>,
     clock: VirtualClock,
     engine: TrieEngine,
     heap: BinaryHeap<Reverse<Scheduled>>,
@@ -185,12 +188,11 @@ struct Sim<'e> {
 }
 
 impl<'e> Sim<'e> {
-    fn new(env: &'e SimEnv, flaws: Flaws, registry: Registry) -> Sim<'e> {
-        let contract_store = ContractStore::default();
-        for (i, dc) in env.contracts.iter().enumerate() {
-            contract_store.put(DeviceId(i as u32), dc.clone());
-        }
+    fn new(env: &'e SimEnv, flaws: Flaws, registry: Registry, shards: usize) -> Sim<'e> {
+        let router = ShardRouter::new(shards);
+        router.publish_contracts(env.contracts.clone());
         let n = env.healthy.len();
+        let completed_per_shard = vec![0; router.shard_count()];
         Sim {
             env,
             flaws,
@@ -199,10 +201,8 @@ impl<'e> Sim<'e> {
             truth: env.healthy.clone(),
             history: vec![Vec::new(); n],
             acked: vec![None; n],
-            contract_store,
-            fib_store: FibStore::default(),
-            cache: VerdictCache::default(),
-            analytics: StreamAnalytics::default(),
+            router,
+            completed_per_shard,
             clock: VirtualClock::new(),
             engine: TrieEngine::new(),
             heap: BinaryHeap::new(),
@@ -253,8 +253,11 @@ impl<'e> Sim<'e> {
             }
             Action::Republish { device } => {
                 let device = device as usize % n;
-                self.contract_store
-                    .put(DeviceId(device as u32), self.env.contracts[device].clone());
+                let id = DeviceId(device as u32);
+                self.router
+                    .stores(id)
+                    .contracts
+                    .put(id, self.env.contracts[device].clone());
             }
         }
     }
@@ -347,8 +350,11 @@ impl<'e> Sim<'e> {
                 .and_then(|w| Fib::from_wire(&w))
                 .ok(),
             Some(FrameKind::Delta) => FibDelta::decode(frame).ok().and_then(|d| {
-                self.fib_store
-                    .get(DeviceId(device as u32))
+                let id = DeviceId(device as u32);
+                self.router
+                    .stores(id)
+                    .fibs
+                    .get(id)
                     .and_then(|base| base.apply_delta(&d).ok())
             }),
             None => None,
@@ -370,22 +376,25 @@ impl<'e> Sim<'e> {
             }
         };
         self.acked[device] = Some(stored.clone());
-        self.fib_store.put(stored);
+        self.router.stores(DeviceId(device as u32)).fibs.put(stored);
         self.validate(device);
     }
 
-    /// Process the notification for `device`.
+    /// Process the notification for `device` on its owning shard.
     fn validate(&mut self, device: usize) {
         let device = DeviceId(device as u32);
+        let shard = self.router.shard_of(device);
+        let stores = self.router.shard(shard);
         if self.flaws.stale_epoch_cache {
             // Emulated bug: serve any cached verdict whose FIB hash
             // matches, ignoring the contract epoch.
-            if let (Some(prior), Some(fib)) = (self.cache.prior(device), self.fib_store.get(device))
+            if let (Some(prior), Some(fib)) = (stores.cache.prior(device), stores.fibs.get(device))
             {
                 if prior.fib_hash == fib.content_hash() {
                     self.out.completed += 1;
                     self.out.cache_hits += 1;
-                    self.analytics.ingest(rcdc::pipeline::PipelineResult {
+                    self.completed_per_shard[shard] += 1;
+                    stores.analytics.ingest(rcdc::pipeline::PipelineResult {
                         device,
                         report: prior.report,
                         validate_time: Duration::ZERO,
@@ -397,20 +406,21 @@ impl<'e> Sim<'e> {
         }
         if let Some(result) = validate_notification(
             device,
-            &self.contract_store,
-            &self.fib_store,
-            &self.cache,
+            &stores.contracts,
+            &stores.fibs,
+            &stores.cache,
             &self.engine,
             &self.clock,
             Some(&self.metrics),
         ) {
             self.out.completed += 1;
+            self.completed_per_shard[shard] += 1;
             match result.mode {
                 ValidateMode::Full => self.out.full += 1,
                 ValidateMode::Incremental => self.out.incremental += 1,
                 ValidateMode::CacheHit => self.out.cache_hits += 1,
             }
-            self.analytics.ingest(result);
+            stores.analytics.ingest(result);
         }
     }
 
@@ -438,15 +448,17 @@ impl<'e> Sim<'e> {
         let n = self.truth.len();
         for device in 0..n {
             let id = DeviceId(device as u32);
-            let (contracts, epoch) = self
-                .contract_store
+            let stores = self.router.stores(id);
+            let (contracts, epoch) = stores
+                .contracts
                 .get_versioned(id)
                 .expect("every device has published contracts");
             let expected = self.engine.validate_device(&self.truth[device], &contracts);
 
-            // 1. Convergence: the analytics sink's last word on the
-            // device equals a clean full validation of its true table.
-            let got = self
+            // 1. Convergence: the owning shard's analytics sink's last
+            // word on the device equals a clean full validation of its
+            // true table.
+            let got = stores
                 .analytics
                 .result(id)
                 .ok_or_else(|| InvariantViolation {
@@ -468,7 +480,7 @@ impl<'e> Sim<'e> {
 
             // 2. Cache freshness: no cached verdict outlives its
             // (fib_hash, epoch) key.
-            let cached = self.cache.prior(id).ok_or_else(|| InvariantViolation {
+            let cached = stores.cache.prior(id).ok_or_else(|| InvariantViolation {
                 invariant: "cache-freshness",
                 detail: format!("device {device}: no cached verdict after settle sweep"),
             })?;
@@ -509,28 +521,61 @@ impl<'e> Sim<'e> {
             }
         }
 
-        // 3. Counter balance, read through the unified metrics API.
-        let cache_snap = self.cache.snapshot();
-        let counter = |name| cache_snap.counter(name, &[]).unwrap_or(0);
-        let lookups = counter("rcdc_verdict_cache_lookups_total");
-        let hits = counter("rcdc_verdict_cache_hits_total");
-        let misses = counter("rcdc_verdict_cache_misses_total");
-        if hits + misses != lookups {
-            return Err(InvariantViolation {
-                invariant: "counter-balance",
-                detail: format!("cache lookups {lookups} != hits {hits} + misses {misses}"),
-            });
+        // 3. Counter balance, read through the unified metrics API —
+        // checked per shard (each shard's own stores balance) and
+        // globally (the shard sums equal the run's totals).
+        let mut total_lookups = 0;
+        let mut total_hits = 0;
+        let mut total_misses = 0;
+        let mut total_ingested = 0;
+        for (shard, stores) in self.router.iter().enumerate() {
+            let cache_snap = stores.cache.snapshot();
+            let counter = |name| cache_snap.counter(name, &[]).unwrap_or(0);
+            let lookups = counter("rcdc_verdict_cache_lookups_total");
+            let hits = counter("rcdc_verdict_cache_hits_total");
+            let misses = counter("rcdc_verdict_cache_misses_total");
+            if hits + misses != lookups {
+                return Err(InvariantViolation {
+                    invariant: "counter-balance",
+                    detail: format!(
+                        "shard {shard}: cache lookups {lookups} != hits {hits} + misses {misses}"
+                    ),
+                });
+            }
+            let ingested = stores
+                .analytics
+                .snapshot()
+                .counter("rcdc_analytics_ingested_total", &[])
+                .unwrap_or(0);
+            if ingested != self.completed_per_shard[shard] {
+                return Err(InvariantViolation {
+                    invariant: "counter-balance",
+                    detail: format!(
+                        "shard {shard}: analytics ingested {ingested} != completed \
+                         validations {}",
+                        self.completed_per_shard[shard]
+                    ),
+                });
+            }
+            total_lookups += lookups;
+            total_hits += hits;
+            total_misses += misses;
+            total_ingested += ingested;
         }
-        let ingested = self
-            .analytics
-            .snapshot()
-            .counter("rcdc_analytics_ingested_total", &[])
-            .unwrap_or(0);
-        if ingested != self.out.completed {
+        if total_hits + total_misses != total_lookups {
             return Err(InvariantViolation {
                 invariant: "counter-balance",
                 detail: format!(
-                    "analytics ingested {ingested} != completed validations {}",
+                    "global: cache lookups {total_lookups} != hits {total_hits} + misses \
+                     {total_misses}"
+                ),
+            });
+        }
+        if total_ingested != self.out.completed {
+            return Err(InvariantViolation {
+                invariant: "counter-balance",
+                detail: format!(
+                    "global: analytics ingested {total_ingested} != completed validations {}",
                     self.out.completed
                 ),
             });
@@ -613,40 +658,58 @@ pub fn run_script_observed(
     flaws: Flaws,
     registry: &Registry,
 ) -> Result<SimOutcome, InvariantViolation> {
-    let mut sim = Sim::new(env, flaws, registry.clone());
+    run_script_sharded(env, script, flaws, registry, 1)
+}
+
+/// [`run_script_observed`] over `shards` shard-partitioned store sets:
+/// the device space splits exactly as the live
+/// [`rcdc::service::ValidationService`] splits it, one deterministic
+/// single-threaded scheduler drives every shard, and the convergence
+/// invariants are checked per shard and globally. `shards = 1` is the
+/// pre-sharding runner, unchanged.
+pub fn run_script_sharded(
+    env: &SimEnv,
+    script: &Script,
+    flaws: Flaws,
+    registry: &Registry,
+    shards: usize,
+) -> Result<SimOutcome, InvariantViolation> {
+    let mut sim = Sim::new(env, flaws, registry.clone(), shards);
     for e in &script.events {
         sim.schedule(e.at_ms, Task::Script(e.action));
     }
     let last = sim.drain();
     sim.settle(last);
     let result = sim.check_invariants();
-    // Accumulate the per-run pipeline counters into the (possibly
-    // sweep-shared) registry — even when an invariant broke, the
-    // counters are part of the evidence. Accumulation rather than
-    // handle adoption: each script runs fresh stores, but a seed sweep
-    // shares one registry across all of them.
-    let cache_snap = sim.cache.snapshot();
-    for (name, help) in [
-        ("rcdc_verdict_cache_lookups_total", "verdict-cache lookups"),
-        ("rcdc_verdict_cache_hits_total", "verdict-cache hits"),
-        ("rcdc_verdict_cache_misses_total", "verdict-cache misses"),
-    ] {
+    // Accumulate the per-run pipeline counters (summed across shards)
+    // into the (possibly sweep-shared) registry — even when an
+    // invariant broke, the counters are part of the evidence.
+    // Accumulation rather than handle adoption: each script runs fresh
+    // stores, but a seed sweep shares one registry across all of them.
+    for stores in sim.router.iter() {
+        let cache_snap = stores.cache.snapshot();
+        for (name, help) in [
+            ("rcdc_verdict_cache_lookups_total", "verdict-cache lookups"),
+            ("rcdc_verdict_cache_hits_total", "verdict-cache hits"),
+            ("rcdc_verdict_cache_misses_total", "verdict-cache misses"),
+        ] {
+            registry
+                .counter(name, help, &[])
+                .add(cache_snap.counter(name, &[]).unwrap_or(0));
+        }
+        let ingested = stores
+            .analytics
+            .snapshot()
+            .counter("rcdc_analytics_ingested_total", &[])
+            .unwrap_or(0);
         registry
-            .counter(name, help, &[])
-            .add(cache_snap.counter(name, &[]).unwrap_or(0));
+            .counter(
+                "rcdc_analytics_ingested_total",
+                "results ingested by the stream-analytics sink",
+                &[],
+            )
+            .add(ingested);
     }
-    let ingested = sim
-        .analytics
-        .snapshot()
-        .counter("rcdc_analytics_ingested_total", &[])
-        .unwrap_or(0);
-    registry
-        .counter(
-            "rcdc_analytics_ingested_total",
-            "results ingested by the stream-analytics sink",
-            &[],
-        )
-        .add(ingested);
     result?;
     Ok(sim.out)
 }

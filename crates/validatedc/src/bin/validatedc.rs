@@ -39,6 +39,8 @@ use rand::{Rng, SeedableRng};
 use secguru::diff::{semantic_diff, SmtDiff};
 use secguru::nsg_gate::{NsgApi, UpdateResult, VnetMetadata};
 use std::process::ExitCode;
+use std::sync::Arc;
+use validatedc::obskit;
 use validatedc::prelude::*;
 
 fn main() -> ExitCode {
@@ -50,6 +52,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match command.as_str() {
         "validate" => cmd_validate(rest),
+        "serve" => cmd_serve(rest),
         "check-acl" => cmd_check_acl(rest),
         "check-nsg" => cmd_check_nsg(rest),
         "diff-acl" => cmd_diff_acl(rest),
@@ -73,6 +76,15 @@ const USAGE: &str = "usage:
   validatedc validate [--clusters N] [--tors N] [--leaves N] [--spines N]
                       [--fail-links N] [--seed S] [--engine trie|trie-semantic|smt|smt-semantic] [--threads N]
                       [--metrics <path|->]
+  validatedc serve    [--clusters N] [--tors N] [--leaves N] [--spines N]
+                      [--shards N] [--ingest-capacity N] [--rounds N] [--churn N]
+                      [--seed S] [--engine trie|trie-semantic|smt|smt-semantic]
+                      [--metrics <path|->]
+      Run the always-on sharded validation service over a simulated
+      fleet: a cold sweep, then --rounds rounds of route churn with
+      --churn withdrawals each, then a restore round that must
+      reconverge to clean. RCDC_ENGINE / RCDC_THREADS / RCDC_SHARDS /
+      RCDC_INGEST_CAPACITY set defaults; flags override.
   validatedc check-acl <FILE> [--contract '<src>;<dst>;<dport>;<proto>;<permit|deny>']... [--metrics <path|->]
   validatedc check-nsg <FILE> --db-subnet <PREFIX> --infra <PREFIX> --port <PORT>
   validatedc diff-acl <OLD> <NEW> [--metrics <path|->]
@@ -201,6 +213,134 @@ fn cmd_validate(args: &[String]) -> Result<bool, String> {
             .map_err(|e| format!("cannot write metrics to {dest:?}: {e}"))?;
     }
     Ok(report.is_clean())
+}
+
+fn cmd_serve(args: &[String]) -> Result<bool, String> {
+    let opts = Opts::new(args);
+    let params = ClosParams {
+        clusters: opts.parsed("--clusters", 4u32)?,
+        tors_per_cluster: opts.parsed("--tors", 8u32)?,
+        leaves_per_cluster: opts.parsed("--leaves", 4u32)?,
+        spines: opts.parsed("--spines", 8u32)?,
+        regional_spines: 4,
+        regional_groups: 2,
+        prefixes_per_tor: 1,
+    };
+    let rounds: usize = opts.parsed("--rounds", 5usize)?;
+    let churn: usize = opts.parsed("--churn", 8usize)?;
+    let seed: u64 = opts.parsed("--seed", 7u64)?;
+    let metrics_dest = opts.value("--metrics");
+    let say = |line: String| {
+        if metrics_dest == Some("-") {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+
+    let topology = build_clos(&params);
+    let fibs = simulate(&topology, &SimConfig::healthy());
+    let meta = MetadataService::from_topology(&topology);
+    let devices: Vec<DeviceId> = (0..fibs.len() as u32).map(DeviceId).collect();
+
+    // Environment sets the defaults, explicit flags win.
+    let mut builder = Validator::new(&meta).from_env()?;
+    if let Some(e) = opts.value("--engine") {
+        builder = builder.engine(e.parse()?);
+    }
+    if opts.value("--threads").is_some() {
+        builder = builder.threads(opts.parsed("--threads", 0usize)?);
+    }
+    if opts.value("--shards").is_some() {
+        builder = builder.shards(opts.parsed("--shards", 1usize)?);
+    }
+    if opts.value("--ingest-capacity").is_some() {
+        builder = builder.ingest_capacity(opts.parsed("--ingest-capacity", 1024usize)?);
+    }
+
+    let source = Arc::new(validatedc::serve::ChurningSource::new(fibs.clone()));
+    let service = builder.build_service(source.clone());
+    let handle = service.handle();
+    say(format!(
+        "serve: {} devices across {} shards",
+        devices.len(),
+        service.shard_count()
+    ));
+
+    service.pull_all(&devices);
+    service.drain();
+    say(format!(
+        "cold sweep done: {} dirty devices",
+        handle.dirty_count()
+    ));
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    for round in 1..=rounds {
+        for _ in 0..churn {
+            let device = devices[rng.gen_range(0..devices.len())];
+            let table = if rng.gen_bool(0.25) {
+                fibs[device.0 as usize].clone() // heal
+            } else {
+                validatedc::serve::drop_route(&source.get(device), rng.gen_range(0..64))
+            };
+            source.set(table);
+            service.submit(IngestEvent::Pull(device));
+        }
+        service.drain();
+        say(format!(
+            "round {round}: {churn} churn events, {} dirty, {} high-risk alerts",
+            handle.dirty_count(),
+            handle.alerts(Risk::High).len()
+        ));
+    }
+
+    // Restore round: heal every table; the service must reconverge.
+    for fib in &fibs {
+        source.set(fib.clone());
+    }
+    service.pull_all(&devices);
+    service.drain();
+    let clean = handle.dirty_count() == 0;
+    say(format!(
+        "restore round: {} dirty devices",
+        handle.dirty_count()
+    ));
+
+    let snap = handle.snapshot();
+    if let Some(h) = merged_latency(&snap, service.shard_count()) {
+        say(format!(
+            "notification→verdict latency: p50 {}µs, p99 {}µs over {} verdicts",
+            h.p50().unwrap_or(0) / 1_000,
+            h.p99().unwrap_or(0) / 1_000,
+            h.count
+        ));
+    }
+    if let Some(dest) = metrics_dest {
+        snap.write_to(dest)
+            .map_err(|e| format!("cannot write metrics to {dest:?}: {e}"))?;
+    }
+    Ok(clean)
+}
+
+/// Merge the per-shard notification-latency histograms into one
+/// fleet-wide distribution.
+fn merged_latency(
+    snap: &MetricsSnapshot,
+    shards: usize,
+) -> Option<obskit::HistogramSnapshot> {
+    let mut merged: Option<obskit::HistogramSnapshot> = None;
+    for shard in 0..shards {
+        if let Some(h) = snap.histogram(
+            "rcdc_service_notify_latency_ns",
+            &[("shard", &shard.to_string())],
+        ) {
+            match &mut merged {
+                Some(m) => m.merge(h),
+                None => merged = Some(h.clone()),
+            }
+        }
+    }
+    merged
 }
 
 fn parse_inline_contract(spec: &str) -> Result<Contract, String> {

@@ -43,6 +43,7 @@
 
 pub mod metrics;
 pub mod render;
+pub mod serve;
 
 pub use bgpsim;
 pub use dcemu;
@@ -66,6 +67,8 @@ pub mod prelude {
     pub use rcdc::engine::{smt::SmtEngine, trie::TrieEngine, Engine};
     pub use rcdc::report::{risk_of, Risk, ValidationReport, Violation};
     pub use rcdc::runner::{DatacenterReport, EngineChoice};
+    pub use rcdc::service::{IngestEvent, ServiceHandle, ValidationService};
+    pub use rcdc::shard::ShardRouter;
     pub use rcdc::validator::{Validator, ValidatorBuilder};
     pub use secguru::engine::{IntervalEngine, SecGuru};
     pub use secguru::model::{Action, Contract, Convention, Policy, Rule};

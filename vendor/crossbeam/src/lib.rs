@@ -38,7 +38,7 @@ where
     Ok(thread::scope(|s| f(&Scope { inner: s })))
 }
 
-/// Unbounded MPMC channels, mirroring `crossbeam::channel`.
+/// Bounded and unbounded MPMC channels, mirroring `crossbeam::channel`.
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
@@ -47,6 +47,10 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<State<T>>,
         ready: Condvar,
+        /// Signaled when a bounded queue gives up a slot.
+        vacancy: Condvar,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
     }
 
     struct State<T> {
@@ -79,14 +83,22 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity; the value is handed back.
+        Full(T),
+        /// All receivers dropped; the value is handed back.
+        Disconnected(T),
+    }
+
     /// The sending half; clonable.
     pub struct Sender<T>(Arc<Shared<T>>);
 
     /// The receiving half; clonable (competing consumers).
     pub struct Receiver<T>(Arc<Shared<T>>);
 
-    /// Create an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn shared<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
                 items: VecDeque::new(),
@@ -94,16 +106,58 @@ pub mod channel {
                 receivers: 1,
             }),
             ready: Condvar::new(),
+            vacancy: Condvar::new(),
+            capacity,
         });
         (Sender(shared.clone()), Receiver(shared))
     }
 
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        shared(None)
+    }
+
+    /// Create a bounded channel holding at most `cap` queued values
+    /// (`cap` ≥ 1 enforced): [`Sender::send`] blocks while the queue is
+    /// full — the back-pressure seam the validation service's ingest
+    /// front-end is built on.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        shared(Some(cap.max(1)))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueue a value; fails if all receivers are dropped.
+        /// Enqueue a value; on a bounded channel, blocks while the
+        /// queue is at capacity. Fails if all receivers are dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut st = self.0.queue.lock().unwrap();
+            if let Some(cap) = self.0.capacity {
+                while st.items.len() >= cap {
+                    if st.receivers == 0 {
+                        return Err(SendError(value));
+                    }
+                    st = self.0.vacancy.wait(st).unwrap();
+                }
+            }
             if st.receivers == 0 {
                 return Err(SendError(value));
+            }
+            st.items.push_back(value);
+            drop(st);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+
+        /// Enqueue without blocking: a full bounded queue hands the
+        /// value back as [`TrySendError::Full`] instead of waiting.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.0.queue.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.0.capacity {
+                if st.items.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
             }
             st.items.push_back(value);
             drop(st);
@@ -136,6 +190,8 @@ pub mod channel {
             let mut st = self.0.queue.lock().unwrap();
             loop {
                 if let Some(v) = st.items.pop_front() {
+                    drop(st);
+                    self.0.vacancy.notify_one();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -160,7 +216,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut st = self.0.queue.lock().unwrap();
             match st.items.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(st);
+                    self.0.vacancy.notify_one();
+                    Ok(v)
+                }
                 None if st.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
@@ -176,7 +236,14 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.0.queue.lock().unwrap().receivers -= 1;
+            let mut st = self.0.queue.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                // Wake senders parked on a full bounded queue so they
+                // observe the disconnect instead of blocking forever.
+                self.0.vacancy.notify_all();
+            }
         }
     }
 }
@@ -221,6 +288,55 @@ mod tests {
         let (tx, rx) = channel::unbounded();
         drop(rx);
         assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_drains() {
+        let (tx, rx) = channel::bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(channel::TrySendError::Full(3))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(4),
+            Err(channel::TrySendError::Disconnected(4))
+        ));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_a_slot_frees() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        let t0 = std::time::Instant::now();
+        scope(|s| {
+            s.spawn(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                assert_eq!(rx.recv(), Ok(1));
+            });
+            // Blocks on the full queue until the consumer drains it.
+            tx.send(2).unwrap();
+        })
+        .unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(50));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn bounded_send_errors_when_receiver_drops_mid_wait() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        scope(|s| {
+            s.spawn(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                drop(rx);
+            });
+            assert_eq!(tx.send(2), Err(channel::SendError(2)));
+        })
+        .unwrap();
     }
 
     #[test]
