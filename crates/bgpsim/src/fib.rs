@@ -9,7 +9,7 @@
 
 use dctopo::DeviceId;
 use netprim::wire::{DeltaRule, FibDelta, WireEntry, WireSnapshot};
-use netprim::{Ipv4, ParseError, Prefix};
+use netprim::{HopSet, Ipv4, ParseError, Prefix};
 use std::collections::HashMap;
 
 /// One FIB entry: destination prefix plus interned next-hop set.
@@ -38,6 +38,18 @@ pub struct FibBuilder {
     entries: Vec<FibEntry>,
     sets: Vec<Vec<Ipv4>>,
     interner: HashMap<Vec<Ipv4>, u32>,
+    /// Fast-path interner keyed by [`HopSet`] bitmask. Valid only
+    /// relative to the single neighbor table this builder's
+    /// [`push_bits`](Self::push_bits) calls share (one device, one
+    /// table), which is why it is keyed on the mask alone.
+    set_interner: HashMap<HopSet, u32>,
+    /// The previous [`intern_bits`](Self::intern_bits) result. The
+    /// simulator emits one entry per prefix per device, and on a Clos
+    /// almost every consecutive prefix resolves to the same ECMP set
+    /// (a ToR reaches every remote /24 through the same leaves), so
+    /// this one-entry memo turns the common probe into a 64-byte
+    /// compare with no hashing at all.
+    last_bits: Option<(HopSet, u32)>,
 }
 
 impl FibBuilder {
@@ -48,6 +60,8 @@ impl FibBuilder {
             entries: Vec::new(),
             sets: Vec::new(),
             interner: HashMap::new(),
+            set_interner: HashMap::new(),
+            last_bits: None,
         }
     }
 
@@ -66,10 +80,94 @@ impl FibBuilder {
         id
     }
 
+    /// Intern a next-hop set given as a [`HopSet`] over `table`, the
+    /// device's ascending-sorted neighbor-address table (bit `i` ↔
+    /// `table[i]`). The hot path of the simulator's emit loop: a
+    /// repeated mask costs one 64-byte hash probe instead of a
+    /// `Vec` materialize + sort + dedup per entry. All `push_bits`/
+    /// `intern_bits` calls on one builder must share one `table`.
+    pub fn intern_bits(&mut self, bits: &HopSet, table: &[Ipv4]) -> u32 {
+        debug_assert!(table.windows(2).all(|w| w[0] < w[1]));
+        if let Some((mask, id)) = self.last_bits {
+            if mask == *bits {
+                return id;
+            }
+        }
+        if let Some(&id) = self.set_interner.get(bits) {
+            self.last_bits = Some((*bits, id));
+            return id;
+        }
+        // Bits iterate ascending over a sorted duplicate-free table,
+        // so the materialized vector is already canonical.
+        let hops: Vec<Ipv4> = bits.iter().map(|b| table[b as usize]).collect();
+        let id = match self.interner.get(&hops) {
+            Some(&id) => id,
+            None => {
+                let id = self.sets.len() as u32;
+                self.sets.push(hops.clone());
+                self.interner.insert(hops, id);
+                id
+            }
+        };
+        self.set_interner.insert(*bits, id);
+        self.last_bits = Some((*bits, id));
+        id
+    }
+
     /// Append an entry.
     pub fn push(&mut self, prefix: Prefix, hops: Vec<Ipv4>, local: bool) {
         let set = self.intern(hops);
         self.entries.push(FibEntry { prefix, set, local });
+    }
+
+    /// Append an entry whose next hops are a [`HopSet`] over `table`
+    /// (see [`intern_bits`](Self::intern_bits)).
+    pub fn push_bits(&mut self, prefix: Prefix, bits: &HopSet, table: &[Ipv4], local: bool) {
+        let set = self.intern_bits(bits, table);
+        self.entries.push(FibEntry { prefix, set, local });
+    }
+
+    /// Append one entry per prefix, all sharing an already-interned hop
+    /// set — the id a prior [`intern`](Self::intern)/
+    /// [`intern_bits`](Self::intern_bits) call on *this* builder
+    /// returned. The simulator's emit loop run-length encodes each
+    /// device's forwarding state over the prefix sequence and expands
+    /// the runs here, so the 10⁴-builder sweep appends long streaming
+    /// stretches instead of one scattered push per (prefix, device)
+    /// pair. Equivalent to pushing each prefix individually in order.
+    pub fn extend_run(&mut self, prefixes: &[Prefix], set: u32, local: bool) {
+        debug_assert!((set as usize) < self.sets.len(), "unknown interned set id");
+        self.entries
+            .extend(prefixes.iter().map(|&prefix| FibEntry { prefix, set, local }));
+    }
+
+    /// Reserve room for `additional` more entries. The simulator knows
+    /// each device's exact entry count before expanding its runs;
+    /// reserving once avoids growth reallocations over 10⁴ builders.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve_exact(additional);
+    }
+
+    /// Re-play another builder's pushes onto this one, preserving
+    /// their push order. Parallel simulation workers each accumulate a
+    /// per-device partial table over their own prefix range; absorbing
+    /// the workers in range order reproduces the serial push sequence
+    /// — and therefore the exact serial [`finish`](Self::finish)
+    /// result, interned pool layout included.
+    pub fn absorb(&mut self, other: &FibBuilder) {
+        for e in &other.entries {
+            self.push(e.prefix, other.sets[e.set as usize].clone(), e.local);
+        }
+    }
+
+    /// Number of entries pushed so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 
     /// Finish: entries are sorted by descending prefix length, then
@@ -85,6 +183,25 @@ impl FibBuilder {
     /// what upholds the sorted-uniqueness invariant that `entry_for`'s
     /// binary search and `apply_delta`'s prefix-keyed maps rely on.
     pub fn finish(mut self) -> Fib {
+        // The simulator pushes entries in hosted-prefix order (/24s by
+        // ascending address, the default last) — already the canonical
+        // order, with no duplicates. Strict sortedness implies prefix
+        // uniqueness, so the O(n log n) sort and the dedup pass can
+        // both be skipped after one linear scan.
+        let sorted = self.entries.windows(2).all(|w| {
+            w[1].prefix
+                .len()
+                .cmp(&w[0].prefix.len())
+                .then(w[0].prefix.addr().cmp(&w[1].prefix.addr()))
+                .is_lt()
+        });
+        if sorted {
+            return Fib {
+                device: self.device,
+                entries: self.entries,
+                sets: self.sets,
+            };
+        }
         let mut indexed: Vec<(usize, FibEntry)> =
             self.entries.drain(..).enumerate().collect();
         // Sort duplicates latest-push-first, then keep the first of
@@ -317,24 +434,53 @@ impl Fib {
 
     /// Apply a delta, producing the successor table.
     ///
+    /// A delta batch is a *set* of per-prefix outcomes, not an ordered
+    /// script: the result is the same however the wire happened to
+    /// order `added`/`modified`/`removed`. A prefix listed in both
+    /// `removed` and `added` nets out to the added rule (remove, then
+    /// re-add). Two rules for the same prefix are accepted only when
+    /// they agree after next-hop canonicalization; conflicting
+    /// duplicates are rejected instead of letting push order silently
+    /// pick a winner behind [`FibBuilder::finish`]'s last-push-wins
+    /// dedup.
+    ///
     /// Fails when the delta was computed against a different base
     /// (hash mismatch — e.g. the device republished between pull and
-    /// apply), when it targets another device, or when the result does
-    /// not hash to the delta's `new_hash`.
+    /// apply), when it targets another device, when it carries
+    /// conflicting rules, or when the result does not hash to the
+    /// delta's `new_hash`.
     pub fn apply_delta(&self, delta: &FibDelta) -> Result<Fib, ParseError> {
-        let err = |reason: &str| ParseError::new("fib delta", "<apply>", reason);
+        let err = |reason: String| ParseError::new("fib delta", "<apply>", reason);
         if delta.device != self.device.0 {
-            return Err(err("delta targets a different device"));
+            return Err(err("delta targets a different device".into()));
         }
         if delta.base_hash != self.content_hash() {
-            return Err(err("base hash mismatch: delta is stale"));
+            return Err(err("base hash mismatch: delta is stale".into()));
         }
-        let changed: HashMap<Prefix, &DeltaRule> = delta
-            .added
-            .iter()
-            .chain(&delta.modified)
-            .map(|r| (r.prefix, r))
-            .collect();
+        let canon = |r: &DeltaRule| {
+            let mut hops = r.next_hops.clone();
+            hops.sort_unstable();
+            hops.dedup();
+            (hops, r.local)
+        };
+        let mut changed: HashMap<Prefix, (Vec<Ipv4>, bool)> =
+            HashMap::with_capacity(delta.added.len() + delta.modified.len());
+        for r in delta.added.iter().chain(&delta.modified) {
+            let c = canon(r);
+            match changed.entry(r.prefix) {
+                std::collections::hash_map::Entry::Occupied(prev) => {
+                    if *prev.get() != c {
+                        return Err(err(format!(
+                            "conflicting delta rules for {}",
+                            r.prefix
+                        )));
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(c);
+                }
+            }
+        }
         let removed: std::collections::HashSet<Prefix> = delta.removed.iter().copied().collect();
         let mut b = FibBuilder::new(self.device);
         for e in &self.entries {
@@ -343,12 +489,16 @@ impl Fib {
             }
             b.push(e.prefix, self.next_hops(e).to_vec(), e.local);
         }
-        for r in delta.added.iter().chain(&delta.modified) {
-            b.push(r.prefix, r.next_hops.clone(), r.local);
+        // One rule per distinct prefix, so map iteration order cannot
+        // affect the canonicalized `finish` result.
+        for (prefix, (hops, local)) in changed {
+            b.push(prefix, hops, local);
         }
         let next = b.finish();
         if next.content_hash() != delta.new_hash {
-            return Err(err("applied delta does not reproduce the target table"));
+            return Err(err(
+                "applied delta does not reproduce the target table".into(),
+            ));
         }
         Ok(next)
     }
@@ -603,6 +753,121 @@ mod tests {
         let mut bad = d.clone();
         bad.new_hash ^= 1;
         assert!(old.apply_delta(&bad).is_err());
+    }
+
+    #[test]
+    fn apply_delta_readd_after_remove_is_order_insensitive() {
+        // Regression: a delta that removes a prefix and re-adds it in
+        // the same batch (device withdrew then re-advertised between
+        // pulls, coalesced by the collector) must apply identically
+        // however the wire ordered the arms — the re-added rule wins,
+        // not whichever arm the apply loop happened to visit last.
+        let old = sample();
+        let readd = p("10.0.0.0/16");
+        let mut b = FibBuilder::new(DeviceId(9));
+        for e in old.entries() {
+            if e.prefix == readd {
+                continue;
+            }
+            b.push(e.prefix, old.next_hops(e).to_vec(), e.local);
+        }
+        b.push(readd, hops(&[[30, 0, 0, 8]]), false);
+        let new = b.finish();
+        let mut d = Fib::delta(&old, &new);
+        // The merge walk classifies this as `modified`; rewrite it as
+        // the remove + re-add shape the collector coalesces to.
+        assert_eq!(
+            d.modified.iter().map(|r| r.prefix).collect::<Vec<_>>(),
+            vec![readd]
+        );
+        let rule = d.modified.pop().unwrap();
+        d.removed.push(readd);
+        d.added.push(rule);
+        // Replay through the wire codec, as difftest would.
+        let d = netprim::wire::FibDelta::decode(&d.encode()).unwrap();
+        let applied = old.apply_delta(&d).unwrap();
+        assert_eq!(applied.content_hash(), new.content_hash());
+        assert_eq!(applied.len(), new.len());
+        let e = applied.entry_for(readd).unwrap();
+        assert_eq!(applied.next_hops(e), &[Ipv4::new(30, 0, 0, 8)]);
+    }
+
+    #[test]
+    fn apply_delta_rejects_conflicting_duplicate_rules() {
+        let old = sample();
+        let new = modified_sample();
+        let mut d = Fib::delta(&old, &new);
+        // Duplicate the modified rule with different hops: no push
+        // order may silently decide which one wins.
+        let mut dup = d.modified[0].clone();
+        dup.next_hops = hops(&[[30, 0, 0, 99]]);
+        d.added.push(dup);
+        let err = old.apply_delta(&d).unwrap_err();
+        assert!(err.to_string().contains("conflicting delta rules"));
+
+        // An agreeing duplicate (same set, different address order) is
+        // harmless and still reproduces the target.
+        let mut d = Fib::delta(&old, &new);
+        let mut dup = d.modified[0].clone();
+        dup.next_hops.reverse();
+        d.added.push(dup);
+        let applied = old.apply_delta(&d).unwrap();
+        assert_eq!(applied.content_hash(), new.content_hash());
+    }
+
+    #[test]
+    fn push_bits_interns_like_push() {
+        // The bitset path and the Vec path must agree on pool identity
+        // and canonical hop order, whichever interleaving occurs.
+        let table = hops(&[[30, 0, 0, 1], [30, 0, 0, 3], [30, 0, 0, 5]]);
+        let mut b = FibBuilder::new(DeviceId(2));
+        let bits: HopSet = [0u16, 2].into_iter().collect();
+        b.push_bits(p("10.0.0.0/24"), &bits, &table, false);
+        b.push(
+            p("10.0.1.0/24"),
+            hops(&[[30, 0, 0, 5], [30, 0, 0, 1]]),
+            false,
+        );
+        b.push_bits(p("10.0.2.0/24"), &HopSet::new(), &table, true);
+        let f = b.finish();
+        assert_eq!(f.set_pool_len(), 2, "vec and bitset pushes share sets");
+        let a = f.entry_for(p("10.0.0.0/24")).unwrap();
+        let c = f.entry_for(p("10.0.1.0/24")).unwrap();
+        assert_eq!(a.set, c.set);
+        assert_eq!(
+            f.next_hops(a),
+            &[Ipv4::new(30, 0, 0, 1), Ipv4::new(30, 0, 0, 5)]
+        );
+        let l = f.entry_for(p("10.0.2.0/24")).unwrap();
+        assert!(l.local);
+        assert!(f.next_hops(l).is_empty());
+    }
+
+    #[test]
+    fn absorb_replays_pushes_in_order() {
+        // Serial pushes vs two absorbed partial builders: identical
+        // tables, interned pool layout included.
+        let build = |b: &mut FibBuilder, range: std::ops::Range<u8>| {
+            for i in range {
+                b.push(
+                    p(&format!("10.0.{i}.0/24")),
+                    hops(&[[30, 0, 0, i % 3 + 1]]),
+                    false,
+                );
+            }
+        };
+        let mut serial = FibBuilder::new(DeviceId(7));
+        build(&mut serial, 0..8);
+        let mut w0 = FibBuilder::new(DeviceId(7));
+        build(&mut w0, 0..5);
+        let mut w1 = FibBuilder::new(DeviceId(7));
+        build(&mut w1, 5..8);
+        assert_eq!(w0.len(), 5);
+        assert!(!w1.is_empty());
+        let mut merged = FibBuilder::new(DeviceId(7));
+        merged.absorb(&w0);
+        merged.absorb(&w1);
+        assert_eq!(merged.finish(), serial.finish());
     }
 
     #[test]

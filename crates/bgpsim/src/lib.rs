@@ -28,7 +28,8 @@ pub mod config;
 pub mod fib;
 pub mod route;
 pub mod sim;
+pub mod sim_reference;
 
 pub use config::{DeviceOverride, SimConfig};
 pub use fib::{Fib, FibBuilder, FibEntry};
-pub use sim::simulate;
+pub use sim::{simulate, simulate_with, SimOptions, SimStats};

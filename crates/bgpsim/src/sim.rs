@@ -18,8 +18,8 @@
 
 use crate::config::SimConfig;
 use crate::fib::{Fib, FibBuilder};
-use dctopo::{Asn, DeviceId, LinkId, Role, Topology};
-use netprim::{Ipv4, Prefix};
+use dctopo::{Asn, DeviceId, Role, Topology};
+use netprim::{HopSet, Ipv4, Prefix};
 
 /// The default route prefix originated by the regional spines.
 pub fn default_prefix() -> Prefix {
@@ -31,38 +31,122 @@ const INF: u8 = u8::MAX;
 /// caps real paths at 4; 16 leaves margin for override experiments).
 const MAX_LEN: usize = 16;
 
-struct Session {
-    peer: DeviceId,
-    /// This device's own interface address on the shared link — the
-    /// next-hop address the *peer* programs to reach this device.
-    local_addr: Ipv4,
-    link: LinkId,
+
+/// Tuning knobs for [`simulate_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Worker threads for the prefix-parallel fixed-point. Prefixes
+    /// converge independently (no aggregation), so the work list is
+    /// chunked across workers; `1` runs the serial loop. The result is
+    /// bit-identical at any thread count.
+    pub threads: usize,
+    /// Force the legacy `Vec<Ipv4>` hop accumulation instead of the
+    /// [`HopSet`] bitset path. This is also the automatic fallback
+    /// when a device's neighbor table exceeds [`HopSet::CAPACITY`];
+    /// it stays public as the pre-change baseline for the E17 bench
+    /// and the equivalence tests.
+    pub legacy_hops: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> SimOptions {
+        SimOptions {
+            threads: 1,
+            legacy_hops: false,
+        }
+    }
+}
+
+/// Deterministic work counters for one simulation run: identical for
+/// any [`SimOptions`] (threading and hop representation change neither
+/// the relaxation schedule per prefix nor its fixed point).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Prefixes converged (hosted prefixes + the default route).
+    pub prefixes: usize,
+    /// BFS levels processed across all prefixes (per-prefix iteration
+    /// counts, summed).
+    pub rounds: u64,
+    /// Session relaxations attempted across all prefixes.
+    pub relaxations: u64,
+}
+
+impl SimStats {
+    fn absorb(&mut self, other: &SimStats) {
+        self.prefixes += other.prefixes;
+        self.rounds += other.rounds;
+        self.relaxations += other.relaxations;
+    }
+}
+
+/// Per-prefix hop accumulation: the legacy unordered `Vec` per device,
+/// or a [`HopSet`] bit mask over the device's sorted neighbor table.
+/// The bitset makes the ECMP-extend step a branch-free bit set instead
+/// of a linear `contains` scan, and materializes born-sorted vectors
+/// at emit (no per-entry sort + dedup in the FIB interner).
+enum Hops {
+    Vecs(Vec<Vec<Ipv4>>),
+    Bits {
+        /// Per-device hop bitset over its neighbor-address table.
+        bits: Vec<HopSet>,
+        /// Vec fallback for devices whose neighbor table exceeds
+        /// [`HopSet::CAPACITY`] (large spines in the 10⁴-router
+        /// shapes). Selected per *receiver* via `SimNet::fits`, so one
+        /// fat device never forces the whole fabric off the fast path.
+        spill: Vec<Vec<Ipv4>>,
+    },
 }
 
 /// Scratch state reused across prefixes.
 struct Relaxation {
     best: Vec<u8>,
     parent: Vec<DeviceId>,
-    hops: Vec<Vec<Ipv4>>,
+    /// 64-bit Bloom signature of the ASNs on each device's advertised
+    /// path (`bit(asn) | signature(parent)`). A clear receiver bit
+    /// proves the ASN is absent, letting the acceptance fast path skip
+    /// the parent-chain walk; a set bit falls back to the exact walk,
+    /// so loop-prevention verdicts are unchanged. No per-prefix reset
+    /// is needed: the signature is only read for senders, and a sender
+    /// was always (re)written during the current prefix's relaxation.
+    path_asns: Vec<u64>,
+    hops: Hops,
     touched: Vec<DeviceId>,
     buckets: Vec<Vec<DeviceId>>,
 }
 
+/// The bit `asn` occupies in a path signature.
+#[inline]
+fn asn_bit(a: Asn) -> u64 {
+    1u64 << (a.0 & 63)
+}
+
 impl Relaxation {
-    fn new(n: usize) -> Self {
+    fn new(n: usize, bitset: bool) -> Self {
         Relaxation {
             best: vec![INF; n],
             parent: vec![DeviceId(0); n],
-            hops: vec![Vec::new(); n],
+            path_asns: vec![0; n],
+            hops: if bitset {
+                Hops::Bits {
+                    bits: vec![HopSet::new(); n],
+                    spill: vec![Vec::new(); n],
+                }
+            } else {
+                Hops::Vecs(vec![Vec::new(); n])
+            },
             touched: Vec::new(),
             buckets: vec![Vec::new(); MAX_LEN],
         }
     }
 
     fn reset(&mut self) {
+        // Only `best` needs restoring: hop sets are written before they
+        // are read. A non-origin device enters a prefix with
+        // `best == INF`, so its first relaxation takes the improvement
+        // branch, which clears the hop set itself — and emit never
+        // reads hops for origins (`len == 0`) or unreached devices.
         for &d in &self.touched {
             self.best[d.0 as usize] = INF;
-            self.hops[d.0 as usize].clear();
         }
         self.touched.clear();
         for b in &mut self.buckets {
@@ -71,63 +155,188 @@ impl Relaxation {
     }
 }
 
+/// A device's forwarding state for one prefix, encoded as a run code:
+/// absent (no route), a local/origin entry, or an interned hop-set id.
+/// Set ids stay below the flag bits.
+const RUN_ABSENT: u32 = u32::MAX;
+const RUN_LOCAL: u32 = 1 << 31;
+
+/// Run-length-encoded emit state. A device's FIB over the chunk's
+/// prefix sequence is long stretches of one state (a ToR forwards every
+/// remote /24 over the same leaf ECMP set), so the bitset emit path
+/// records only state *changes* — a handful of runs per device — and
+/// expands them into entries per device afterwards. The per-(prefix,
+/// device) work drops to a sequential mask compare, and the entry
+/// writes become per-device streaming appends instead of 10⁴ scattered
+/// pushes per prefix. Expansion replays the exact per-prefix push
+/// sequence, interned pool layout included, because a set id is
+/// interned at its run's start — the same first-use moment at which
+/// per-prefix pushes would have interned it.
+struct EmitRle {
+    /// Per device: (chunk-local prefix index where the run starts, run
+    /// code). A run ends where the next begins, or at the chunk's end.
+    /// Devices implicitly start in an absent run at index 0.
+    runs: Vec<Vec<(u32, u32)>>,
+    /// Per device: the current (latest) run's code.
+    last_code: Vec<u32>,
+    /// Per device: the current run's hop mask, valid when `last_code`
+    /// is a set id (post-truncation, so cap changes break runs).
+    mask: Vec<HopSet>,
+}
+
+impl EmitRle {
+    fn new(n: usize) -> EmitRle {
+        EmitRle {
+            runs: vec![Vec::new(); n],
+            last_code: vec![RUN_ABSENT; n],
+            mask: vec![HopSet::new(); n],
+        }
+    }
+}
+
+/// Precomputed, immutable per-run state shared by every worker.
+struct SimNet {
+    asn: Vec<Asn>,
+    allowas_in: Vec<bool>,
+    /// Session adjacency in CSR form: device `d`'s sessions are
+    /// `sess[sess_off[d]..sess_off[d + 1]]`, each `(peer, peer_bit)` —
+    /// the receiving device and the rank of this device's interface
+    /// address in the receiver's sorted neighbor table. The next-hop
+    /// address the receiver programs is `addr_table[peer][peer_bit]`,
+    /// so 8 bytes carry the whole relaxation: the propagate loop scans
+    /// ~10⁵ sessions per prefix and is bound by this stream's width.
+    sess_off: Vec<u32>,
+    sess: Vec<(u32, u32)>,
+    /// Per device: its neighbors' interface addresses, ascending — the
+    /// bit↔address mapping of the bitset hop mode.
+    addr_table: Vec<Vec<Ipv4>>,
+    /// Per device: its neighbor table fits a [`HopSet`] (bitset hop
+    /// mode); devices over capacity use the Vec spill path instead.
+    fits: Vec<bool>,
+    /// Per device: ECMP width cap for specific routes (`u32::MAX` when
+    /// unbounded). Emit runs once per (device, prefix) pair, so the
+    /// config override lookup is hoisted out of that loop.
+    ecmp_cap: Vec<u32>,
+    /// Per device: ECMP width cap for the default route — the specific
+    /// cap further limited by the RIB→FIB default-hop truncation bug.
+    default_cap: Vec<u32>,
+    /// Per device: the default-route import rejection override.
+    reject_default: Vec<bool>,
+}
+
+impl SimNet {
+    fn build(topology: &Topology, config: &SimConfig) -> SimNet {
+        let n = topology.len();
+        // Effective ASNs (migration overrides applied).
+        let asn: Vec<Asn> = topology
+            .devices()
+            .iter()
+            .map(|d| {
+                config
+                    .device(d.id)
+                    .and_then(|o| o.asn_override)
+                    .unwrap_or(d.asn)
+            })
+            .collect();
+        let l2_bug: Vec<bool> = topology
+            .devices()
+            .iter()
+            .map(|d| config.device(d.id).is_some_and(|o| o.l2_port_bug))
+            .collect();
+        // The neighbor-address table covers every physical link
+        // regardless of session state, so the bit↔address mapping is
+        // stable across fault configurations (link /31 addresses are
+        // globally unique, hence sorted-unique per device).
+        let mut addr_table: Vec<Vec<Ipv4>> = (0..n).map(|_| Vec::new()).collect();
+        for l in topology.links() {
+            addr_table[l.lo.0 as usize].push(l.hi_addr);
+            addr_table[l.hi.0 as usize].push(l.lo_addr);
+        }
+        for t in &mut addr_table {
+            t.sort_unstable();
+        }
+        let fits: Vec<bool> = addr_table
+            .iter()
+            .map(|t| t.len() <= HopSet::CAPACITY)
+            .collect();
+        // Session adjacency over healthy links between non-L2-bugged
+        // devices, flattened to CSR (per-device order is link order,
+        // which fixes ECMP insertion order and BFS tie-breaks).
+        let mut per_dev: Vec<Vec<(u32, u32)>> = (0..n).map(|_| Vec::new()).collect();
+        for l in topology.links() {
+            if !l.state.session_up() {
+                continue;
+            }
+            if l2_bug[l.lo.0 as usize] || l2_bug[l.hi.0 as usize] {
+                continue;
+            }
+            let bit = |peer: DeviceId, addr: Ipv4| {
+                addr_table[peer.0 as usize]
+                    .binary_search(&addr)
+                    .expect("session address is in the peer's table") as u32
+            };
+            per_dev[l.lo.0 as usize].push((l.hi.0, bit(l.hi, l.lo_addr)));
+            per_dev[l.hi.0 as usize].push((l.lo.0, bit(l.lo, l.hi_addr)));
+        }
+        let mut sess_off = Vec::with_capacity(n + 1);
+        let mut sess = Vec::with_capacity(per_dev.iter().map(Vec::len).sum());
+        sess_off.push(0);
+        for d in &per_dev {
+            sess.extend_from_slice(d);
+            sess_off.push(sess.len() as u32);
+        }
+        let allowas_in: Vec<bool> = topology
+            .devices()
+            .iter()
+            .map(|d| d.role == Role::Tor)
+            .collect();
+        // Truncation caps and import overrides, hoisted out of the
+        // per-(device, prefix) emit/relax loops. `m.max(1)` mirrors the
+        // historical closure: a cap of zero still forwards one hop.
+        let cap = |m: Option<usize>| -> u32 {
+            m.map_or(u32::MAX, |m| m.max(1).min(u32::MAX as usize) as u32)
+        };
+        let mut ecmp_cap = vec![u32::MAX; n];
+        let mut default_cap = vec![u32::MAX; n];
+        let mut reject_default = vec![false; n];
+        for d in topology.devices() {
+            if let Some(o) = config.device(d.id) {
+                let du = d.id.0 as usize;
+                ecmp_cap[du] = cap(o.max_ecmp);
+                default_cap[du] = ecmp_cap[du].min(cap(o.rib_fib_default_hops));
+                reject_default[du] = o.reject_default_import;
+            }
+        }
+        SimNet {
+            asn,
+            allowas_in,
+            sess_off,
+            sess,
+            addr_table,
+            fits,
+            ecmp_cap,
+            default_cap,
+            reject_default,
+        }
+    }
+}
+
 /// Simulate EBGP convergence and return one FIB per device (indexed by
 /// device id).
 pub fn simulate(topology: &Topology, config: &SimConfig) -> Vec<Fib> {
+    simulate_with(topology, config, SimOptions::default()).0
+}
+
+/// [`simulate`] with explicit threading / hop-representation options,
+/// also returning the run's deterministic work counters.
+pub fn simulate_with(
+    topology: &Topology,
+    config: &SimConfig,
+    opts: SimOptions,
+) -> (Vec<Fib>, SimStats) {
     let n = topology.len();
-
-    // Effective ASNs (migration overrides applied).
-    let asn: Vec<Asn> = topology
-        .devices()
-        .iter()
-        .map(|d| {
-            config
-                .device(d.id)
-                .and_then(|o| o.asn_override)
-                .unwrap_or(d.asn)
-        })
-        .collect();
-
-    let l2_bug: Vec<bool> = topology
-        .devices()
-        .iter()
-        .map(|d| config.device(d.id).is_some_and(|o| o.l2_port_bug))
-        .collect();
-
-    // Session adjacency over healthy links between non-L2-bugged devices.
-    let mut sessions: Vec<Vec<Session>> = (0..n).map(|_| Vec::new()).collect();
-    for l in topology.links() {
-        if !l.state.session_up() {
-            continue;
-        }
-        if l2_bug[l.lo.0 as usize] || l2_bug[l.hi.0 as usize] {
-            continue;
-        }
-        sessions[l.lo.0 as usize].push(Session {
-            peer: l.hi,
-            local_addr: l.lo_addr,
-            link: l.id,
-        });
-        sessions[l.hi.0 as usize].push(Session {
-            peer: l.lo,
-            local_addr: l.hi_addr,
-            link: l.id,
-        });
-    }
-    let _ = &sessions; // borrow below
-    let allowas_in: Vec<bool> = topology
-        .devices()
-        .iter()
-        .map(|d| d.role == Role::Tor)
-        .collect();
-
-    let mut builders: Vec<FibBuilder> = topology
-        .devices()
-        .iter()
-        .map(|d| FibBuilder::new(d.id))
-        .collect();
-
-    let mut relax = Relaxation::new(n);
+    let net = SimNet::build(topology, config);
+    let bitset = !opts.legacy_hops;
 
     // Work items: every hosted prefix (origin: its ToR) and the default
     // route (origins: all regional spines).
@@ -141,22 +350,71 @@ pub fn simulate(topology: &Topology, config: &SimConfig) -> Vec<Fib> {
         .collect();
     work.push((default_prefix(), regionals));
 
-    for (prefix, origins) in work {
-        relax.reset();
-        propagate(
-            topology,
-            config,
-            &sessions,
-            &asn,
-            &allowas_in,
-            &mut relax,
-            prefix,
-            &origins,
-        );
-        emit(topology, config, &relax, prefix, &origins, &mut builders);
-    }
+    let fresh_builders = || -> Vec<FibBuilder> {
+        topology
+            .devices()
+            .iter()
+            .map(|d| FibBuilder::new(d.id))
+            .collect()
+    };
 
-    builders.into_iter().map(FibBuilder::finish).collect()
+    let run_chunk = |chunk: &[(Prefix, Vec<DeviceId>)]| -> (Vec<FibBuilder>, SimStats) {
+        let mut builders = fresh_builders();
+        let mut relax = Relaxation::new(n, bitset);
+        let mut rle = EmitRle::new(n);
+        let mut stats = SimStats {
+            prefixes: chunk.len(),
+            ..SimStats::default()
+        };
+        for (k, (prefix, origins)) in chunk.iter().enumerate() {
+            relax.reset();
+            propagate(&net, &mut relax, *prefix, origins, &mut stats);
+            if bitset {
+                emit_runs(&net, &relax, k as u32, *prefix, &mut rle, &mut builders);
+            } else {
+                emit_vecs(&net, &relax, *prefix, &mut builders);
+            }
+        }
+        if bitset {
+            let prefixes: Vec<Prefix> = chunk.iter().map(|(p, _)| *p).collect();
+            expand_runs(&rle, &prefixes, &mut builders);
+        }
+        (builders, stats)
+    };
+
+    let threads = opts.threads.max(1).min(work.len().max(1));
+    let (builders, stats) = if threads <= 1 {
+        run_chunk(&work)
+    } else {
+        // Chunk the prefix list across scoped workers — the same
+        // static-partition idiom as the validation runner. Each worker
+        // converges its prefixes into private per-device partial
+        // builders; absorbing the workers in chunk order replays the
+        // exact serial push sequence, so the merged tables (interned
+        // pool layout included) are bit-identical to a 1-thread run.
+        let chunk_size = work.len().div_ceil(threads);
+        let results: Vec<(Vec<FibBuilder>, SimStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(|| run_chunk(chunk)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut results = results.into_iter();
+        let (mut builders, mut stats) = results.next().expect("at least one chunk");
+        for (worker_builders, worker_stats) in results {
+            for (dst, src) in builders.iter_mut().zip(&worker_builders) {
+                dst.absorb(src);
+            }
+            stats.absorb(&worker_stats);
+        }
+        (builders, stats)
+    };
+
+    (
+        builders.into_iter().map(FibBuilder::finish).collect(),
+        stats,
+    )
 }
 
 /// Does the AS path advertised by `from` (walked via BFS parents)
@@ -180,16 +438,12 @@ fn path_contains(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn propagate(
-    topology: &Topology,
-    config: &SimConfig,
-    sessions: &[Vec<Session>],
-    asn: &[Asn],
-    allowas_in: &[bool],
+    net: &SimNet,
     relax: &mut Relaxation,
     prefix: Prefix,
     origins: &[DeviceId],
+    stats: &mut SimStats,
 ) {
     let is_default = prefix.is_default();
     for &o in origins {
@@ -197,38 +451,42 @@ fn propagate(
         // announce it (no sessions) — handled naturally since its
         // session list is empty.
         relax.best[o.0 as usize] = 0;
+        relax.path_asns[o.0 as usize] = asn_bit(net.asn[o.0 as usize]);
         relax.touched.push(o);
         relax.buckets[0].push(o);
     }
-    let _ = topology;
 
     for level in 0..MAX_LEN - 1 {
         if relax.buckets[level].is_empty() {
             continue;
         }
+        stats.rounds += 1;
         let senders = std::mem::take(&mut relax.buckets[level]);
         for d in senders {
             let du = d.0 as usize;
             if relax.best[du] != level as u8 {
                 continue; // stale entry; improved earlier
             }
-            for s in &sessions[du] {
-                let nu = s.peer.0 as usize;
+            let sess = &net.sess[net.sess_off[du] as usize..net.sess_off[du + 1] as usize];
+            for &(peer, bit) in sess {
+                stats.relaxations += 1;
+                let nu = peer as usize;
                 let nl = level as u8 + 1;
                 let cur = relax.best[nu];
                 if nl > cur {
                     continue;
                 }
                 // Import policy: default-route rejection (§2.6.2).
-                if is_default
-                    && config
-                        .device(s.peer)
-                        .is_some_and(|o| o.reject_default_import)
-                {
+                if is_default && net.reject_default[nu] {
                     continue;
                 }
-                // BGP loop prevention on the receiver, unless allowas-in.
-                if !allowas_in[nu] && path_contains(relax, asn, d, asn[nu]) {
+                // BGP loop prevention on the receiver, unless
+                // allowas-in. The Bloom signature proves most accepted
+                // paths clean without walking the parent chain.
+                if !net.allowas_in[nu]
+                    && relax.path_asns[du] & asn_bit(net.asn[nu]) != 0
+                    && path_contains(relax, &net.asn, d, net.asn[nu])
+                {
                     continue;
                 }
                 // Self-announcement guard: an origin never reimports.
@@ -237,39 +495,73 @@ fn propagate(
                 }
                 if nl < cur {
                     if cur == INF {
-                        relax.touched.push(s.peer);
+                        relax.touched.push(DeviceId(peer));
                     }
                     relax.best[nu] = nl;
                     relax.parent[nu] = d;
-                    relax.hops[nu].clear();
-                    relax.hops[nu].push(s.local_addr);
-                    relax.buckets[nl as usize].push(s.peer);
+                    relax.path_asns[nu] = relax.path_asns[du] | asn_bit(net.asn[nu]);
+                    match &mut relax.hops {
+                        Hops::Vecs(v) => {
+                            v[nu].clear();
+                            v[nu].push(net.addr_table[nu][bit as usize]);
+                        }
+                        Hops::Bits { bits, spill } => {
+                            if net.fits[nu] {
+                                bits[nu].clear();
+                                bits[nu].insert(bit as u16);
+                            } else {
+                                spill[nu].clear();
+                                spill[nu].push(net.addr_table[nu][bit as usize]);
+                            }
+                        }
+                    }
+                    relax.buckets[nl as usize].push(DeviceId(peer));
                 } else {
-                    // Equal length: extend the ECMP set.
-                    let hops = &mut relax.hops[nu];
-                    if !hops.contains(&s.local_addr) {
-                        hops.push(s.local_addr);
+                    // Equal length: extend the ECMP set. The bitset
+                    // insert is idempotent — the branch-free form of
+                    // the legacy `contains` scan.
+                    match &mut relax.hops {
+                        Hops::Vecs(v) => {
+                            let hops = &mut v[nu];
+                            let addr = net.addr_table[nu][bit as usize];
+                            if !hops.contains(&addr) {
+                                hops.push(addr);
+                            }
+                        }
+                        Hops::Bits { bits, spill } => {
+                            if net.fits[nu] {
+                                bits[nu].insert(bit as u16);
+                            } else {
+                                let hops = &mut spill[nu];
+                                let addr = net.addr_table[nu][bit as usize];
+                                if !hops.contains(&addr) {
+                                    hops.push(addr);
+                                }
+                            }
+                        }
                     }
                 }
-                let _ = s.link;
             }
         }
     }
 }
 
-fn emit(
-    topology: &Topology,
-    config: &SimConfig,
-    relax: &Relaxation,
-    prefix: Prefix,
-    origins: &[DeviceId],
-    builders: &mut [FibBuilder],
-) {
-    let is_default = prefix.is_default();
-    for &d in &relax.touched {
-        let du = d.0 as usize;
+/// Per-prefix emit for legacy `Hops::Vecs` mode: one push per reached
+/// device, exactly as the frozen reference simulator does it.
+fn emit_vecs(net: &SimNet, relax: &Relaxation, prefix: Prefix, builders: &mut [FibBuilder]) {
+    let caps = if prefix.is_default() {
+        &net.default_cap
+    } else {
+        &net.ecmp_cap
+    };
+    let Hops::Vecs(v) = &relax.hops else {
+        unreachable!("emit_vecs requires Vec hop mode")
+    };
+    for du in 0..relax.best.len() {
         let len = relax.best[du];
-        debug_assert_ne!(len, INF);
+        if len == INF {
+            continue;
+        }
         if len == 0 {
             // Origin: ToRs install their hosted prefix as local.
             // Regional spines originate the default (modeled as local
@@ -277,21 +569,132 @@ fn emit(
             builders[du].push(prefix, Vec::new(), true);
             continue;
         }
-        let mut hops = relax.hops[du].clone();
+        let mut hops = v[du].clone();
         hops.sort_unstable();
-        if let Some(o) = config.device(d) {
-            if let Some(k) = o.max_ecmp {
-                hops.truncate(k.max(1));
-            }
-            if is_default {
-                if let Some(k) = o.rib_fib_default_hops {
-                    hops.truncate(k.max(1));
-                }
-            }
-        }
+        hops.truncate(caps[du] as usize);
         builders[du].push(prefix, hops, false);
     }
-    let _ = (topology, origins);
+}
+
+/// Per-prefix emit for bitset mode: extend or break each device's
+/// current run (see [`EmitRle`]). `k` is the chunk-local prefix index.
+///
+/// Devices are scanned in id order rather than BFS-touch order: the
+/// reached set is nearly every device, and ascending ids make every
+/// array access here a sequential stream. Each device still yields
+/// exactly one state per prefix, so the expanded push sequence — and
+/// therefore the finished table — is unchanged.
+fn emit_runs(
+    net: &SimNet,
+    relax: &Relaxation,
+    k: u32,
+    prefix: Prefix,
+    rle: &mut EmitRle,
+    builders: &mut [FibBuilder],
+) {
+    let caps = if prefix.is_default() {
+        &net.default_cap
+    } else {
+        &net.ecmp_cap
+    };
+    let Hops::Bits { bits, spill } = &relax.hops else {
+        unreachable!("emit_runs requires bitset hop mode")
+    };
+    for du in 0..relax.best.len() {
+        let len = relax.best[du];
+        if len == INF {
+            if rle.last_code[du] != RUN_ABSENT {
+                rle.runs[du].push((k, RUN_ABSENT));
+                rle.last_code[du] = RUN_ABSENT;
+            }
+            continue;
+        }
+        if len == 0 {
+            // Origin: ToRs install their hosted prefix as local.
+            // Regional spines originate the default (modeled as local
+            // too: it points out of the datacenter). Local entries all
+            // share the empty hop set, so any local run continues.
+            if rle.last_code[du] != RUN_ABSENT && rle.last_code[du] & RUN_LOCAL != 0 {
+                continue;
+            }
+            let id = builders[du].intern(Vec::new());
+            let code = RUN_LOCAL | id;
+            rle.runs[du].push((k, code));
+            rle.last_code[du] = code;
+            continue;
+        }
+        let cap = caps[du];
+        if !net.fits[du] {
+            // Over-capacity device: the spill Vec holds its hops,
+            // interned like legacy Vec mode every prefix. The interner
+            // canonicalizes, so an id repeat is a state repeat.
+            let mut hops = spill[du].clone();
+            hops.sort_unstable();
+            hops.truncate(cap as usize);
+            let id = builders[du].intern(hops);
+            if rle.last_code[du] != id {
+                rle.runs[du].push((k, id));
+                rle.last_code[du] = id;
+            }
+            continue;
+        }
+        // Bit order is address order, so truncating to the k lowest
+        // bits keeps the k smallest addresses — exactly the legacy
+        // sort + truncate. Uncapped devices (the overwhelming
+        // majority) skip the popcount and the 64-byte copy entirely.
+        let stored;
+        let mask: &HopSet = if cap != u32::MAX && cap < bits[du].len() {
+            stored = {
+                let mut c = bits[du];
+                c.truncate(cap);
+                c
+            };
+            &stored
+        } else {
+            &bits[du]
+        };
+        // Run continues only while the device stays in a plain-set
+        // state with an identical post-truncation mask; `mask[du]` is
+        // stale after a local/absent interlude, and `last_code`'s flag
+        // bits reject exactly those cases.
+        if rle.last_code[du] < RUN_LOCAL && rle.mask[du] == *mask {
+            continue;
+        }
+        let id = builders[du].intern_bits(mask, &net.addr_table[du]);
+        rle.mask[du] = *mask;
+        rle.runs[du].push((k, id));
+        rle.last_code[du] = id;
+    }
+}
+
+/// Expand every device's runs into its builder, in prefix order —
+/// replaying exactly the per-prefix push sequence the runs encode.
+fn expand_runs(rle: &EmitRle, prefixes: &[Prefix], builders: &mut [FibBuilder]) {
+    for (du, runs) in rle.runs.iter().enumerate() {
+        let span = |ri: usize, k0: u32| -> std::ops::Range<usize> {
+            let k1 = runs
+                .get(ri + 1)
+                .map_or(prefixes.len(), |&(k, _)| k as usize);
+            k0 as usize..k1
+        };
+        // One exact reservation per device: growth reallocations over
+        // 10⁴ builders × 10⁴ entries otherwise dominate the expansion.
+        let total: usize = runs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(_, code))| code != RUN_ABSENT)
+            .map(|(ri, &(k0, _))| span(ri, k0).len())
+            .sum();
+        builders[du].reserve(total);
+        for (ri, &(k0, code)) in runs.iter().enumerate() {
+            if code == RUN_ABSENT {
+                continue;
+            }
+            let local = code & RUN_LOCAL != 0;
+            let id = code & !RUN_LOCAL;
+            builders[du].extend_run(&prefixes[span(ri, k0)], id, local);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -590,6 +993,94 @@ mod tests {
         // Defaults still present on both sides.
         assert!(t1.default_entry().is_some());
         assert!(t3.default_entry().is_some());
+    }
+
+    /// A config exercising every override the simulator honors, so the
+    /// mode/thread equivalence tests cover the full emit surface.
+    fn faulted_config(f: &dctopo::generator::Figure3) -> SimConfig {
+        SimConfig::healthy()
+            .with_max_ecmp(f.tors[0], 2)
+            .with_rib_fib_bug(f.tors[1], 1)
+            .with_default_reject(f.a[0])
+            .with_l2_port_bug(f.b[1])
+            .with_asn_override(f.b[0], f.topology.device(f.a[0]).asn)
+    }
+
+    #[test]
+    fn bitset_and_legacy_hop_paths_agree() {
+        // The HopSet accumulation must reproduce the legacy Vec path
+        // exactly — same tables, same interned pool layout, same
+        // deterministic work counters — on healthy and fully-faulted
+        // fabrics.
+        let f = figure3();
+        let medium = build_clos(&ClosParams::default());
+        let configs = [SimConfig::healthy(), faulted_config(&f)];
+        for config in &configs {
+            let (legacy, ls) = simulate_with(
+                &f.topology,
+                config,
+                SimOptions {
+                    legacy_hops: true,
+                    ..SimOptions::default()
+                },
+            );
+            let (bitset, bs) = simulate_with(&f.topology, config, SimOptions::default());
+            assert_eq!(legacy, bitset);
+            assert_eq!(ls, bs);
+        }
+        let (legacy, _) = simulate_with(
+            &medium,
+            &SimConfig::healthy(),
+            SimOptions {
+                legacy_hops: true,
+                ..SimOptions::default()
+            },
+        );
+        let (bitset, _) = simulate_with(&medium, &SimConfig::healthy(), SimOptions::default());
+        assert_eq!(legacy, bitset);
+    }
+
+    #[test]
+    fn parallel_matches_serial_fixed_point() {
+        // Prefix-parallel convergence must be bit-identical to the
+        // serial loop — same final FIBs (interned pools included) and
+        // the same iteration counts — at every thread count, on both
+        // healthy and faulted fabrics.
+        let f = figure3();
+        let medium = build_clos(&ClosParams::default());
+        for (topo, config) in [
+            (&f.topology, SimConfig::healthy()),
+            (&f.topology, faulted_config(&f)),
+            (&medium, SimConfig::healthy()),
+        ] {
+            let (serial, serial_stats) = simulate_with(topo, &config, SimOptions::default());
+            assert!(serial_stats.rounds > 0 && serial_stats.relaxations > 0);
+            for threads in [2, 3, 8] {
+                let (parallel, parallel_stats) = simulate_with(
+                    topo,
+                    &config,
+                    SimOptions {
+                        threads,
+                        ..SimOptions::default()
+                    },
+                );
+                assert_eq!(serial, parallel, "threads={threads}");
+                assert_eq!(serial_stats, parallel_stats, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_prefixes_and_rounds() {
+        let f = figure3();
+        let (_, stats) = simulate_with(&f.topology, &SimConfig::healthy(), SimOptions::default());
+        // 4 hosted prefixes + the default route.
+        assert_eq!(stats.prefixes, 5);
+        // Every prefix needs at least one round to leave its origin.
+        assert!(stats.rounds >= 5);
+        let mut merged = SimStats::default();
+        merged.absorb(&stats);
+        assert_eq!(merged, stats);
     }
 
     #[test]

@@ -7,15 +7,21 @@
 //! * [`smt::SmtEngine`] — the declarative bit-vector encoding of
 //!   §2.5.1, running on the `smtkit` solver ("flexible query language,
 //!   performance within a second").
-//! * [`trie::TrieEngine`] — the specialized hash-trie algorithm of
-//!   §2.5.2 ("for the most common workload… much faster"), used by the
-//!   production monitoring pipeline.
+//! * [`trie::TrieEngine`] — the specialized trie algorithm of §2.5.2
+//!   ("for the most common workload… much faster"), used by the
+//!   production monitoring pipeline. Since the flat-layout rewrite it
+//!   packs the trie into one arena and judges all contracts in a
+//!   single batched sweep.
+//! * [`trie_reference::ReferenceTrieEngine`] — the pre-rewrite
+//!   pointer trie, frozen as an ablation baseline and equivalence
+//!   oracle.
 //!
-//! Both must produce semantically identical verdicts; the integration
+//! All must produce semantically identical verdicts; the integration
 //! suite and proptest harness check them against each other.
 
 pub mod smt;
 pub mod trie;
+pub mod trie_reference;
 
 use crate::contracts::DeviceContracts;
 use crate::report::ValidationReport;

@@ -63,7 +63,9 @@ pub mod validator;
 
 pub use clock::{Clock, RealClock, VirtualClock};
 pub use contracts::{generate_contracts, Contract, ContractKind, DeviceContracts};
-pub use engine::{trie::TrieEngine, smt::SmtEngine, Engine, ObservedEngine};
+pub use engine::{
+    smt::SmtEngine, trie::TrieEngine, trie_reference::ReferenceTrieEngine, Engine, ObservedEngine,
+};
 pub use report::{Risk, ValidationReport, Violation, ViolationReason};
 pub use runner::{DatacenterReport, EngineChoice, PassMetrics};
 pub use service::{IngestEvent, ServiceHandle, ValidationService};

@@ -15,7 +15,7 @@
 //! monitoring, where most snapshots between sweeps are identical.
 
 use crate::contracts::DeviceContracts;
-use crate::engine::{smt::SmtEngine, trie::TrieEngine, Engine};
+use crate::engine::{smt::SmtEngine, trie::TrieEngine, trie_reference::ReferenceTrieEngine, Engine};
 use crate::report::ValidationReport;
 use bgpsim::Fib;
 use obskit::{Counter, Histogram, Observer, Registry};
@@ -34,6 +34,10 @@ pub enum EngineChoice {
     Smt,
     /// The SMT encoding in semantic mode.
     SmtSemantic,
+    /// The frozen pre-flat-rewrite pointer trie (ablation baseline).
+    TrieReference,
+    /// The reference trie in semantic mode.
+    TrieReferenceSemantic,
 }
 
 impl EngineChoice {
@@ -49,6 +53,8 @@ impl EngineChoice {
             EngineChoice::TrieSemantic => Box::new(TrieEngine::semantic()),
             EngineChoice::Smt => Box::new(SmtEngine::new()),
             EngineChoice::SmtSemantic => Box::new(SmtEngine::semantic()),
+            EngineChoice::TrieReference => Box::new(ReferenceTrieEngine::new()),
+            EngineChoice::TrieReferenceSemantic => Box::new(ReferenceTrieEngine::semantic()),
         }
     }
 
@@ -60,15 +66,19 @@ impl EngineChoice {
             EngineChoice::TrieSemantic => "trie-semantic",
             EngineChoice::Smt => "smt",
             EngineChoice::SmtSemantic => "smt-semantic",
+            EngineChoice::TrieReference => "trie-ref",
+            EngineChoice::TrieReferenceSemantic => "trie-ref-semantic",
         }
     }
 
     /// Every backend, in registry order (for CLIs listing valid names).
-    pub const ALL: [EngineChoice; 4] = [
+    pub const ALL: [EngineChoice; 6] = [
         EngineChoice::Trie,
         EngineChoice::TrieSemantic,
         EngineChoice::Smt,
         EngineChoice::SmtSemantic,
+        EngineChoice::TrieReference,
+        EngineChoice::TrieReferenceSemantic,
     ];
 }
 

@@ -29,7 +29,9 @@ use dctopo::{DeviceId, LinkState, MetadataService};
 use netprim::Prefix;
 use rcdc::contracts::Expectation;
 use rcdc::global_baseline::{forwarding_analysis, PathInfo};
-use rcdc::{generate_contracts, Contract, ContractKind, Engine, SmtEngine, TrieEngine};
+use rcdc::{
+    generate_contracts, Contract, ContractKind, Engine, ReferenceTrieEngine, SmtEngine, TrieEngine,
+};
 
 /// Violated-contract keys of a report: sorted, deduplicated
 /// `(prefix, kind)` pairs, the cross-engine agreement convention.
@@ -92,6 +94,22 @@ fn check_single_device(fib_specs: &[FibSpec], contract_specs: &[ContractSpec]) -
     let trie_sem = TrieEngine::semantic().validate_device(&fib, &contracts);
     let smt_strict = SmtEngine::new().validate_device(&fib, &contracts);
     let smt_sem = SmtEngine::semantic().validate_device(&fib, &contracts);
+
+    // The flat trie vs the frozen pointer-trie reference: these share
+    // the violation conventions exactly, so the comparison is the full
+    // report — rule for rule, in order — not just violated keys.
+    for (label, flat, reference) in [
+        ("strict", &trie_strict, ReferenceTrieEngine::new()),
+        ("semantic", &trie_sem, ReferenceTrieEngine::semantic()),
+    ] {
+        let want = reference.validate_device(&fib, &contracts);
+        if *flat != want {
+            return Some(format!(
+                "{label} flat trie diverges from reference trie: {:?} vs {:?}",
+                flat.violations, want.violations
+            ));
+        }
+    }
 
     let kt_strict = violated_keys(&trie_strict);
     let kt_sem = violated_keys(&trie_sem);

@@ -1,0 +1,258 @@
+//! Fixed-width bitset over a device-local next-hop universe.
+//!
+//! Next-hop sets on a datacenter device are tiny relative to the
+//! address space: a device can only forward to its physical neighbors,
+//! so the universe of possible hops is bounded by its port count
+//! (≤ a few hundred even on a dense spine). [`HopSet`] exploits this:
+//! assign each neighbor address a small integer (its rank in the
+//! device's sorted neighbor table) and represent a hop set as a
+//! 512-bit mask. Set equality is then an 8-word compare, membership a
+//! shift-and-mask, and union/intersection/subset are word-parallel —
+//! the SIMD-friendly core of both the trie engine's expectation
+//! matching and bgpsim's FIB interning.
+//!
+//! Bit positions are meaningful only relative to one device's neighbor
+//! table; sets from different devices must never be mixed. Callers
+//! with a universe larger than [`HopSet::CAPACITY`] fall back to the
+//! explicit `Vec<Ipv4>` representation.
+
+/// Number of `u64` words in a [`HopSet`].
+pub const HOPSET_WORDS: usize = 8;
+
+/// A fixed-width 512-bit set of next-hop indices.
+///
+/// `Copy` and exactly 64 bytes (one cache line), so it can live inline
+/// in per-prefix relaxation state and be compared or hashed without
+/// touching the heap.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct HopSet {
+    words: [u64; HOPSET_WORDS],
+}
+
+impl std::hash::Hash for HopSet {
+    /// Feed one folded word to the hasher instead of all eight.
+    ///
+    /// Hop sets sit on bgpsim's FIB-interning hot path (~one probe per
+    /// (device, prefix) pair), where the derived implementation would
+    /// push 64 bytes through SipHash per probe. Folding is sound
+    /// because equal sets fold to the same word (`Eq` still compares
+    /// every word); the per-word rotation keeps sets that differ only
+    /// in which word a bit lands in from colliding.
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let mut folded: u64 = 0;
+        for (i, &w) in self.words.iter().enumerate() {
+            folded ^= w.rotate_left(i as u32 * 8);
+        }
+        state.write_u64(folded);
+    }
+}
+
+impl HopSet {
+    /// Largest universe this set can represent.
+    pub const CAPACITY: usize = HOPSET_WORDS * 64;
+
+    /// The empty set.
+    #[inline]
+    pub fn new() -> HopSet {
+        HopSet::default()
+    }
+
+    /// Build a set from bit indices. Panics if any index is out of
+    /// range (a universe-sizing bug, not a data condition).
+    pub fn from_bits(bits: impl IntoIterator<Item = u16>) -> HopSet {
+        let mut s = HopSet::new();
+        for b in bits {
+            s.insert(b);
+        }
+        s
+    }
+
+    /// Insert a bit; returns `true` if it was newly set. Panics if
+    /// `bit >= CAPACITY`.
+    #[inline]
+    pub fn insert(&mut self, bit: u16) -> bool {
+        let (w, m) = (bit as usize / 64, 1u64 << (bit % 64));
+        let fresh = self.words[w] & m == 0;
+        self.words[w] |= m;
+        fresh
+    }
+
+    /// Remove a bit (no-op when absent). Panics if `bit >= CAPACITY`.
+    #[inline]
+    pub fn remove(&mut self, bit: u16) {
+        self.words[bit as usize / 64] &= !(1u64 << (bit % 64));
+    }
+
+    /// Membership test. Panics if `bit >= CAPACITY`.
+    #[inline]
+    pub fn contains(&self, bit: u16) -> bool {
+        self.words[bit as usize / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Reset to the empty set.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words = [0; HOPSET_WORDS];
+    }
+
+    /// Population count.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Word-parallel union in place.
+    #[inline]
+    pub fn union_with(&mut self, other: &HopSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Word-parallel intersection.
+    #[inline]
+    pub fn intersection(&self, other: &HopSet) -> HopSet {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+        out
+    }
+
+    /// Is `self ⊆ other`?
+    #[inline]
+    pub fn is_subset_of(&self, other: &HopSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Keep only the `k` lowest set bits (ECMP-width truncation: bit
+    /// order is neighbor-address order, so this keeps the `k` smallest
+    /// addresses, matching the sorted-`Vec` `truncate` it replaces).
+    pub fn truncate(&mut self, k: u32) {
+        let mut remaining = k;
+        for w in &mut self.words {
+            let ones = w.count_ones();
+            if ones <= remaining {
+                remaining -= ones;
+            } else {
+                // Keep the lowest `remaining` set bits of this word,
+                // clear everything above and all later words.
+                let mut kept = *w;
+                for _ in 0..remaining {
+                    kept &= kept - 1; // drop lowest set bit
+                }
+                *w &= !kept;
+                remaining = 0;
+            }
+        }
+    }
+
+    /// Iterate set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            std::iter::successors(
+                (word != 0).then_some(word),
+                |w| {
+                    let next = w & (w - 1);
+                    (next != 0).then_some(next)
+                },
+            )
+            .map(move |w| (wi * 64 + w.trailing_zeros() as usize) as u16)
+        })
+    }
+}
+
+impl std::fmt::Debug for HopSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<u16> for HopSet {
+    fn from_iter<I: IntoIterator<Item = u16>>(iter: I) -> HopSet {
+        HopSet::from_bits(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = HopSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(!s.insert(0), "second insert reports already-present");
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(511));
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63) && s.contains(64) && s.contains(511));
+        assert!(!s.contains(1));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 3);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let bits = [0u16, 3, 63, 64, 65, 130, 400, 511];
+        let s: HopSet = bits.iter().copied().collect();
+        let got: Vec<u16> = s.iter().collect();
+        assert_eq!(got, bits);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: HopSet = [1u16, 2, 3, 100].into_iter().collect();
+        let b: HopSet = [2u16, 3, 200].into_iter().collect();
+        let i = a.intersection(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert!(i.is_subset_of(&a) && i.is_subset_of(&b));
+        assert!(!a.is_subset_of(&b));
+        let mut u = a;
+        u.union_with(&b);
+        assert_eq!(u.len(), 5);
+        assert!(a.is_subset_of(&u) && b.is_subset_of(&u));
+    }
+
+    #[test]
+    fn truncate_keeps_lowest_bits() {
+        let bits = [5u16, 70, 130, 131, 300];
+        let mut s: HopSet = bits.iter().copied().collect();
+        s.truncate(3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 70, 130]);
+        let mut s: HopSet = bits.iter().copied().collect();
+        s.truncate(0);
+        assert!(s.is_empty());
+        let mut s: HopSet = bits.iter().copied().collect();
+        s.truncate(99);
+        assert_eq!(s.len(), 5, "truncating past len is a no-op");
+    }
+
+    #[test]
+    fn equality_and_hash_follow_contents() {
+        use std::collections::HashMap;
+        let a: HopSet = [9u16, 400].into_iter().collect();
+        let mut b = HopSet::new();
+        b.insert(400);
+        b.insert(9);
+        assert_eq!(a, b);
+        let mut m = HashMap::new();
+        m.insert(a, 7u32);
+        assert_eq!(m.get(&b), Some(&7));
+    }
+}

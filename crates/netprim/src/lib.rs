@@ -11,6 +11,9 @@
 //! * [`HeaderTuple`] and [`HeaderSpace`] — the 5-tuple
 //!   `(srcIp, srcPort, dstIp, dstPort, protocol)` over which SecGuru
 //!   policies and contracts are interpreted (paper §3.2).
+//! * [`HopSet`] — a fixed-width bitset over a device-local next-hop
+//!   universe; the SIMD-friendly set algebra behind the trie engine's
+//!   expectation matching and bgpsim's FIB interning.
 //! * [`wire`] — a compact binary codec for pulled routing tables,
 //!   modeling the FIB transfer from device to validator (paper §2.6.1).
 //!
@@ -22,6 +25,7 @@
 
 pub mod error;
 pub mod header;
+pub mod hopset;
 pub mod ip;
 pub mod prefix;
 pub mod range;
@@ -29,6 +33,7 @@ pub mod wire;
 
 pub use error::ParseError;
 pub use header::{HeaderSpace, HeaderTuple, Protocol};
+pub use hopset::HopSet;
 pub use ip::Ipv4;
 pub use prefix::Prefix;
 pub use range::{IpRange, PortRange};

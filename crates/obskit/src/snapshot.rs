@@ -42,9 +42,20 @@ impl HistogramSnapshot {
     /// `ceil(q·count)`-th smallest observation, so for a true quantile
     /// `t` the report `r` satisfies `t <= r <= 2·t` (`r == 0` iff
     /// `t == 0`). `None` when empty.
+    ///
+    /// A single-observation histogram reports the observation itself
+    /// (it equals `sum` exactly): a p99 of one 1500 ns sample reads
+    /// 1500, not the 2047 bucket edge — dashboards built on sparse
+    /// histograms (per-shard latencies right after startup) were
+    /// over-reporting by up to 2×. With two or more observations the
+    /// bucket bound stands; `sum` wraps on overflow, so it cannot be
+    /// used as a clamp in general.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
+        }
+        if self.count == 1 {
+            return Some(self.sum);
         }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         self.buckets

@@ -88,4 +88,25 @@ proptest! {
             prop_assert_eq!(merged.quantile(q), hc.quantile(q));
         }
     }
+
+    /// A single-observation histogram reports the observation itself at
+    /// every quantile — not the containing bucket's upper edge.
+    /// (Regression: a p99 over one 1500 ns sample used to read 2047.)
+    #[test]
+    fn single_sample_quantiles_are_exact(v in any::<u64>()) {
+        let h = record_all(&[v]);
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(h.quantile(q), Some(v), "q={}", q);
+        }
+        // The exactness survives a merge with an empty histogram (the
+        // shard-aggregation path) …
+        let mut merged = h.snapshot();
+        merged.merge(&Histogram::new().snapshot());
+        prop_assert_eq!(merged.p99(), Some(v));
+        // … and a second observation restores the bucket convention:
+        // still an upper bound on both samples.
+        let h2 = record_all(&[v, v]);
+        let r = h2.quantile(0.99).expect("non-empty");
+        prop_assert!(r >= v);
+    }
 }
