@@ -232,6 +232,34 @@ impl Fib {
         }
     }
 
+    /// Assemble a table directly from pre-canonicalized parts: entries
+    /// already in the sorted order [`FibBuilder::finish`] produces, set
+    /// ids already deduplicated in first-use order. The restart patcher
+    /// splices failure scenarios out of the healthy table this way,
+    /// skipping the per-entry interner — the caller owns the proof that
+    /// the layout matches what a builder replay would have produced.
+    pub(crate) fn from_parts(device: DeviceId, entries: Vec<FibEntry>, sets: Vec<Vec<Ipv4>>) -> Fib {
+        debug_assert!(entries.windows(2).all(|w| {
+            w[1].prefix
+                .len()
+                .cmp(&w[0].prefix.len())
+                .then(w[0].prefix.addr().cmp(&w[1].prefix.addr()))
+                .is_lt()
+        }));
+        debug_assert!(entries.iter().all(|e| (e.set as usize) < sets.len()));
+        Fib {
+            device,
+            entries,
+            sets,
+        }
+    }
+
+    /// A pool set by id (the restart patcher remaps healthy ids into a
+    /// scenario table's pool without re-hashing the vectors).
+    pub(crate) fn set(&self, id: u32) -> &[Ipv4] {
+        &self.sets[id as usize]
+    }
+
     /// The owning device.
     pub fn device(&self) -> DeviceId {
         self.device

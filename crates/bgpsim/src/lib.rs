@@ -26,10 +26,12 @@
 
 pub mod config;
 pub mod fib;
+pub mod restart;
 pub mod route;
 pub mod sim;
 pub mod sim_reference;
 
 pub use config::{DeviceOverride, SimConfig};
 pub use fib::{Fib, FibBuilder, FibEntry};
+pub use restart::{Baseline, FaultSpec, RestartStats, ScenarioFibs};
 pub use sim::{simulate, simulate_with, SimOptions, SimStats};

@@ -1,0 +1,1117 @@
+//! Fault-injected fixed-point restart: converge a failure scenario
+//! from the healthy solution instead of from scratch.
+//!
+//! A k-failure what-if sweep evaluates thousands of scenarios against
+//! one fabric, and each scenario differs from the healthy network by a
+//! handful of dead links. Re-running [`simulate`](crate::simulate) per
+//! scenario repeats almost all of its work: the per-prefix BFS is a
+//! function of the session graph, and most prefixes never route through
+//! the dead links at all. [`Baseline`] snapshots the healthy fixed
+//! point once and then answers each scenario by *patching* it:
+//!
+//! * A dead session edge `s → r` matters for a prefix only if it
+//!   carried a minimal-distance advertisement in the healthy run —
+//!   `best[s] + 1 == best[r]` and `s`'s address is in `r`'s hop set.
+//!   Edges that never contributed leave the prefix untouched.
+//! * If the edge contributed but `r` keeps other equal-length senders,
+//!   the fixed point without the edge differs only in `r`'s hop mask.
+//!   Distances, discovery order and every other device's hops are
+//!   unchanged, so the patch is a single bit clear. When the dead edge
+//!   was `r`'s BFS *parent*, the re-run would pick another parent; the
+//!   patch is still exact whenever the prefix is *tie-break-free* —
+//!   every multi-sender device's candidate parents advertise identical
+//!   AS-path sequences, so any parent choice produces the same
+//!   observables (acceptance verdicts and hop masks). Tie-break
+//!   freedom is a property of the healthy state, computed once at
+//!   [`Baseline::converge`]; generated Clos fabrics satisfy it for
+//!   every prefix (same-tier ECMP senders share ASN sequences).
+//! * Anything else — a hop set emptied, a non-tie-break-free parent
+//!   lost — falls back to re-running the per-prefix BFS on the faulted
+//!   session graph, which is exact by construction. Fallbacks are the
+//!   rare case, and only the affected prefixes pay for them.
+//!
+//! Changed FIBs are *spliced*, not rebuilt: a candidate device's new
+//! table copies the healthy entry sequence and recomputes only the
+//! affected prefixes, remapping interned set ids in first-use order —
+//! the same content-keyed order a from-scratch interner assigns — so
+//! the result, pool layout included, is bit-identical to a
+//! from-scratch `simulate` on the faulted topology at a fraction of
+//! the per-entry cost. The regression suite pins this for every
+//! single-link failure on a seeded Clos.
+
+use crate::config::SimConfig;
+use crate::fib::{Fib, FibBuilder, FibEntry};
+use crate::sim::{
+    emit_runs, expand_runs, propagate, work_list, EmitRle, Hops, Relaxation, SimNet, SimStats, INF,
+};
+use dctopo::{Asn, DeviceId, LinkId, LinkState, Topology};
+use netprim::{HopSet, Ipv4, Prefix};
+use std::collections::{HashMap, HashSet};
+
+/// One failure scenario: a set of links and devices to take down
+/// simultaneously. A dead device is modeled as all of its incident
+/// links going down (it still originates its hosted prefixes locally,
+/// exactly as a from-scratch simulation of the faulted topology would).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Links to fail.
+    pub links: Vec<LinkId>,
+    /// Devices to fail (all incident links go down).
+    pub devices: Vec<DeviceId>,
+}
+
+impl FaultSpec {
+    /// A scenario failing exactly these links.
+    pub fn links(links: impl IntoIterator<Item = LinkId>) -> FaultSpec {
+        FaultSpec {
+            links: links.into_iter().collect(),
+            devices: Vec::new(),
+        }
+    }
+
+    /// A scenario failing exactly these devices.
+    pub fn devices(devices: impl IntoIterator<Item = DeviceId>) -> FaultSpec {
+        FaultSpec {
+            links: Vec::new(),
+            devices: devices.into_iter().collect(),
+        }
+    }
+
+    /// No failures at all (the healthy network).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.devices.is_empty()
+    }
+
+    /// Apply the scenario to a topology by marking every named link —
+    /// and every link incident to a named device — `OperDown`. This is
+    /// the from-scratch view of the scenario, used by the oracles to
+    /// cross-check [`Baseline::resimulate`].
+    pub fn apply(&self, topology: &mut Topology) {
+        let mut dead: Vec<LinkId> = self.links.clone();
+        for &d in &self.devices {
+            dead.extend(topology.links_of(d).map(|l| l.id));
+        }
+        for l in dead {
+            topology.set_link_state(l, LinkState::OperDown);
+        }
+    }
+}
+
+/// Work counters for one [`Baseline::resimulate`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestartStats {
+    /// Prefixes in the work list (hosted + default).
+    pub prefixes: usize,
+    /// Prefixes repaired by hop-mask patching alone.
+    pub patched: usize,
+    /// Prefixes that fell back to a from-scratch per-prefix BFS.
+    pub repropagated: usize,
+    /// Devices whose FIB actually changed.
+    pub devices_changed: usize,
+}
+
+impl RestartStats {
+    /// Merge another scenario's counters into this one (sweep totals).
+    pub fn absorb(&mut self, other: &RestartStats) {
+        self.prefixes += other.prefixes;
+        self.patched += other.patched;
+        self.repropagated += other.repropagated;
+        self.devices_changed += other.devices_changed;
+    }
+}
+
+/// The outcome of one scenario: only the FIBs that differ from the
+/// healthy solution, plus work counters.
+#[derive(Debug, Clone)]
+pub struct ScenarioFibs {
+    /// Changed devices and their new tables, ascending by device id.
+    pub changed: Vec<(DeviceId, Fib)>,
+    /// Aligned with `changed`: the prefixes whose rules differ from the
+    /// healthy table (added, removed, or re-hopped), in canonical entry
+    /// order. Incremental validators turn these directly into a
+    /// [`FibDelta`](netprim::wire::FibDelta) without re-diffing the
+    /// full tables.
+    pub touched: Vec<Vec<Prefix>>,
+    /// Work counters for this scenario.
+    pub stats: RestartStats,
+}
+
+impl ScenarioFibs {
+    /// Materialize the scenario's full FIB vector by splicing the
+    /// changed tables over the healthy ones.
+    pub fn splice(&self, healthy: &[Fib]) -> Vec<Fib> {
+        let mut out = healthy.to_vec();
+        for (d, fib) in &self.changed {
+            out[d.0 as usize] = fib.clone();
+        }
+        out
+    }
+}
+
+/// One prefix's converged state, snapshotted from the relaxation
+/// scratch. Hop data is only valid where `0 < best < INF` (origins
+/// emit local entries, unreached devices emit nothing).
+struct PrefixState {
+    /// BFS distance per device (`INF` = unreached).
+    best: Vec<u8>,
+    /// BFS parent per device (valid where `0 < best < INF`).
+    parent: Vec<u32>,
+    /// Hop mask over the device's neighbor-address table (devices
+    /// whose table fits a [`HopSet`]).
+    bits: Vec<HopSet>,
+    /// Hop addresses for over-capacity devices (rare; unsorted, the
+    /// relaxation's insertion order).
+    spill: HashMap<u32, Vec<Ipv4>>,
+    /// Every multi-sender device's candidate parents advertise equal
+    /// AS-path sequences, so a parent-edge death still patches exactly.
+    tie_free: bool,
+}
+
+/// The healthy fixed point, snapshotted per prefix, ready to answer
+/// failure scenarios incrementally. Shared-state only: `resimulate`
+/// takes `&self`, so one baseline serves a parallel scenario driver.
+pub struct Baseline {
+    topology: Topology,
+    config: SimConfig,
+    net: SimNet,
+    l2_bug: Vec<bool>,
+    work: Vec<(Prefix, Vec<DeviceId>)>,
+    states: Vec<PrefixState>,
+    healthy: Vec<Fib>,
+    /// The work list's prefixes are strictly canonical-ordered (the
+    /// generated fabrics always are), so a healthy table's entry
+    /// sequence is the work list filtered by reachability and the
+    /// patch splicer can walk both with one cursor. A non-canonical
+    /// work list (possible for hand-built topologies) falls back to
+    /// full per-device replay, which sorts in `finish`.
+    canonical_work: bool,
+}
+
+impl Baseline {
+    /// Converge the healthy network and snapshot its per-prefix state.
+    pub fn converge(topology: &Topology, config: &SimConfig) -> Baseline {
+        let n = topology.len();
+        let net = SimNet::build(topology, config);
+        let l2_bug: Vec<bool> = topology
+            .devices()
+            .iter()
+            .map(|d| config.device(d.id).is_some_and(|o| o.l2_port_bug))
+            .collect();
+        let mut bit_peer: Vec<Vec<u32>> =
+            net.addr_table.iter().map(|t| vec![0; t.len()]).collect();
+        for l in topology.links() {
+            let (lo, hi) = (l.lo.0 as usize, l.hi.0 as usize);
+            let bl = net.addr_table[lo]
+                .binary_search(&l.hi_addr)
+                .expect("link address is in the owner's table");
+            bit_peer[lo][bl] = l.hi.0;
+            let bh = net.addr_table[hi]
+                .binary_search(&l.lo_addr)
+                .expect("link address is in the owner's table");
+            bit_peer[hi][bh] = l.lo.0;
+        }
+        let work = work_list(topology);
+        let canonical_work = work.windows(2).all(|w| {
+            w[1].0
+                .len()
+                .cmp(&w[0].0.len())
+                .then(w[0].0.addr().cmp(&w[1].0.addr()))
+                .is_lt()
+        });
+        // One pass does both jobs: snapshot each prefix's converged
+        // state for the scenario patcher, and emit the healthy tables
+        // through the simulator's own run-length path — the exact
+        // serial push sequence `simulate` performs, so the healthy
+        // FIBs are bit-identical by construction, not by replay.
+        let mut relax = Relaxation::new(n, true);
+        let mut sim_stats = SimStats::default();
+        let mut states = Vec::with_capacity(work.len());
+        let mut rle = EmitRle::new(n);
+        let mut builders: Vec<FibBuilder> = topology
+            .devices()
+            .iter()
+            .map(|d| FibBuilder::new(d.id))
+            .collect();
+        for (k, (prefix, origins)) in work.iter().enumerate() {
+            relax.reset();
+            propagate(&net, &mut relax, *prefix, origins, &mut sim_stats);
+            let mut st = snapshot(&net, &relax);
+            st.tie_free = tie_break_free(&st, &net.asn, &net.addr_table, &bit_peer);
+            states.push(st);
+            emit_runs(&net, &relax, k as u32, *prefix, &mut rle, &mut builders);
+        }
+        let prefixes: Vec<Prefix> = work.iter().map(|(p, _)| *p).collect();
+        expand_runs(&rle, &prefixes, &mut builders);
+        let healthy: Vec<Fib> = builders.into_iter().map(FibBuilder::finish).collect();
+        Baseline {
+            topology: topology.clone(),
+            config: config.clone(),
+            net,
+            l2_bug,
+            work,
+            states,
+            healthy,
+            canonical_work,
+        }
+    }
+
+    /// The healthy FIBs (bit-identical to `simulate(topology, config)`).
+    pub fn healthy_fibs(&self) -> &[Fib] {
+        &self.healthy
+    }
+
+    /// The topology this baseline was converged on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The config this baseline was converged under.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Re-simulate one failure scenario from the healthy solution.
+    ///
+    /// Returns exactly the devices whose FIBs change, each table
+    /// bit-identical (interned pool layout included) to what a
+    /// from-scratch [`simulate`](crate::simulate) of the faulted
+    /// topology would produce.
+    pub fn resimulate(&self, fault: &FaultSpec) -> ScenarioFibs {
+        let n = self.topology.len();
+        let dead_devices: HashSet<u32> = fault.devices.iter().map(|d| d.0).collect();
+        let mut dead_links: HashSet<LinkId> = fault.links.iter().copied().collect();
+        for &d in &fault.devices {
+            dead_links.extend(self.topology.links_of(d).map(|l| l.id));
+        }
+
+        // Directed dead session edges actually present in the healthy
+        // session graph (already-down or L2-bugged links never carried
+        // advertisements, so killing them changes nothing).
+        let mut edges: Vec<(u32, u32, u16)> = Vec::new();
+        for &lid in &dead_links {
+            let l = self.topology.link(lid);
+            if !l.state.session_up() {
+                continue;
+            }
+            let (lo, hi) = (l.lo.0 as usize, l.hi.0 as usize);
+            if self.l2_bug[lo] || self.l2_bug[hi] {
+                continue;
+            }
+            let bit = |owner: usize, addr: Ipv4| {
+                self.net.addr_table[owner]
+                    .binary_search(&addr)
+                    .expect("session address is in the peer's table") as u16
+            };
+            edges.push((l.lo.0, l.hi.0, bit(hi, l.lo_addr)));
+            edges.push((l.hi.0, l.lo.0, bit(lo, l.hi_addr)));
+        }
+        edges.sort_unstable();
+
+        let mut stats = RestartStats {
+            prefixes: self.work.len(),
+            ..RestartStats::default()
+        };
+        // Per receiver: the (prefix index, neighbor-table bits) pairs
+        // to clear, ascending in prefix index (the analysis loop runs
+        // in work order). A prefix is either fully patchable or
+        // re-propagated, never both, so patches and scenario states
+        // stay disjoint.
+        let mut patches: HashMap<u32, Vec<(u32, Vec<u16>)>> = HashMap::new();
+        let mut fallback: Vec<u32> = Vec::new();
+        let mut candidates: HashSet<u32> = HashSet::new();
+        for (k, st) in self.states.iter().enumerate() {
+            let mut removed: HashMap<u32, Vec<u16>> = HashMap::new();
+            let mut needs_fallback = false;
+            for &(s, r, bit) in &edges {
+                if dead_devices.contains(&r) {
+                    continue; // dead receivers are synthesized below
+                }
+                let (su, ru) = (s as usize, r as usize);
+                let (bs, br) = (st.best[su], st.best[ru]);
+                if bs == INF || br == 0 || br == INF || bs + 1 != br {
+                    continue; // edge never carried a minimal-path route
+                }
+                let contributed = match st.spill.get(&r) {
+                    Some(sp) => sp.contains(&self.net.addr_table[ru][bit as usize]),
+                    None => st.bits[ru].contains(bit),
+                };
+                if !contributed {
+                    continue;
+                }
+                if st.parent[ru] == s && !st.tie_free {
+                    // A parent died and a re-run's tie-break could pick
+                    // a parent with a different AS path: not patchable.
+                    needs_fallback = true;
+                    break;
+                }
+                removed.entry(r).or_default().push(bit);
+            }
+            if !needs_fallback {
+                // An emptied hop set changes the receiver's distance
+                // and cascades; only the BFS knows where to.
+                needs_fallback = removed.iter().any(|(&r, bits_rm)| {
+                    let healthy_len = match st.spill.get(&r) {
+                        Some(sp) => sp.len(),
+                        None => st.bits[r as usize].len() as usize,
+                    };
+                    healthy_len == bits_rm.len()
+                });
+            }
+            if needs_fallback {
+                fallback.push(k as u32);
+            } else if !removed.is_empty() {
+                stats.patched += 1;
+                for (r, bits_rm) in removed {
+                    candidates.insert(r);
+                    patches.entry(r).or_default().push((k as u32, bits_rm));
+                }
+            }
+        }
+
+        // Fallback prefixes: exact per-prefix BFS on the faulted graph.
+        // The per-device diff against the healthy state records *which*
+        // fallback prefixes moved each device, so the splice recomputes
+        // only those — an unchanged per-prefix state is guaranteed to
+        // re-emit the healthy rule, so skipping it is byte-identical.
+        let mut scen_states: HashMap<u32, PrefixState> = HashMap::new();
+        let mut fallback_of: HashMap<u32, Vec<u32>> = HashMap::new();
+        if !fallback.is_empty() {
+            stats.repropagated = fallback.len();
+            let fnet = SimNet::build_filtered(&self.topology, &self.config, &dead_links);
+            let mut relax = Relaxation::new(n, true);
+            let mut sim_stats = SimStats::default();
+            for &k in &fallback {
+                let (prefix, origins) = &self.work[k as usize];
+                relax.reset();
+                propagate(&fnet, &mut relax, *prefix, origins, &mut sim_stats);
+                let st = snapshot(&self.net, &relax);
+                let healthy = &self.states[k as usize];
+                for du in 0..n {
+                    if !dead_devices.contains(&(du as u32))
+                        && !state_eq_at(healthy, &st, du, &self.net)
+                    {
+                        candidates.insert(du as u32);
+                        // Ascending in k: the fallback list is sorted.
+                        fallback_of.entry(du as u32).or_default().push(k);
+                    }
+                }
+                scen_states.insert(k, st);
+            }
+        }
+        candidates.extend(dead_devices.iter().copied());
+
+        // Rebuild every candidate and keep only genuine changes. Live
+        // candidates on a canonical work list take the splice path:
+        // copy the healthy entry run, recompute only affected
+        // prefixes, remap set ids. Everything else replays in full.
+        let mut sorted: Vec<u32> = candidates.into_iter().collect();
+        sorted.sort_unstable();
+        let mut changed = Vec::new();
+        let mut touched = Vec::new();
+        const NO_PATCHES: &[(u32, Vec<u16>)] = &[];
+        const NO_FALLBACK: &[u32] = &[];
+        for d in sorted {
+            let dead = dead_devices.contains(&d);
+            let patched = patches.get(&d).map_or(NO_PATCHES, Vec::as_slice);
+            let dev_fallback = fallback_of.get(&d).map_or(NO_FALLBACK, Vec::as_slice);
+            if !dead && self.canonical_work {
+                if let Some((fib, diff)) =
+                    self.splice_device(d, patched, dev_fallback, &scen_states)
+                {
+                    changed.push((DeviceId(d), fib));
+                    touched.push(diff);
+                }
+                continue;
+            }
+            let fib = self.replay_device(d, dead, &scen_states, patched);
+            if fib != self.healthy[d as usize] {
+                let diff = diff_prefixes(&self.healthy[d as usize], &fib);
+                changed.push((DeviceId(d), fib));
+                touched.push(diff);
+            }
+        }
+        stats.devices_changed = changed.len();
+        ScenarioFibs {
+            changed,
+            touched,
+            stats,
+        }
+    }
+
+    /// Splice one live candidate's scenario table out of its healthy
+    /// one: visit only the affected work indices (this device's
+    /// patches merged with the fallback prefixes), bulk-copying the
+    /// healthy entry run before each one — located by binary search in
+    /// canonical order — and recomputing just the affected emissions.
+    /// Set ids are remapped in first-use order of distinct content —
+    /// exactly the order a from-scratch interner assigns — so the
+    /// table is bit-identical to a full replay, pool layout included,
+    /// without hashing a single hop vector.
+    ///
+    /// Returns `None` when every recomputed entry matches the healthy
+    /// table (e.g. a cleared hop bit that ECMP truncation had already
+    /// dropped), otherwise the new table plus the differing prefixes
+    /// in canonical entry order.
+    fn splice_device(
+        &self,
+        d: u32,
+        patched: &[(u32, Vec<u16>)],
+        fallback: &[u32],
+        scen_states: &HashMap<u32, PrefixState>,
+    ) -> Option<(Fib, Vec<Prefix>)> {
+        let du = d as usize;
+        let healthy = &self.healthy[du];
+        let h_entries = healthy.entries();
+        let mut hi = 0usize;
+        let mut entries: Vec<FibEntry> = Vec::with_capacity(h_entries.len() + 1);
+        let mut sets: Vec<Vec<Ipv4>> = Vec::new();
+        // healthy pool id -> new pool id, assigned lazily at first use.
+        let mut h_map: Vec<u32> = vec![u32::MAX; healthy.set_pool_len()];
+        let mut touched: Vec<Prefix> = Vec::new();
+        // New-pool ids holding recomputed (non-healthy-origin)
+        // content. Healthy sets are pairwise distinct, so a healthy
+        // first-use can only collide with one of these — probing the
+        // whole pool per first-use would be quadratic in pool size.
+        let mut novel: Vec<u32> = Vec::new();
+        // Recomputed content can collide with anything already in the
+        // pool; calls are rare (one per divergent emission), so a
+        // linear scan is fine.
+        fn intern_vec(sets: &mut Vec<Vec<Ipv4>>, novel: &mut Vec<u32>, v: Vec<Ipv4>) -> u32 {
+            match sets.iter().position(|s| *s == v) {
+                Some(i) => i as u32,
+                None => {
+                    sets.push(v);
+                    let id = (sets.len() - 1) as u32;
+                    novel.push(id);
+                    id
+                }
+            }
+        }
+        fn map_healthy(
+            healthy: &Fib,
+            sets: &mut Vec<Vec<Ipv4>>,
+            h_map: &mut [u32],
+            novel: &[u32],
+            hid: u32,
+        ) -> u32 {
+            if h_map[hid as usize] != u32::MAX {
+                return h_map[hid as usize];
+            }
+            let content = healthy.set(hid);
+            let id = match novel.iter().find(|&&i| sets[i as usize] == content) {
+                Some(&i) => i,
+                None => {
+                    sets.push(content.to_vec());
+                    (sets.len() - 1) as u32
+                }
+            };
+            h_map[hid as usize] = id;
+            id
+        }
+        // Bulk-copy a healthy run after divergence. Most ids still map
+        // to themselves (divergence appends to or reuses the pool, it
+        // rarely reorders it), so maximal identity-mapped stretches go
+        // through memcpy and only the exceptions pay a per-entry remap.
+        fn copy_remapped(
+            healthy: &Fib,
+            sets: &mut Vec<Vec<Ipv4>>,
+            h_map: &mut [u32],
+            novel: &[u32],
+            entries: &mut Vec<FibEntry>,
+            run: &[FibEntry],
+        ) {
+            let mut j = 0usize;
+            while j < run.len() {
+                let start = j;
+                while j < run.len() && h_map[run[j].set as usize] == run[j].set {
+                    j += 1;
+                }
+                entries.extend_from_slice(&run[start..j]);
+                if j == run.len() {
+                    break;
+                }
+                let e = run[j];
+                let set = map_healthy(healthy, sets, h_map, novel, e.set);
+                entries.push(FibEntry { set, ..e });
+                j += 1;
+            }
+        }
+        // Until the first content divergence the new table is a
+        // verbatim prefix of the healthy one, so its pool first-use
+        // order matches and every set id maps to itself: entry runs
+        // are copied wholesale with no bookkeeping. The first
+        // divergence materializes the interner state by replaying the
+        // first-uses seen so far (an index probe per entry; the ids
+        // come out identity by construction).
+        let mut diverged = false;
+        fn diverge_now(
+            diverged: &mut bool,
+            entries: &[FibEntry],
+            healthy: &Fib,
+            sets: &mut Vec<Vec<Ipv4>>,
+            h_map: &mut [u32],
+        ) {
+            if *diverged {
+                return;
+            }
+            *diverged = true;
+            for e in entries {
+                if h_map[e.set as usize] == u32::MAX {
+                    debug_assert_eq!(sets.len() as u32, e.set, "verbatim prefix must map identity");
+                    h_map[e.set as usize] = sets.len() as u32;
+                    sets.push(healthy.set(e.set).to_vec());
+                }
+            }
+        }
+        // Canonical entry order: descending prefix length, ascending
+        // address (what `Fib` stores and a canonical work list emits).
+        let canonical_less = |a: Prefix, b: Prefix| {
+            a.len() > b.len() || (a.len() == b.len() && a.addr() < b.addr())
+        };
+        // Merge this device's patches with the fallback prefixes (both
+        // ascending in work index, disjoint by construction).
+        let (mut pi, mut fi) = (0usize, 0usize);
+        loop {
+            let np = patched.get(pi).map_or(u32::MAX, |&(k, _)| k);
+            let nf = fallback.get(fi).copied().unwrap_or(u32::MAX);
+            if np == u32::MAX && nf == u32::MAX {
+                break;
+            }
+            let (k, removed) = if np < nf {
+                pi += 1;
+                (np as usize, Some(patched[pi - 1].1.as_slice()))
+            } else {
+                fi += 1;
+                (nf as usize, None)
+            };
+            let prefix = self.work[k].0;
+            // Bulk-copy the healthy run strictly before the affected
+            // prefix; only set ids can differ, and only after a novel
+            // set entered the pool.
+            let until =
+                hi + h_entries[hi..].partition_point(|e| canonical_less(e.prefix, prefix));
+            if diverged {
+                copy_remapped(healthy, &mut sets, &mut h_map, &novel, &mut entries, &h_entries[hi..until]);
+            } else {
+                entries.extend_from_slice(&h_entries[hi..until]);
+            }
+            hi = until;
+            let h_entry = h_entries.get(hi).filter(|e| e.prefix == prefix).copied();
+            // Recompute this device's faulted emission.
+            let cap = if prefix.is_default() {
+                self.net.default_cap[du]
+            } else {
+                self.net.ecmp_cap[du]
+            };
+            let (present, local, hops) = if let Some(bits_rm) = removed {
+                // Patch receivers kept other senders: still reached,
+                // never an origin.
+                (true, false, emit_hops(&self.states[k], du, bits_rm, cap, &self.net))
+            } else {
+                let st = &scen_states[&(k as u32)];
+                match st.best[du] {
+                    INF => (false, false, Vec::new()),
+                    0 => (true, true, Vec::new()),
+                    _ => (true, false, emit_hops(st, du, &[], cap, &self.net)),
+                }
+            };
+            match (h_entry, present) {
+                (Some(e), true) => {
+                    hi += 1;
+                    if e.local == local && healthy.next_hops(&e) == hops.as_slice() {
+                        // Recomputed to the same rule (e.g. the dead
+                        // bit was beyond the ECMP cap): copy through.
+                        if diverged {
+                            let set = map_healthy(healthy, &mut sets, &mut h_map, &novel, e.set);
+                            entries.push(FibEntry { set, ..e });
+                        } else {
+                            entries.push(e);
+                        }
+                    } else {
+                        diverge_now(&mut diverged, &entries, healthy, &mut sets, &mut h_map);
+                        touched.push(prefix);
+                        let set = intern_vec(&mut sets, &mut novel, hops);
+                        entries.push(FibEntry {
+                            prefix,
+                            set,
+                            local,
+                        });
+                    }
+                }
+                (Some(_), false) => {
+                    hi += 1;
+                    diverge_now(&mut diverged, &entries, healthy, &mut sets, &mut h_map);
+                    touched.push(prefix);
+                }
+                (None, true) => {
+                    diverge_now(&mut diverged, &entries, healthy, &mut sets, &mut h_map);
+                    touched.push(prefix);
+                    let set = intern_vec(&mut sets, &mut novel, hops);
+                    entries.push(FibEntry {
+                        prefix,
+                        set,
+                        local,
+                    });
+                }
+                (None, false) => {}
+            }
+        }
+        if touched.is_empty() {
+            // Every affected emission recomputed to its healthy rule:
+            // the table is unchanged (and `entries` is still the
+            // verbatim copy — no interner state was ever needed).
+            return None;
+        }
+        // Tail: every healthy entry after the last affected prefix.
+        copy_remapped(healthy, &mut sets, &mut h_map, &novel, &mut entries, &h_entries[hi..]);
+        Some((Fib::from_parts(DeviceId(d), entries, sets), touched))
+    }
+
+    /// Rebuild one device's table by replaying the canonical emission
+    /// order over (healthy | patched | re-propagated | dead) per-prefix
+    /// states — the same push sequence `simulate` performs, so the
+    /// finished table matches it bit-for-bit. The slow exact path,
+    /// kept for dead devices (tiny tables) and non-canonical work
+    /// lists; live candidates normally take
+    /// [`splice_device`](Self::splice_device).
+    fn replay_device(
+        &self,
+        d: u32,
+        dead: bool,
+        scen_states: &HashMap<u32, PrefixState>,
+        patched: &[(u32, Vec<u16>)],
+    ) -> Fib {
+        let du = d as usize;
+        let mut builder = FibBuilder::new(DeviceId(d));
+        const NO_REMOVALS: &[u16] = &[];
+        let mut pi = 0usize;
+        for (k, (prefix, origins)) in self.work.iter().enumerate() {
+            let removed: &[u16] = match patched.get(pi) {
+                Some((pk, bits)) if *pk as usize == k => {
+                    pi += 1;
+                    bits
+                }
+                _ => NO_REMOVALS,
+            };
+            if dead {
+                // A dead device keeps originating its hosted prefixes
+                // locally (its from-scratch faulted run has best == 0
+                // there and INF everywhere else).
+                if origins.contains(&DeviceId(d)) {
+                    builder.push(*prefix, Vec::new(), true);
+                }
+                continue;
+            }
+            let cap = if prefix.is_default() {
+                self.net.default_cap[du]
+            } else {
+                self.net.ecmp_cap[du]
+            };
+            let (st, removed) = match scen_states.get(&(k as u32)) {
+                Some(st) => (st, NO_REMOVALS),
+                None => (&self.states[k], removed),
+            };
+            push_state(&mut builder, st, du, *prefix, cap, removed, &self.net);
+        }
+        builder.finish()
+    }
+}
+
+/// One device's faulted emission for one prefix: the snapshotted hop
+/// state minus `removed` neighbor-table bits, canonicalized and
+/// cap-truncated exactly as the simulator's emit loop would
+/// (sort → truncate → dedup; bit order is already address order on the
+/// bitset path, so truncating the mask keeps the smallest addresses).
+fn emit_hops(
+    st: &PrefixState,
+    du: usize,
+    removed: &[u16],
+    cap: u32,
+    net: &SimNet,
+) -> Vec<Ipv4> {
+    match st.spill.get(&(du as u32)) {
+        Some(sp) => {
+            let mut h = sp.clone();
+            for &bit in removed {
+                let addr = net.addr_table[du][bit as usize];
+                h.retain(|&x| x != addr);
+            }
+            h.sort_unstable();
+            h.truncate(cap as usize);
+            h.dedup();
+            h
+        }
+        None => {
+            let mut mask = st.bits[du];
+            for &bit in removed {
+                mask.remove(bit);
+            }
+            if cap != u32::MAX && cap < mask.len() {
+                mask.truncate(cap);
+            }
+            mask.iter()
+                .map(|bit| net.addr_table[du][bit as usize])
+                .collect()
+        }
+    }
+}
+
+/// The prefixes on which two canonical-ordered tables disagree
+/// (present on one side only, or differing in locality or next hops),
+/// in canonical entry order — the slow-path counterpart of the
+/// bookkeeping [`Baseline::splice_device`] does inline.
+fn diff_prefixes(old: &Fib, new: &Fib) -> Vec<Prefix> {
+    let (a, b) = (old.entries(), new.entries());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        let (x, y) = (&a[i], &b[j]);
+        let ord = y
+            .prefix
+            .len()
+            .cmp(&x.prefix.len())
+            .then(x.prefix.addr().cmp(&y.prefix.addr()));
+        match ord {
+            std::cmp::Ordering::Equal => {
+                if x.local != y.local || old.next_hops(x) != new.next_hops(y) {
+                    out.push(x.prefix);
+                }
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                out.push(x.prefix);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(y.prefix);
+                j += 1;
+            }
+        }
+    }
+    out.extend(a[i..].iter().map(|e| e.prefix));
+    out.extend(b[j..].iter().map(|e| e.prefix));
+    out
+}
+
+/// Snapshot the relaxation scratch into an owned [`PrefixState`],
+/// zeroing hop data where it is stale (origins, unreached devices).
+fn snapshot(net: &SimNet, relax: &Relaxation) -> PrefixState {
+    let n = relax.best.len();
+    let Hops::Bits { bits, spill } = &relax.hops else {
+        unreachable!("the restart path always converges in bitset mode")
+    };
+    let mut sbits = vec![HopSet::new(); n];
+    let mut sspill = HashMap::new();
+    for du in 0..n {
+        let b = relax.best[du];
+        if b == 0 || b == INF {
+            continue;
+        }
+        if net.fits[du] {
+            sbits[du] = bits[du];
+        } else {
+            sspill.insert(du as u32, spill[du].clone());
+        }
+    }
+    PrefixState {
+        best: relax.best.clone(),
+        parent: relax.parent.iter().map(|p| p.0).collect(),
+        bits: sbits,
+        spill: sspill,
+        tie_free: false,
+    }
+}
+
+/// Emit one device's entry for one prefix from a snapshotted state,
+/// with `removed` neighbor-table bits cleared from its hop set —
+/// reproducing `emit_vecs` semantics (sorted hops, cap truncation).
+#[allow(clippy::too_many_arguments)]
+fn push_state(
+    builder: &mut FibBuilder,
+    st: &PrefixState,
+    du: usize,
+    prefix: Prefix,
+    cap: u32,
+    removed: &[u16],
+    net: &SimNet,
+) {
+    let best = st.best[du];
+    if best == INF {
+        return;
+    }
+    if best == 0 {
+        builder.push(prefix, Vec::new(), true);
+        return;
+    }
+    let mut hops: Vec<Ipv4> = match st.spill.get(&(du as u32)) {
+        Some(sp) => {
+            let mut h = sp.clone();
+            for &bit in removed {
+                let addr = net.addr_table[du][bit as usize];
+                h.retain(|&x| x != addr);
+            }
+            h.sort_unstable();
+            h
+        }
+        None => {
+            let mut mask = st.bits[du];
+            for &bit in removed {
+                mask.remove(bit);
+            }
+            // Bit order is address order: the vector is born sorted.
+            mask.iter()
+                .map(|bit| net.addr_table[du][bit as usize])
+                .collect()
+        }
+    };
+    hops.truncate(cap as usize);
+    builder.push(prefix, hops, false);
+}
+
+/// Do two snapshots agree on one device's emitted state?
+fn state_eq_at(a: &PrefixState, b: &PrefixState, du: usize, net: &SimNet) -> bool {
+    let (x, y) = (a.best[du], b.best[du]);
+    if x != y {
+        return false;
+    }
+    if x == 0 || x == INF {
+        return true;
+    }
+    if net.fits[du] {
+        a.bits[du] == b.bits[du]
+    } else {
+        a.spill.get(&(du as u32)) == b.spill.get(&(du as u32))
+    }
+}
+
+/// The AS-path sequence device `from` advertises, via parent walk.
+fn path_seq(st: &PrefixState, asn: &[Asn], mut from: u32, out: &mut Vec<Asn>) {
+    out.clear();
+    loop {
+        out.push(asn[from as usize]);
+        if st.best[from as usize] == 0 {
+            return;
+        }
+        from = st.parent[from as usize];
+    }
+}
+
+/// Is the prefix tie-break-free: does every device with multiple
+/// equal-length senders see identical AS-path sequences from all of
+/// them? If so, any BFS parent choice yields the same observables, and
+/// a parent-edge death is patchable without re-running the BFS.
+fn tie_break_free(
+    st: &PrefixState,
+    asn: &[Asn],
+    addr_table: &[Vec<Ipv4>],
+    bit_peer: &[Vec<u32>],
+) -> bool {
+    let mut first = Vec::new();
+    let mut other = Vec::new();
+    for ru in 0..st.best.len() {
+        let b = st.best[ru];
+        if b == 0 || b == INF {
+            continue;
+        }
+        let senders: Vec<u32> = match st.spill.get(&(ru as u32)) {
+            Some(sp) => sp
+                .iter()
+                .map(|addr| {
+                    let bit = addr_table[ru]
+                        .binary_search(addr)
+                        .expect("hop address is in the neighbor table");
+                    bit_peer[ru][bit]
+                })
+                .collect(),
+            None => st.bits[ru].iter().map(|bit| bit_peer[ru][bit as usize]).collect(),
+        };
+        if senders.len() <= 1 {
+            continue;
+        }
+        path_seq(st, asn, senders[0], &mut first);
+        for &s in &senders[1..] {
+            path_seq(st, asn, s, &mut other);
+            if first != other {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use dctopo::generator::{build_clos, figure3, ClosParams};
+    use dctopo::Role;
+
+    /// A config exercising every override the simulator honors.
+    fn faulted_config(f: &dctopo::generator::Figure3) -> SimConfig {
+        SimConfig::healthy()
+            .with_max_ecmp(f.tors[0], 2)
+            .with_rib_fib_bug(f.tors[1], 1)
+            .with_default_reject(f.a[0])
+            .with_l2_port_bug(f.b[1])
+            .with_asn_override(f.b[0], f.topology.device(f.a[0]).asn)
+    }
+
+    fn assert_scenario_exact(base: &Baseline, fault: &FaultSpec, what: &str) {
+        let out = base.resimulate(fault);
+        let spliced = out.splice(base.healthy_fibs());
+        let mut faulted = base.topology().clone();
+        fault.apply(&mut faulted);
+        let scratch = simulate(&faulted, base.config());
+        assert_eq!(spliced, scratch, "restart diverged from scratch: {what}");
+        // `changed` must list exactly the differing devices, and
+        // `touched` exactly each one's differing prefixes.
+        assert_eq!(out.changed.len(), out.touched.len());
+        for ((d, fib), touched) in out.changed.iter().zip(&out.touched) {
+            let healthy = &base.healthy_fibs()[d.0 as usize];
+            assert_ne!(
+                fib, healthy,
+                "unchanged device reported as changed: {what}"
+            );
+            assert_eq!(
+                touched,
+                &diff_prefixes(healthy, fib),
+                "touched prefixes diverge from the real diff: {what}"
+            );
+        }
+    }
+
+    #[test]
+    fn healthy_replay_matches_simulate() {
+        let f = figure3();
+        for config in [SimConfig::healthy(), faulted_config(&f)] {
+            let base = Baseline::converge(&f.topology, &config);
+            assert_eq!(base.healthy_fibs(), &simulate(&f.topology, &config)[..]);
+        }
+        let medium = build_clos(&ClosParams::default());
+        let base = Baseline::converge(&medium, &SimConfig::healthy());
+        assert_eq!(
+            base.healthy_fibs(),
+            &simulate(&medium, &SimConfig::healthy())[..]
+        );
+    }
+
+    #[test]
+    fn empty_fault_changes_nothing() {
+        let f = figure3();
+        let base = Baseline::converge(&f.topology, &SimConfig::healthy());
+        let out = base.resimulate(&FaultSpec::default());
+        assert!(out.changed.is_empty());
+        assert_eq!(out.stats.patched + out.stats.repropagated, 0);
+    }
+
+    /// The satellite regression: every single-link failure on a seeded
+    /// 3-tier Clos produces FIBs bit-identical to a from-scratch run.
+    #[test]
+    fn every_single_link_failure_matches_scratch_on_clos() {
+        let t = build_clos(&ClosParams::default());
+        let base = Baseline::converge(&t, &SimConfig::healthy());
+        let mut patched = 0usize;
+        let mut repropagated = 0usize;
+        for l in t.links() {
+            let fault = FaultSpec::links([l.id]);
+            let out = base.resimulate(&fault);
+            patched += out.stats.patched;
+            repropagated += out.stats.repropagated;
+            let spliced = out.splice(base.healthy_fibs());
+            let mut faulted = t.clone();
+            fault.apply(&mut faulted);
+            assert_eq!(
+                spliced,
+                simulate(&faulted, &SimConfig::healthy()),
+                "link {}",
+                l.id.0
+            );
+        }
+        // The sweep must exercise both repair paths.
+        assert!(patched > 0, "no scenario used the patch fast path");
+        assert!(repropagated > 0, "no scenario used the BFS fallback");
+    }
+
+    #[test]
+    fn single_link_failures_match_scratch_under_faulted_config() {
+        let f = figure3();
+        let config = faulted_config(&f);
+        let base = Baseline::converge(&f.topology, &config);
+        for l in f.topology.links() {
+            assert_scenario_exact(&base, &FaultSpec::links([l.id]), &format!("link {}", l.id.0));
+        }
+    }
+
+    #[test]
+    fn link_pairs_match_scratch() {
+        let f = figure3();
+        let base = Baseline::converge(&f.topology, &SimConfig::healthy());
+        let links = f.topology.links();
+        for i in 0..links.len() {
+            for j in (i + 1)..links.len() {
+                assert_scenario_exact(
+                    &base,
+                    &FaultSpec::links([links[i].id, links[j].id]),
+                    &format!("links {} {}", links[i].id.0, links[j].id.0),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn device_failures_match_scratch() {
+        let f = figure3();
+        let base = Baseline::converge(&f.topology, &SimConfig::healthy());
+        for d in f.topology.devices() {
+            assert_scenario_exact(
+                &base,
+                &FaultSpec::devices([d.id]),
+                &format!("device {}", d.name),
+            );
+        }
+        // Mixed link + device scenarios.
+        let spine = f.d[0];
+        let link = f.topology.links_of(f.tors[2]).next().unwrap().id;
+        assert_scenario_exact(
+            &base,
+            &FaultSpec {
+                links: vec![link],
+                devices: vec![spine],
+            },
+            "mixed spine + tor-link",
+        );
+    }
+
+    #[test]
+    fn device_failures_match_scratch_on_clos() {
+        let t = build_clos(&ClosParams {
+            clusters: 2,
+            tors_per_cluster: 4,
+            leaves_per_cluster: 3,
+            spines: 6,
+            regional_spines: 2,
+            regional_groups: 1,
+            prefixes_per_tor: 1,
+        });
+        let base = Baseline::converge(&t, &SimConfig::healthy());
+        for role in [Role::Tor, Role::Leaf, Role::Spine, Role::RegionalSpine] {
+            let d = t.devices_with_role(role).next().unwrap();
+            assert_scenario_exact(
+                &base,
+                &FaultSpec::devices([d.id]),
+                &format!("device {}", d.name),
+            );
+        }
+    }
+
+    #[test]
+    fn already_down_links_are_no_ops() {
+        let mut f = figure3();
+        let l = f.topology.link_between(f.tors[0], f.a[0]).unwrap().id;
+        f.topology.set_link_state(l, LinkState::OperDown);
+        let base = Baseline::converge(&f.topology, &SimConfig::healthy());
+        let out = base.resimulate(&FaultSpec::links([l]));
+        assert!(out.changed.is_empty(), "re-failing a down link is a no-op");
+    }
+}

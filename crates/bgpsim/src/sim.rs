@@ -26,7 +26,7 @@ pub fn default_prefix() -> Prefix {
     Prefix::DEFAULT
 }
 
-const INF: u8 = u8::MAX;
+pub(crate) const INF: u8 = u8::MAX;
 /// Upper bound on AS-path length in a 4-tier Clos (loop prevention
 /// caps real paths at 4; 16 leaves margin for override experiments).
 const MAX_LEN: usize = 16;
@@ -84,7 +84,7 @@ impl SimStats {
 /// The bitset makes the ECMP-extend step a branch-free bit set instead
 /// of a linear `contains` scan, and materializes born-sorted vectors
 /// at emit (no per-entry sort + dedup in the FIB interner).
-enum Hops {
+pub(crate) enum Hops {
     Vecs(Vec<Vec<Ipv4>>),
     Bits {
         /// Per-device hop bitset over its neighbor-address table.
@@ -98,9 +98,9 @@ enum Hops {
 }
 
 /// Scratch state reused across prefixes.
-struct Relaxation {
-    best: Vec<u8>,
-    parent: Vec<DeviceId>,
+pub(crate) struct Relaxation {
+    pub(crate) best: Vec<u8>,
+    pub(crate) parent: Vec<DeviceId>,
     /// 64-bit Bloom signature of the ASNs on each device's advertised
     /// path (`bit(asn) | signature(parent)`). A clear receiver bit
     /// proves the ASN is absent, letting the acceptance fast path skip
@@ -109,7 +109,7 @@ struct Relaxation {
     /// is needed: the signature is only read for senders, and a sender
     /// was always (re)written during the current prefix's relaxation.
     path_asns: Vec<u64>,
-    hops: Hops,
+    pub(crate) hops: Hops,
     touched: Vec<DeviceId>,
     buckets: Vec<Vec<DeviceId>>,
 }
@@ -121,7 +121,7 @@ fn asn_bit(a: Asn) -> u64 {
 }
 
 impl Relaxation {
-    fn new(n: usize, bitset: bool) -> Self {
+    pub(crate) fn new(n: usize, bitset: bool) -> Self {
         Relaxation {
             best: vec![INF; n],
             parent: vec![DeviceId(0); n],
@@ -139,7 +139,7 @@ impl Relaxation {
         }
     }
 
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         // Only `best` needs restoring: hop sets are written before they
         // are read. A non-origin device enters a prefix with
         // `best == INF`, so its first relaxation takes the improvement
@@ -172,7 +172,7 @@ const RUN_LOCAL: u32 = 1 << 31;
 /// sequence, interned pool layout included, because a set id is
 /// interned at its run's start — the same first-use moment at which
 /// per-prefix pushes would have interned it.
-struct EmitRle {
+pub(crate) struct EmitRle {
     /// Per device: (chunk-local prefix index where the run starts, run
     /// code). A run ends where the next begins, or at the chunk's end.
     /// Devices implicitly start in an absent run at index 0.
@@ -185,7 +185,7 @@ struct EmitRle {
 }
 
 impl EmitRle {
-    fn new(n: usize) -> EmitRle {
+    pub(crate) fn new(n: usize) -> EmitRle {
         EmitRle {
             runs: vec![Vec::new(); n],
             last_code: vec![RUN_ABSENT; n],
@@ -195,8 +195,8 @@ impl EmitRle {
 }
 
 /// Precomputed, immutable per-run state shared by every worker.
-struct SimNet {
-    asn: Vec<Asn>,
+pub(crate) struct SimNet {
+    pub(crate) asn: Vec<Asn>,
     allowas_in: Vec<bool>,
     /// Session adjacency in CSR form: device `d`'s sessions are
     /// `sess[sess_off[d]..sess_off[d + 1]]`, each `(peer, peer_bit)` —
@@ -209,23 +209,36 @@ struct SimNet {
     sess: Vec<(u32, u32)>,
     /// Per device: its neighbors' interface addresses, ascending — the
     /// bit↔address mapping of the bitset hop mode.
-    addr_table: Vec<Vec<Ipv4>>,
+    pub(crate) addr_table: Vec<Vec<Ipv4>>,
     /// Per device: its neighbor table fits a [`HopSet`] (bitset hop
     /// mode); devices over capacity use the Vec spill path instead.
-    fits: Vec<bool>,
+    pub(crate) fits: Vec<bool>,
     /// Per device: ECMP width cap for specific routes (`u32::MAX` when
     /// unbounded). Emit runs once per (device, prefix) pair, so the
     /// config override lookup is hoisted out of that loop.
-    ecmp_cap: Vec<u32>,
+    pub(crate) ecmp_cap: Vec<u32>,
     /// Per device: ECMP width cap for the default route — the specific
     /// cap further limited by the RIB→FIB default-hop truncation bug.
-    default_cap: Vec<u32>,
+    pub(crate) default_cap: Vec<u32>,
     /// Per device: the default-route import rejection override.
     reject_default: Vec<bool>,
 }
 
 impl SimNet {
-    fn build(topology: &Topology, config: &SimConfig) -> SimNet {
+    pub(crate) fn build(topology: &Topology, config: &SimConfig) -> SimNet {
+        SimNet::build_filtered(topology, config, &std::collections::HashSet::new())
+    }
+
+    /// [`SimNet::build`] with an extra set of links excluded from the
+    /// session graph — the fault-injection surface of the restart API.
+    /// Only sessions are filtered: the neighbor-address table (and with
+    /// it the bit↔address mapping) still covers every physical link, so
+    /// hop masks computed against the healthy table stay valid.
+    pub(crate) fn build_filtered(
+        topology: &Topology,
+        config: &SimConfig,
+        dead: &std::collections::HashSet<dctopo::LinkId>,
+    ) -> SimNet {
         let n = topology.len();
         // Effective ASNs (migration overrides applied).
         let asn: Vec<Asn> = topology
@@ -264,7 +277,7 @@ impl SimNet {
         // which fixes ECMP insertion order and BFS tie-breaks).
         let mut per_dev: Vec<Vec<(u32, u32)>> = (0..n).map(|_| Vec::new()).collect();
         for l in topology.links() {
-            if !l.state.session_up() {
+            if !l.state.session_up() || dead.contains(&l.id) {
                 continue;
             }
             if l2_bug[l.lo.0 as usize] || l2_bug[l.hi.0 as usize] {
@@ -337,18 +350,7 @@ pub fn simulate_with(
     let n = topology.len();
     let net = SimNet::build(topology, config);
     let bitset = !opts.legacy_hops;
-
-    // Work items: every hosted prefix (origin: its ToR) and the default
-    // route (origins: all regional spines).
-    let mut work: Vec<(Prefix, Vec<DeviceId>)> = topology
-        .all_hosted()
-        .map(|(tor, prefix)| (prefix, vec![tor]))
-        .collect();
-    let regionals: Vec<DeviceId> = topology
-        .devices_with_role(Role::RegionalSpine)
-        .map(|d| d.id)
-        .collect();
-    work.push((default_prefix(), regionals));
+    let work = work_list(topology);
 
     let fresh_builders = || -> Vec<FibBuilder> {
         topology
@@ -417,6 +419,24 @@ pub fn simulate_with(
     )
 }
 
+/// The canonical simulation work list: every hosted prefix (origin: its
+/// ToR) and the default route (origins: all regional spines), in the
+/// order every convergence path — serial, parallel, and restart —
+/// processes them. Push order over this list fixes the FIB layout, so
+/// replaying it reproduces tables bit-for-bit.
+pub(crate) fn work_list(topology: &Topology) -> Vec<(Prefix, Vec<DeviceId>)> {
+    let mut work: Vec<(Prefix, Vec<DeviceId>)> = topology
+        .all_hosted()
+        .map(|(tor, prefix)| (prefix, vec![tor]))
+        .collect();
+    let regionals: Vec<DeviceId> = topology
+        .devices_with_role(Role::RegionalSpine)
+        .map(|d| d.id)
+        .collect();
+    work.push((default_prefix(), regionals));
+    work
+}
+
 /// Does the AS path advertised by `from` (walked via BFS parents)
 /// contain `receiver_asn`? The advertised path is
 /// `asn(from), asn(parent(from)), …, asn(origin)`.
@@ -438,7 +458,7 @@ fn path_contains(
     }
 }
 
-fn propagate(
+pub(crate) fn propagate(
     net: &SimNet,
     relax: &mut Relaxation,
     prefix: Prefix,
@@ -584,7 +604,7 @@ fn emit_vecs(net: &SimNet, relax: &Relaxation, prefix: Prefix, builders: &mut [F
 /// array access here a sequential stream. Each device still yields
 /// exactly one state per prefix, so the expanded push sequence — and
 /// therefore the finished table — is unchanged.
-fn emit_runs(
+pub(crate) fn emit_runs(
     net: &SimNet,
     relax: &Relaxation,
     k: u32,
@@ -669,7 +689,7 @@ fn emit_runs(
 
 /// Expand every device's runs into its builder, in prefix order —
 /// replaying exactly the per-prefix push sequence the runs encode.
-fn expand_runs(rle: &EmitRle, prefixes: &[Prefix], builders: &mut [FibBuilder]) {
+pub(crate) fn expand_runs(rle: &EmitRle, prefixes: &[Prefix], builders: &mut [FibBuilder]) {
     for (du, runs) in rle.runs.iter().enumerate() {
         let span = |ri: usize, k0: u32| -> std::ops::Range<usize> {
             let k1 = runs

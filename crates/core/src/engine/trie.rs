@@ -489,6 +489,8 @@ impl TrieEngine {
         let mut stack: Vec<u32> = Vec::new();
         let mut cursor = 0usize;
         // Scratch reused across contracts.
+        let mut desc: Vec<u32> = Vec::new();
+        let mut anc: Vec<u32> = Vec::new();
         let mut cviol: Vec<Violation> = Vec::new();
         // Cross-contract MissingRoute dedup (same-prefix contracts are
         // adjacent in sweep order).
@@ -529,10 +531,15 @@ impl TrieEngine {
             while i < n && c.prefix.contains_prefix(nodes[i].prefix) {
                 i += 1;
             }
-            let run = cursor as u32..i as u32;
+            desc.clear();
+            desc.extend(nodes[cursor..i].iter().map(|nd| nd.entry));
+            // Ancestors leaf→root: strictly shorter rules containing
+            // the contract, in descending prefix length.
+            anc.clear();
+            anc.extend(stack.iter().rev().map(|&s| nodes[s as usize].entry));
 
             cviol.clear();
-            self.judge_one(fib, nodes, &stack, run, c, &mut codex, prior_missing, &mut cviol);
+            self.judge_one(fib, &mut desc, &anc, c, &mut codex, prior_missing, &mut cviol);
             prior_missing |= cviol
                 .iter()
                 .any(|v| v.reason == ViolationReason::MissingRoute);
@@ -540,16 +547,97 @@ impl TrieEngine {
         }
     }
 
-    /// Judge one specific contract given its candidate sets. Verdicts
-    /// and violation order are identical to the reference engine's
-    /// descending-prefix-length candidate walk.
+    /// Judge specific contracts without a trie: candidates come from
+    /// binary searches over the `(descending length, ascending
+    /// address)` entry order — one address-range probe per length run
+    /// at or below the contract's length for descendants, one address
+    /// probe per shorter run for the unique possible ancestor. The
+    /// candidate set `{r | C ⊆ r ∨ r ⊆ C}` and its judging order are
+    /// exactly the sweep's, so verdicts stay byte-identical; only the
+    /// lookup strategy differs. Worth it when a delta re-checks a
+    /// handful of contracts in a large table: O(specs · runs · log n)
+    /// against the sweep's O(n) trie build.
+    fn judge_specifics_direct(
+        &self,
+        fib: &Fib,
+        specs: &mut [(u32, &Contract)],
+        tagged: &mut Vec<(u32, Violation)>,
+    ) {
+        // Same contract order as the sweep — the cross-contract
+        // `MissingRoute` dedup must see the same neighbors.
+        specs.sort_by_key(|(_, c)| dfs_key(c.prefix));
+        let entries = fib.entries();
+        // Length-run boundaries in storage order (descending length).
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        let mut start = 0usize;
+        while start < entries.len() {
+            let len = entries[start].prefix.len();
+            let end =
+                start + entries[start..].partition_point(|e| e.prefix.len() == len);
+            runs.push((start as u32, end as u32));
+            start = end;
+        }
+        let mut codex = HopCodex::new(fib);
+        let mut desc: Vec<u32> = Vec::new();
+        let mut anc: Vec<u32> = Vec::new();
+        let mut cviol: Vec<Violation> = Vec::new();
+        let mut prior_prefix: Option<Prefix> = None;
+        let mut prior_missing = false;
+        for &(idx, c) in specs.iter() {
+            if prior_prefix != Some(c.prefix) {
+                prior_prefix = Some(c.prefix);
+                prior_missing = false;
+            }
+            desc.clear();
+            anc.clear();
+            let c_addr = c.prefix.addr();
+            let c_end = u64::from(c_addr.0) + (1u64 << (32 - c.prefix.len()));
+            for &(s, e) in &runs {
+                let run = &entries[s as usize..e as usize];
+                if run[0].prefix.len() >= c.prefix.len() {
+                    // Descendants: aligned blocks no larger than the
+                    // contract's lie entirely inside it or entirely
+                    // outside, so containment is an address-range test.
+                    let lo = run.partition_point(|r| r.prefix.addr() < c_addr);
+                    let hi = lo
+                        + run[lo..].partition_point(|r| {
+                            u64::from(r.prefix.addr().0) < c_end
+                        });
+                    desc.extend(s + lo as u32..s + hi as u32);
+                } else {
+                    // Ancestors: within one length run blocks are
+                    // disjoint, so the only rule that can contain the
+                    // contract is the last one at or below its address.
+                    // Runs arrive in descending length, matching the
+                    // sweep's leaf→root stack order.
+                    let p = run.partition_point(|r| r.prefix.addr() <= c_addr);
+                    if p > 0 && run[p - 1].prefix.contains_prefix(c.prefix) {
+                        anc.push(s + p as u32 - 1);
+                    }
+                }
+            }
+            cviol.clear();
+            self.judge_one(fib, &mut desc, &anc, c, &mut codex, prior_missing, &mut cviol);
+            prior_missing |= cviol
+                .iter()
+                .any(|v| v.reason == ViolationReason::MissingRoute);
+            tagged.extend(cviol.drain(..).map(|v| (idx, v)));
+        }
+    }
+
+    /// Judge one specific contract given its candidate entry sets:
+    /// `descendants` (rules the contract contains, re-sorted here) and
+    /// `ancestors` (rules strictly containing it, descending prefix
+    /// length). Verdicts and violation order are identical to the
+    /// reference engine's descending-prefix-length candidate walk,
+    /// whichever lookup produced the candidates (trie sweep or direct
+    /// binary search).
     #[allow(clippy::too_many_arguments)]
     fn judge_one(
         &self,
         fib: &Fib,
-        nodes: &[FlatNode],
-        stack: &[u32],
-        run: std::ops::Range<u32>,
+        descendants: &mut [u32],
+        ancestors: &[u32],
         c: &Contract,
         codex: &mut HopCodex,
         prior_missing: bool,
@@ -571,10 +659,6 @@ impl TrieEngine {
                 return;
             }
         };
-        // The run is in (address, length) order, so an exact-match
-        // rule — minimal length, minimal address — can only be first.
-        let exact =
-            !run.is_empty() && nodes[run.start as usize].prefix == c.prefix;
         let mismatch = |e: &FibEntry, codex: &mut HopCodex| {
             let matches = !e.local && codex.hops_match(fib, e, expected);
             (!matches).then(|| {
@@ -591,32 +675,36 @@ impl TrieEngine {
         // Fast path (the common workload): the only candidate that can
         // serve the range is an exact-match rule with no extensions —
         // one mask compare, no coverage accumulator, no allocation.
-        if exact && run.end == run.start + 1 {
-            let e = &entries[nodes[run.start as usize].entry as usize];
+        if descendants.len() == 1 && entries[descendants[0] as usize].prefix == c.prefix {
+            let e = &entries[descendants[0] as usize];
             if let Some(v) = mismatch(e, codex) {
                 out.push(v);
             }
             return;
         }
+        // Candidates in descending prefix length: descendants
+        // re-sorted, then the ancestors (strictly shorter than the
+        // contract). Same-length ties break on descending address —
+        // the emission order of the reference engine's trie walk — so
+        // reports stay byte-identical across the rewrite.
+        descendants.sort_unstable_by_key(|&i| {
+            let p = entries[i as usize].prefix;
+            (std::cmp::Reverse(p.len()), std::cmp::Reverse(p.addr()))
+        });
+        // Minimal length, minimal address sorts last: an exact-match
+        // rule can only be the final descendant.
+        let exact = descendants
+            .last()
+            .is_some_and(|&i| entries[i as usize].prefix == c.prefix);
         if self.strict && !exact {
             // Production strictness: the exact specific route must be
             // programmed, whatever broader rules would do (§2.6.2
             // Migrations).
             out.push(Violation::of(c, ViolationReason::MissingRoute));
         }
-        // Candidates in descending prefix length: the run re-sorted,
-        // then the ancestors leaf→root (strictly shorter than the
-        // contract). Same-length ties break on descending address —
-        // the emission order of the reference engine's trie walk — so
-        // reports stay byte-identical across the rewrite.
-        let mut by_len: Vec<u32> = run.collect();
-        by_len.sort_unstable_by_key(|&i| {
-            let p = nodes[i as usize].prefix;
-            (std::cmp::Reverse(p.len()), std::cmp::Reverse(p.addr()))
-        });
         let mut coverage = Coverage::new(c.prefix.range());
-        for &i in by_len.iter().chain(stack.iter().rev()) {
-            let e = &entries[nodes[i as usize].entry as usize];
+        for &i in descendants.iter().chain(ancestors.iter()) {
+            let e = &entries[i as usize];
             // A rule only matters for the part of the contract range it
             // actually serves: extensions serve their own range; an
             // ancestor rule serves whatever is left uncovered. A rule
@@ -740,10 +828,17 @@ impl Engine for TrieEngine {
             }
         }
         if !specs.is_empty() {
-            // The trie costs O(table); build it only if some specific
-            // contract actually needs re-checking.
-            let trie = FlatTrie::build(fib);
-            self.judge_specifics(fib, &trie, &mut specs, &mut tagged);
+            // The trie costs O(table) to build; a handful of
+            // re-checked contracts is cheaper to serve by binary
+            // search straight off the sorted entries (the what-if
+            // sweep's per-scenario shape: one or two touched prefixes
+            // per changed device). Both produce identical verdicts.
+            if specs.len() * 16 <= fib.len() {
+                self.judge_specifics_direct(fib, &mut specs, &mut tagged);
+            } else {
+                let trie = FlatTrie::build(fib);
+                self.judge_specifics(fib, &trie, &mut specs, &mut tagged);
+            }
         }
         Self::finish(tagged, contracts)
     }

@@ -42,6 +42,11 @@
 //!    high-risk first.
 //! 8. **Ops simulation** ([`burndown`]): the prioritized remediation
 //!    process whose output is the paper's Figure 6 burndown graph.
+//! 9. **K-failure robustness sweeps** ([`whatif`]): enumerate failure
+//!    scenarios over the fabric, restart the routing fixed point from
+//!    the healthy solution per scenario, revalidate only the changed
+//!    devices, and answer with a `Robust(k)` certificate or a
+//!    ddmin-minimal counterexample ([`shrink`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,8 +63,10 @@ pub mod report;
 pub mod runner;
 pub mod service;
 pub mod shard;
+pub mod shrink;
 pub mod triage;
 pub mod validator;
+pub mod whatif;
 
 pub use clock::{Clock, RealClock, VirtualClock};
 pub use contracts::{generate_contracts, Contract, ContractKind, DeviceContracts};
@@ -71,3 +78,7 @@ pub use runner::{DatacenterReport, EngineChoice, PassMetrics};
 pub use service::{IngestEvent, ServiceHandle, ValidationService};
 pub use shard::{ShardRouter, ShardStores};
 pub use validator::{Validator, ValidatorBuilder};
+pub use whatif::{
+    Counterexample, FailCondition, FailureElement, RobustnessVerdict, ScenarioCheck, SweepOptions,
+    SweepReport, WhatIfSweeper,
+};

@@ -185,6 +185,37 @@ impl ValidatorBuilder {
         }
     }
 
+    /// Finish as a k-failure robustness sweeper ([`crate::whatif`]):
+    /// converge the healthy routing baseline for `topology` under
+    /// `config`, validate it once, and return a
+    /// [`WhatIfSweeper`](crate::WhatIfSweeper) that evaluates failure
+    /// scenarios incrementally — restarted fixed point, delta-only
+    /// revalidation — against this builder's contracts and engine.
+    /// With a metrics registry attached, scenario throughput, delta
+    /// sizes, and per-scenario latency land in the `rcdc_whatif_*`
+    /// families (and the engine is observed, as in
+    /// [`build`](Self::build)).
+    pub fn build_whatif(
+        self,
+        topology: &dctopo::Topology,
+        config: &bgpsim::SimConfig,
+    ) -> crate::WhatIfSweeper {
+        let engine = self.engine.instantiate();
+        let engine: Box<dyn Engine + Sync> = match &self.registry {
+            Some(registry) => Box::new(crate::engine::ObservedEngine::new(engine, registry)),
+            None => engine,
+        };
+        let baseline = bgpsim::Baseline::converge(topology, config);
+        crate::whatif::WhatIfSweeper::new(
+            baseline,
+            self.contracts,
+            engine,
+            self.threads,
+            self.meta,
+            self.registry.as_ref(),
+        )
+    }
+
     /// Finish as a long-running [`ValidationService`]: the contracts
     /// are published across [`shards`](Self::shards) shard-local
     /// stores, one worker thread per shard starts draining its bounded

@@ -1,0 +1,1316 @@
+//! K-failure robustness sweeps: "every contract holds under *any* k
+//! simultaneous link/device failures."
+//!
+//! The paper validates one snapshot of the fabric at a time; operators
+//! want the combinatorial claim. ACORN and Plankton attack the same
+//! scenario explosion with route nondeterminism and partial-order
+//! reduction — this module's lever is *incrementality*: each scenario
+//! is evaluated as a delta against the healthy fixed point, not a
+//! fresh build of the world.
+//!
+//! Per scenario, the [`WhatIfSweeper`]:
+//!
+//! 1. restarts the BGP fixed point from the healthy solution
+//!    ([`bgpsim::Baseline::resimulate`]) — only the prefixes routed
+//!    through the dead elements are touched, and only the devices
+//!    whose FIBs actually change come back;
+//! 2. revalidates exactly those devices via [`Engine::validate_delta`]
+//!    against their healthy priors (the SMT engine's assumption
+//!    sessions make each delta a `check_assuming` against the shared
+//!    encoding), memoizing verdicts by `(device, fib_hash)` across
+//!    scenarios — symmetric failures keep producing the same few
+//!    tables, and validation is pure in the FIB bytes, so a content
+//!    hit is a correct verdict regardless of which fault produced it;
+//! 3. judges the fabric against the sweep's [`FailCondition`].
+//!
+//! Scenarios of size 1 and 2 are enumerated exhaustively, larger sizes
+//! are sampled (seeded, deterministic); opt-in symmetry pruning
+//! collapses scenarios with identical Weisfeiler-Leman signatures —
+//! structurally interchangeable failures on a generated Clos. The
+//! sweep returns a [`RobustnessVerdict`]: a `Robust(k)` certificate,
+//! or a counterexample minimized by ddmin ([`crate::shrink`]) so that
+//! removing any single failure from the reported set makes the
+//! contracts pass again.
+
+use crate::contracts::{ContractKind, DeviceContracts};
+use crate::engine::Engine;
+use crate::report::{risk_of, Risk, ValidationReport, Violation, ViolationReason};
+use crate::runner::run_pass;
+use crate::shrink::shrink_list;
+use bgpsim::restart::{Baseline, FaultSpec, RestartStats};
+use bgpsim::Fib;
+use dctopo::{DeviceId, LinkId, MetadataService, Topology};
+use netprim::wire::FibDelta;
+use netprim::Prefix;
+use obskit::Registry;
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+
+/// One element of a failure scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureElement {
+    /// A link going down.
+    Link(LinkId),
+    /// A device going down (all its links).
+    Device(DeviceId),
+}
+
+impl FailureElement {
+    /// Human-readable rendering against a topology.
+    pub fn render(&self, t: &Topology) -> String {
+        match self {
+            FailureElement::Link(l) => {
+                let link = t.link(*l);
+                format!(
+                    "link {}~{}",
+                    t.device(link.lo).name,
+                    t.device(link.hi).name
+                )
+            }
+            FailureElement::Device(d) => format!("device {}", t.device(*d).name),
+        }
+    }
+
+    fn sort_key(&self) -> (u8, u32) {
+        match self {
+            FailureElement::Link(l) => (0, l.0),
+            FailureElement::Device(d) => (1, d.0),
+        }
+    }
+}
+
+/// Convert a scenario to the restart API's fault set.
+fn to_fault(elems: &[FailureElement]) -> FaultSpec {
+    let mut fault = FaultSpec::default();
+    for e in elems {
+        match e {
+            FailureElement::Link(l) => fault.links.push(*l),
+            FailureElement::Device(d) => fault.devices.push(*d),
+        }
+    }
+    fault
+}
+
+/// Build the healthy→scenario [`FibDelta`] straight from the restart's
+/// touched-prefix list — O(touched · log table) instead of re-diffing
+/// two full tables. The anchor hashes are left at zero: this delta
+/// never leaves the process, and [`Engine::validate_delta`] keys on
+/// the rule set alone, not the anchors.
+/// `(address, length)` preorder key — the order the trie engine sweeps
+/// contracts in, reused here for the locator's binary searches.
+#[inline]
+fn locator_key(addr: u32, len: u8) -> u64 {
+    (u64::from(addr) << 6) | u64::from(len)
+}
+
+/// Per-device contract index for the delta hot path: finds the
+/// contracts a touched-prefix set can affect by binary search instead
+/// of scanning the whole contract list once per scenario. The
+/// affectedness criterion is exactly [`Engine::validate_delta`]'s —
+/// prefix overlap for specifics, a touched default route for default
+/// contracts — so validating just the located subset against a clean
+/// prior yields the same report as the engine's own full scan (gated
+/// by the equivalence suites and the difftest `whatif` oracle).
+#[derive(PartialEq, Eq, Hash)]
+struct ContractLocator {
+    /// Specific contracts as `(locator_key, contract index)`, sorted.
+    specs: Vec<(u64, u32)>,
+    /// Distinct specific-contract prefix lengths, descending.
+    lengths: Vec<u8>,
+    /// Default-kind contract indices.
+    defaults: Vec<u32>,
+}
+
+impl ContractLocator {
+    fn build(dc: &DeviceContracts) -> ContractLocator {
+        let mut specs = Vec::new();
+        let mut defaults = Vec::new();
+        let mut lengths: Vec<u8> = Vec::new();
+        for (i, c) in dc.contracts.iter().enumerate() {
+            match c.kind {
+                ContractKind::Default => defaults.push(i as u32),
+                ContractKind::Specific => {
+                    specs.push((locator_key(c.prefix.addr().0, c.prefix.len()), i as u32));
+                    if !lengths.contains(&c.prefix.len()) {
+                        lengths.push(c.prefix.len());
+                    }
+                }
+            }
+        }
+        specs.sort_unstable();
+        lengths.sort_unstable_by(|a, b| b.cmp(a));
+        ContractLocator {
+            specs,
+            lengths,
+            defaults,
+        }
+    }
+
+    /// Indices of the contracts a delta over `touched` can affect,
+    /// ascending (= contract order) and deduplicated.
+    fn affected(&self, touched: &[Prefix]) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for &p in touched {
+            if p.is_default() {
+                out.extend_from_slice(&self.defaults);
+            }
+            // Contracts whose address lies inside the touched block
+            // all overlap it: an aligned block no larger than `p`'s
+            // starting inside it is contained, and a larger one can
+            // only start at `p`'s own address, where it contains `p`.
+            let lo = u64::from(p.addr().0) << 6;
+            let hi = (u64::from(p.addr().0) + (1u64 << (32 - p.len()))) << 6;
+            let a = self.specs.partition_point(|&(k, _)| k < lo);
+            let b = a + self.specs[a..].partition_point(|&(k, _)| k < hi);
+            out.extend(self.specs[a..b].iter().map(|&(_, i)| i));
+            // Strictly-shorter containing contracts sit at the touched
+            // address truncated to each contract length (same-prefix
+            // contracts share a key, so take the whole key run).
+            for &l in &self.lengths {
+                if l >= p.len() {
+                    continue;
+                }
+                let mask = if l == 0 { 0 } else { u32::MAX << (32 - l) };
+                let k = locator_key(p.addr().0 & mask, l);
+                let a = self.specs.partition_point(|&(k2, _)| k2 < k);
+                let b = a + self.specs[a..].partition_point(|&(k2, _)| k2 <= k);
+                out.extend(self.specs[a..b].iter().map(|&(_, i)| i));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// What makes a scenario count as a failure of the fabric.
+///
+/// Contracts are derived from the *expected* topology, so almost any
+/// physical failure leaves some contract unsatisfied (a dead link
+/// shrinks an ECMP set somewhere). The policy picks which violations
+/// disqualify a scenario, which is what makes `Robust(k)` a meaningful
+/// certificate rather than a tautology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailCondition {
+    /// Any violation at all (the strictest reading).
+    AnyViolation,
+    /// Any violation at or above this risk rank (§2.6.4), judged
+    /// against the metadata service.
+    AtLeast(Risk),
+    /// Traffic is actually lost: a device misses its default route
+    /// (the last-resort path out), so packets to unknown destinations
+    /// blackhole instead of detouring.
+    Blackhole,
+}
+
+impl std::str::FromStr for FailCondition {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "any" => Ok(FailCondition::AnyViolation),
+            "blackhole" => Ok(FailCondition::Blackhole),
+            "low" => Ok(FailCondition::AtLeast(Risk::Low)),
+            "medium" => Ok(FailCondition::AtLeast(Risk::Medium)),
+            "high" => Ok(FailCondition::AtLeast(Risk::High)),
+            other => Err(format!(
+                "unknown fail condition {other:?} (expected any|low|medium|high|blackhole)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FailCondition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailCondition::AnyViolation => write!(f, "any"),
+            FailCondition::AtLeast(Risk::Low) => write!(f, "low"),
+            FailCondition::AtLeast(Risk::Medium) => write!(f, "medium"),
+            FailCondition::AtLeast(Risk::High) => write!(f, "high"),
+            FailCondition::Blackhole => write!(f, "blackhole"),
+        }
+    }
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Maximum simultaneous failures to certify (scenario sizes
+    /// `1..=k` are all checked; `0` = judge only the healthy fabric).
+    pub k: usize,
+    /// Include device failures in the universe (links always are).
+    pub include_devices: bool,
+    /// Prune scenarios whose Weisfeiler-Leman signature was already
+    /// checked. Heuristic (structurally interchangeable scenarios get
+    /// one representative); off by default.
+    pub symmetry: bool,
+    /// Cap scenarios per size level. `None` keeps sizes 1–2
+    /// exhaustive and samples 256 per level beyond.
+    pub sample: Option<usize>,
+    /// Seed for sampled levels (deterministic).
+    pub seed: u64,
+    /// Scenario-driver worker threads (0 = the sweeper's configured
+    /// thread count).
+    pub threads: usize,
+    /// Keep sweeping past the first counterexample and report every
+    /// failing scenario (equality testing; disables early exit).
+    pub exhaustive: bool,
+    /// What disqualifies a scenario.
+    pub condition: FailCondition,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions {
+            k: 1,
+            include_devices: false,
+            symmetry: false,
+            sample: None,
+            seed: 0,
+            threads: 0,
+            exhaustive: false,
+            condition: FailCondition::AnyViolation,
+        }
+    }
+}
+
+/// A minimal failing scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The ddmin-minimized failure set: removing any one element makes
+    /// the contracts pass again.
+    pub scenario: Vec<FailureElement>,
+    /// The originally discovered failing scenario (a superset).
+    pub found: Vec<FailureElement>,
+    /// Condition-matching violations under the minimized scenario.
+    pub violations: usize,
+    /// Devices whose FIBs change under the minimized scenario.
+    pub changed_devices: usize,
+}
+
+/// The sweep's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RobustnessVerdict {
+    /// Every checked scenario of size `<= k` satisfies the condition.
+    Robust(usize),
+    /// Some scenario fails; here is a minimal one.
+    Counterexample(Counterexample),
+}
+
+impl std::fmt::Display for RobustnessVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RobustnessVerdict::Robust(k) => write!(f, "Robust({k})"),
+            RobustnessVerdict::Counterexample(c) => {
+                write!(f, "counterexample of {} failure(s)", c.scenario.len())
+            }
+        }
+    }
+}
+
+/// Everything a sweep did and decided.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The verdict.
+    pub verdict: RobustnessVerdict,
+    /// The `k` that was swept.
+    pub k: usize,
+    /// The condition scenarios were judged against.
+    pub condition: FailCondition,
+    /// Scenarios evaluated (including the healthy baseline).
+    pub scenarios_checked: usize,
+    /// Scenarios skipped by symmetry pruning.
+    pub scenarios_pruned: usize,
+    /// Every failing scenario, in enumeration order (exhaustive mode
+    /// only; otherwise just the first).
+    pub failing: Vec<Vec<FailureElement>>,
+    /// Per-device delta validations performed.
+    pub devices_revalidated: usize,
+    /// Per-device verdicts answered from the cross-scenario memo.
+    pub verdicts_reused: usize,
+    /// Aggregated restart work counters across all scenarios.
+    pub restart: RestartStats,
+    /// Wall-clock time for the whole sweep.
+    pub elapsed: Duration,
+}
+
+impl SweepReport {
+    /// Did the sweep certify robustness?
+    pub fn is_robust(&self) -> bool {
+        matches!(self.verdict, RobustnessVerdict::Robust(_))
+    }
+}
+
+/// One scenario's evaluation (the unit the difftest oracle
+/// cross-checks against brute force).
+#[derive(Debug, Clone)]
+pub struct ScenarioCheck {
+    /// Does the scenario fail the condition?
+    pub fails: bool,
+    /// Condition-matching violations across the whole fabric.
+    pub matching_violations: usize,
+    /// Changed devices and their new validation reports.
+    pub changed: Vec<(DeviceId, ValidationReport)>,
+    /// Restart work counters.
+    pub stats: RestartStats,
+    /// Devices delta-validated for this scenario.
+    pub revalidated: usize,
+    /// Devices answered from the cross-scenario verdict memo.
+    pub reused: usize,
+}
+
+/// Cross-scenario verdict memo: validation is pure in the FIB bytes
+/// and the contract set, so `(device, fib content hash)` fully
+/// determines the report no matter which fault context produced the
+/// table — the same argument that makes the pipeline's `VerdictCache`
+/// `(fib_hash, epoch)` key sound across scenarios.
+type VerdictMemo = RwLock<HashMap<(u32, u64), ValidationReport>>;
+
+struct WhatIfMetrics {
+    pass: obskit::Counter,
+    fail: obskit::Counter,
+    latency: obskit::Histogram,
+    delta_devices: obskit::Histogram,
+    revalidated: obskit::Counter,
+    reused: obskit::Counter,
+}
+
+impl WhatIfMetrics {
+    fn new(registry: &Registry) -> WhatIfMetrics {
+        let outcome = |o| {
+            registry.counter(
+                "rcdc_whatif_scenarios_total",
+                "failure scenarios evaluated, by outcome",
+                &[("outcome", o)],
+            )
+        };
+        WhatIfMetrics {
+            pass: outcome("pass"),
+            fail: outcome("fail"),
+            latency: registry.histogram(
+                "rcdc_whatif_scenario_latency_ns",
+                "per-scenario evaluation latency in nanoseconds",
+                &[],
+            ),
+            delta_devices: registry.histogram(
+                "rcdc_whatif_delta_devices",
+                "devices whose FIB changed per scenario",
+                &[],
+            ),
+            revalidated: registry.counter(
+                "rcdc_whatif_devices_revalidated_total",
+                "per-device delta validations performed by the sweeper",
+                &[],
+            ),
+            reused: registry.counter(
+                "rcdc_whatif_verdicts_reused_total",
+                "per-device verdicts answered from the cross-scenario memo",
+                &[],
+            ),
+        }
+    }
+}
+
+/// The k-failure robustness sweeper. Build one with
+/// [`ValidatorBuilder::build_whatif`](crate::ValidatorBuilder::build_whatif).
+pub struct WhatIfSweeper {
+    baseline: Baseline,
+    contracts: Vec<DeviceContracts>,
+    engine: Box<dyn Engine + Sync>,
+    threads: usize,
+    meta: Option<MetadataService>,
+    metrics: Option<WhatIfMetrics>,
+    healthy_reports: Vec<ValidationReport>,
+    /// Deduplicated contract locators; `locator_of[device]` picks one.
+    /// On a symmetric fabric most devices share a contract layout, so
+    /// `affected` results can be memoized per (locator, touched list)
+    /// instead of recomputed per device.
+    locator_of: Vec<u32>,
+    /// Per-device contract locators (indexed by device id), built once
+    /// so each scenario's delta devices skip the O(contracts) scan.
+    locators: Vec<ContractLocator>,
+}
+
+impl WhatIfSweeper {
+    pub(crate) fn new(
+        baseline: Baseline,
+        contracts: Vec<DeviceContracts>,
+        engine: Box<dyn Engine + Sync>,
+        threads: usize,
+        meta: Option<MetadataService>,
+        registry: Option<&Registry>,
+    ) -> WhatIfSweeper {
+        let healthy = run_pass(
+            engine.as_ref(),
+            threads,
+            baseline.healthy_fibs(),
+            &contracts,
+            1,
+            None,
+            None,
+        );
+        // Equal locators are pure-function-equal: `affected` depends
+        // only on the locator content and the touched list, so one
+        // representative serves every device with that layout.
+        let mut locators: Vec<ContractLocator> = Vec::new();
+        let mut locator_ids: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut locator_of: Vec<u32> = Vec::with_capacity(contracts.len());
+        for dc in contracts.iter() {
+            let loc = ContractLocator::build(dc);
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::hash::Hash::hash(&loc, &mut h);
+            let key = std::hash::Hasher::finish(&h);
+            let ids = locator_ids.entry(key).or_default();
+            let id = match ids.iter().find(|&&i| locators[i as usize] == loc) {
+                Some(&i) => i,
+                None => {
+                    locators.push(loc);
+                    let i = (locators.len() - 1) as u32;
+                    ids.push(i);
+                    i
+                }
+            };
+            locator_of.push(id);
+        }
+        WhatIfSweeper {
+            baseline,
+            contracts,
+            engine,
+            threads,
+            meta,
+            metrics: registry.map(WhatIfMetrics::new),
+            healthy_reports: healthy.reports,
+            locator_of,
+            locators,
+        }
+    }
+
+    /// The healthy baseline the scenarios restart from.
+    pub fn baseline(&self) -> &Baseline {
+        &self.baseline
+    }
+
+    /// The healthy per-device validation reports (scenario priors).
+    pub fn healthy_reports(&self) -> &[ValidationReport] {
+        &self.healthy_reports
+    }
+
+    /// Does this violation disqualify a scenario under `condition`?
+    fn violation_matches(&self, v: &Violation, condition: FailCondition) -> bool {
+        match condition {
+            FailCondition::AnyViolation => true,
+            FailCondition::Blackhole => matches!(v.reason, ViolationReason::MissingDefault),
+            FailCondition::AtLeast(min) => {
+                let meta = self.meta.as_ref().expect(
+                    "risk-ranked fail conditions require metadata: construct the sweeper \
+                     via Validator::new(&meta) or attach it with .metadata(&meta)",
+                );
+                risk_of(v, meta) >= min
+            }
+        }
+    }
+
+    fn matching_count(&self, report: &ValidationReport, condition: FailCondition) -> usize {
+        report
+            .violations
+            .iter()
+            .filter(|v| self.violation_matches(v, condition))
+            .count()
+    }
+
+    /// Delta-validate one changed device against its healthy prior.
+    ///
+    /// With a clean prior (the overwhelmingly common case — healthy
+    /// fabrics validate clean), unaffected contracts carry nothing
+    /// over, so the locator's affected subset is validated on its own:
+    /// the engine sees only the contracts it would have re-checked
+    /// anyway, and the subset's clean prior is the genuine prior of
+    /// those contracts. Violations come back ordered by subset index,
+    /// which is ascending original contract order — exactly the full
+    /// scan's emission order. A non-clean prior falls back to the
+    /// engine's own carry logic.
+    fn revalidate(
+        &self,
+        du: usize,
+        fib: &Fib,
+        touched: &[Prefix],
+        aff_cache: &mut [HashMap<Vec<Prefix>, Vec<u32>>],
+    ) -> ValidationReport {
+        let prior = &self.healthy_reports[du];
+        // `validate_delta` only consumes the delta's prefix set (which
+        // contracts are affected) and its rule count (the full-churn
+        // fallback heuristic) — never the rule payloads. The restart
+        // already hands us the touched prefixes, so the delta is
+        // synthesized without re-searching either table; which bucket
+        // the prefixes land in is immaterial.
+        let delta = FibDelta {
+            device: fib.device().0,
+            removed: touched.to_vec(),
+            ..FibDelta::default()
+        };
+        if !prior.violations.is_empty() {
+            return self
+                .engine
+                .validate_delta(fib, &self.contracts[du], &delta, prior);
+        }
+        let loc = self.locator_of[du] as usize;
+        if !aff_cache[loc].contains_key(touched) {
+            let v = self.locators[loc].affected(touched);
+            aff_cache[loc].insert(touched.to_vec(), v);
+        }
+        let aff = &aff_cache[loc][touched];
+        if aff.is_empty() {
+            return prior.clone();
+        }
+        let pruned = DeviceContracts {
+            contracts: aff
+                .iter()
+                .map(|&i| self.contracts[du].contracts[i as usize].clone())
+                .collect(),
+        };
+        let clean = ValidationReport {
+            violations: Vec::new(),
+            contracts_checked: pruned.len(),
+            solver_stats: Default::default(),
+        };
+        let sub = self.engine.validate_delta(fib, &pruned, &delta, &clean);
+        ValidationReport {
+            contracts_checked: self.contracts[du].len(),
+            ..sub
+        }
+    }
+
+    /// Evaluate one scenario incrementally: restart the fixed point,
+    /// delta-validate only the changed devices, judge the condition.
+    pub fn check_scenario(
+        &self,
+        elems: &[FailureElement],
+        condition: FailCondition,
+    ) -> ScenarioCheck {
+        self.eval_scenario(elems, condition, None)
+    }
+
+    /// The full per-device report vector a scenario induces: the
+    /// healthy reports with the changed devices' verdicts spliced in.
+    pub fn spliced_reports(&self, check: &ScenarioCheck) -> Vec<ValidationReport> {
+        let mut out = self.healthy_reports.clone();
+        for (d, r) in &check.changed {
+            out[d.0 as usize] = r.clone();
+        }
+        out
+    }
+
+    fn eval_scenario(
+        &self,
+        elems: &[FailureElement],
+        condition: FailCondition,
+        memo: Option<&VerdictMemo>,
+    ) -> ScenarioCheck {
+        let timer = self.metrics.as_ref().map(|m| m.latency.start_timer());
+        let out = self.baseline.resimulate(&to_fault(elems));
+        let mut matching: usize = self
+            .healthy_reports
+            .iter()
+            .map(|r| self.matching_count(r, condition))
+            .sum();
+        let mut changed = Vec::with_capacity(out.changed.len());
+        // Scenario-local memo: devices sharing a contract layout and a
+        // touched list share their affected-contract indices.
+        let mut aff_cache: Vec<HashMap<Vec<Prefix>, Vec<u32>>> =
+            (0..self.locators.len()).map(|_| HashMap::new()).collect();
+        let mut revalidated = 0usize;
+        let mut reused = 0usize;
+        for ((d, fib), touched) in out.changed.into_iter().zip(out.touched) {
+            let du = d.0 as usize;
+            // Hashing the full table is only worth it when there is a
+            // memo to key; a one-shot scenario check skips it.
+            let hash = memo.map(|_| fib.content_hash());
+            let hit = match (memo, hash) {
+                (Some(m), Some(h)) => m.read().get(&(d.0, h)).cloned(),
+                _ => None,
+            };
+            let report = match hit {
+                Some(r) => {
+                    reused += 1;
+                    r
+                }
+                None => {
+                    revalidated += 1;
+                    let r = self.revalidate(du, &fib, &touched, &mut aff_cache);
+                    if let (Some(m), Some(h)) = (memo, hash) {
+                        m.write().insert((d.0, h), r.clone());
+                    }
+                    r
+                }
+            };
+            matching -= self.matching_count(&self.healthy_reports[du], condition);
+            matching += self.matching_count(&report, condition);
+            changed.push((d, report));
+        }
+        let fails = matching > 0;
+        if let Some(m) = &self.metrics {
+            m.delta_devices.record(changed.len() as u64);
+            m.revalidated.add(revalidated as u64);
+            m.reused.add(reused as u64);
+            if fails {
+                m.fail.inc();
+            } else {
+                m.pass.inc();
+            }
+        }
+        if let Some(t) = timer {
+            t.stop();
+        }
+        ScenarioCheck {
+            fails,
+            matching_violations: matching,
+            changed,
+            stats: out.stats,
+            revalidated,
+            reused,
+        }
+    }
+
+    /// The failure universe: every session-up link, plus (optionally)
+    /// every device.
+    pub fn universe(&self, include_devices: bool) -> Vec<FailureElement> {
+        let t = self.baseline.topology();
+        let mut u: Vec<FailureElement> = t
+            .links()
+            .iter()
+            .filter(|l| l.state.session_up())
+            .map(|l| FailureElement::Link(l.id))
+            .collect();
+        if include_devices {
+            u.extend(t.devices().iter().map(|d| FailureElement::Device(d.id)));
+        }
+        u
+    }
+
+    /// Run the sweep: certify `Robust(k)` or return a ddmin-minimal
+    /// counterexample. Deterministic at any thread count — the
+    /// reported counterexample is always minimized from the first
+    /// failing scenario in enumeration order.
+    pub fn sweep(&self, opts: &SweepOptions) -> SweepReport {
+        let start = Instant::now();
+        let memo: VerdictMemo = RwLock::new(HashMap::new());
+        let threads = if opts.threads > 0 {
+            opts.threads
+        } else {
+            self.threads.max(1)
+        };
+        let mut checked = 0usize;
+        let mut pruned = 0usize;
+        let mut revalidated = 0usize;
+        let mut reused = 0usize;
+        let mut restart = RestartStats::default();
+        let mut failing: Vec<Vec<FailureElement>> = Vec::new();
+        let mut first_failing: Option<Vec<FailureElement>> = None;
+
+        let mut absorb = |c: &ScenarioCheck| {
+            restart.absorb(&c.stats);
+        };
+
+        // Level 0: the healthy fabric itself (k=0 ≡ a plain sweep).
+        let healthy = self.eval_scenario(&[], opts.condition, Some(&memo));
+        checked += 1;
+        revalidated += healthy.revalidated;
+        reused += healthy.reused;
+        absorb(&healthy);
+        if healthy.fails {
+            failing.push(Vec::new());
+            first_failing = Some(Vec::new());
+        }
+
+        if first_failing.is_none() || opts.exhaustive {
+            let universe = self.universe(opts.include_devices);
+            let colors = opts
+                .symmetry
+                .then(|| wl_colors(self.baseline.topology()));
+            'levels: for size in 1..=opts.k {
+                let mut combos = level_combos(universe.len(), size, opts);
+                if let Some(colors) = &colors {
+                    let mut seen: HashSet<Vec<u64>> = HashSet::new();
+                    combos.retain(|c| {
+                        let elems: Vec<FailureElement> =
+                            c.iter().map(|&i| universe[i as usize]).collect();
+                        let sig = self.scenario_signature(&elems, colors);
+                        if seen.insert(sig) {
+                            true
+                        } else {
+                            pruned += 1;
+                            false
+                        }
+                    });
+                }
+                let scenarios: Vec<Vec<FailureElement>> = combos
+                    .iter()
+                    .map(|c| c.iter().map(|&i| universe[i as usize]).collect())
+                    .collect();
+                let level = self.run_level(
+                    &scenarios,
+                    opts.condition,
+                    threads,
+                    opts.exhaustive,
+                    &memo,
+                );
+                checked += level.checked;
+                revalidated += level.revalidated;
+                reused += level.reused;
+                restart.absorb(&level.restart);
+                if let Some(&first) = level.failing.first() {
+                    if first_failing.is_none() {
+                        first_failing = Some(scenarios[first].clone());
+                    }
+                    failing.extend(level.failing.iter().map(|&i| scenarios[i].clone()));
+                    if !opts.exhaustive {
+                        break 'levels;
+                    }
+                }
+            }
+        }
+
+        let verdict = match first_failing {
+            None => RobustnessVerdict::Robust(opts.k),
+            Some(found) => {
+                let mut minimized = shrink_list(&found, |subset| {
+                    self.eval_scenario(subset, opts.condition, Some(&memo)).fails
+                });
+                minimized.sort_by_key(FailureElement::sort_key);
+                let final_check = self.eval_scenario(&minimized, opts.condition, Some(&memo));
+                RobustnessVerdict::Counterexample(Counterexample {
+                    scenario: minimized,
+                    found,
+                    violations: final_check.matching_violations,
+                    changed_devices: final_check.changed.len(),
+                })
+            }
+        };
+        SweepReport {
+            verdict,
+            k: opts.k,
+            condition: opts.condition,
+            scenarios_checked: checked,
+            scenarios_pruned: pruned,
+            failing,
+            devices_revalidated: revalidated,
+            verdicts_reused: reused,
+            restart,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Evaluate one size level, in parallel, with deterministic
+    /// early exit: the minimum failing index is exact because every
+    /// worker scans its indices in ascending order and only skips
+    /// indices above an already-recorded failure.
+    fn run_level(
+        &self,
+        scenarios: &[Vec<FailureElement>],
+        condition: FailCondition,
+        threads: usize,
+        exhaustive: bool,
+        memo: &VerdictMemo,
+    ) -> LevelResult {
+        let threads = threads.max(1).min(scenarios.len().max(1));
+        let run_worker = |worker: usize, first_fail: &AtomicUsize| -> LevelResult {
+            let mut out = LevelResult::default();
+            let mut i = worker;
+            while i < scenarios.len() {
+                if !exhaustive && i > first_fail.load(Ordering::Relaxed) {
+                    break;
+                }
+                let check = self.eval_scenario(&scenarios[i], condition, Some(memo));
+                out.checked += 1;
+                out.revalidated += check.revalidated;
+                out.reused += check.reused;
+                out.restart.absorb(&check.stats);
+                if check.fails {
+                    if !exhaustive {
+                        first_fail.fetch_min(i, Ordering::Relaxed);
+                    }
+                    out.failing.push(i);
+                }
+                i += threads;
+            }
+            out
+        };
+        let first_fail = AtomicUsize::new(usize::MAX);
+        let mut merged = if threads <= 1 {
+            run_worker(0, &first_fail)
+        } else {
+            let (run_worker, first_fail) = (&run_worker, &first_fail);
+            let results: Vec<LevelResult> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| scope.spawn(move || run_worker(w, first_fail)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let mut merged = LevelResult::default();
+            for r in results {
+                merged.checked += r.checked;
+                merged.revalidated += r.revalidated;
+                merged.reused += r.reused;
+                merged.restart.absorb(&r.restart);
+                merged.failing.extend(r.failing);
+            }
+            merged
+        };
+        merged.failing.sort_unstable();
+        merged
+    }
+
+    /// A canonical structural signature for a scenario: per-element
+    /// Weisfeiler-Leman endpoint colors plus pairwise relations
+    /// (shared endpoints, cluster co-membership). Scenarios with equal
+    /// signatures are structurally interchangeable on a generated
+    /// fabric, so one representative decides for the class.
+    fn scenario_signature(&self, elems: &[FailureElement], colors: &[u64]) -> Vec<u64> {
+        let t = self.baseline.topology();
+        let endpoints = |e: &FailureElement| -> Vec<DeviceId> {
+            match e {
+                FailureElement::Link(l) => {
+                    let link = t.link(*l);
+                    vec![link.lo, link.hi]
+                }
+                FailureElement::Device(d) => vec![*d],
+            }
+        };
+        let elem_sig = |e: &FailureElement| -> u64 {
+            match e {
+                FailureElement::Link(l) => {
+                    let link = t.link(*l);
+                    let (a, b) = (colors[link.lo.0 as usize], colors[link.hi.0 as usize]);
+                    fnv(&[0, a.min(b), a.max(b)])
+                }
+                FailureElement::Device(d) => fnv(&[1, colors[d.0 as usize]]),
+            }
+        };
+        let mut sigs: Vec<u64> = elems.iter().map(elem_sig).collect();
+        let mut pairs: Vec<u64> = Vec::new();
+        for i in 0..elems.len() {
+            for j in (i + 1)..elems.len() {
+                let (si, sj) = (sigs[i], sigs[j]);
+                let ei = endpoints(&elems[i]);
+                let ej = endpoints(&elems[j]);
+                let mut shared: Vec<u64> = ei
+                    .iter()
+                    .filter(|d| ej.contains(d))
+                    .map(|d| colors[d.0 as usize])
+                    .collect();
+                shared.sort_unstable();
+                let mut same_cluster = 0u64;
+                for a in &ei {
+                    for b in &ej {
+                        let (ca, cb) = (t.device(*a).cluster, t.device(*b).cluster);
+                        if ca.is_some() && ca == cb {
+                            same_cluster += 1;
+                        }
+                    }
+                }
+                let mut key = vec![si.min(sj), si.max(sj), shared.len() as u64, same_cluster];
+                key.extend(shared);
+                pairs.push(fnv(&key));
+            }
+        }
+        sigs.sort_unstable();
+        pairs.sort_unstable();
+        let mut sig = Vec::with_capacity(sigs.len() + pairs.len() + 2);
+        sig.push(elems.len() as u64);
+        sig.extend(sigs);
+        sig.push(u64::MAX);
+        sig.extend(pairs);
+        sig
+    }
+}
+
+#[derive(Default)]
+struct LevelResult {
+    checked: usize,
+    revalidated: usize,
+    reused: usize,
+    restart: RestartStats,
+    failing: Vec<usize>,
+}
+
+/// FNV-1a over 64-bit words (stability matters, not diffusion).
+fn fnv(words: &[u64]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &w in words {
+        for shift in [0u32, 32] {
+            h ^= u64::from((w >> shift) as u32);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// Weisfeiler-Leman color refinement over the topology graph: start
+/// from (role, hosted-prefix count, degree) and hash each device with
+/// its sorted neighborhood for three rounds — plenty to separate the
+/// tiers and planes of a Clos while leaving symmetric positions equal.
+fn wl_colors(t: &Topology) -> Vec<u64> {
+    let mut colors: Vec<u64> = t
+        .devices()
+        .iter()
+        .map(|d| {
+            fnv(&[
+                d.role as u64,
+                t.hosted_prefixes(d.id).len() as u64,
+                t.links_of(d.id).count() as u64,
+            ])
+        })
+        .collect();
+    for _ in 0..3 {
+        let next: Vec<u64> = t
+            .devices()
+            .iter()
+            .map(|d| {
+                let mut neigh: Vec<u64> = t
+                    .links_of(d.id)
+                    .map(|l| {
+                        let peer = if l.lo == d.id { l.hi } else { l.lo };
+                        fnv(&[u64::from(l.state.session_up()), colors[peer.0 as usize]])
+                    })
+                    .collect();
+                neigh.sort_unstable();
+                let mut key = vec![colors[d.id.0 as usize]];
+                key.extend(neigh);
+                fnv(&key)
+            })
+            .collect();
+        colors = next;
+    }
+    colors
+}
+
+/// Is `C(n, size)` strictly greater than `cap`?
+fn combos_exceed(n: usize, size: usize, cap: usize) -> bool {
+    if size > n {
+        return false;
+    }
+    let mut c: u128 = 1;
+    for i in 0..size {
+        c = c * (n - i) as u128 / (i + 1) as u128;
+        if c > cap as u128 {
+            return true;
+        }
+    }
+    c > cap as u128
+}
+
+/// All `size`-combinations of `0..n`, lexicographic.
+fn all_combos(n: usize, size: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    if size == 0 || size > n {
+        return out;
+    }
+    let mut idx: Vec<u32> = (0..size as u32).collect();
+    loop {
+        out.push(idx.clone());
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] < (n - size + i) as u32 {
+                idx[i] += 1;
+                for j in (i + 1)..size {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// `count` distinct `size`-combinations of `0..n`, seeded and sorted
+/// (deterministic across runs and thread counts).
+fn sampled_combos(n: usize, size: usize, count: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (size as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut seen: HashSet<Vec<u32>> = HashSet::new();
+    let mut attempts = 0usize;
+    while seen.len() < count && attempts < count.saturating_mul(30) {
+        attempts += 1;
+        let mut pick: Vec<u32> = Vec::with_capacity(size);
+        while pick.len() < size {
+            let c = rng.gen_range(0..n as u32);
+            if !pick.contains(&c) {
+                pick.push(c);
+            }
+        }
+        pick.sort_unstable();
+        seen.insert(pick);
+    }
+    let mut out: Vec<Vec<u32>> = seen.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// The scenario index list for one size level: exhaustive for sizes
+/// 1–2 (unless `sample` caps them), sampled beyond (default 256).
+fn level_combos(n: usize, size: usize, opts: &SweepOptions) -> Vec<Vec<u32>> {
+    let cap = match opts.sample {
+        Some(s) => Some(s),
+        None if size > 2 => Some(256),
+        None => None,
+    };
+    match cap {
+        Some(c) if combos_exceed(n, size, c) => sampled_combos(n, size, c, opts.seed),
+        _ => all_combos(n, size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::VerdictCache;
+    use crate::validator::Validator;
+    use bgpsim::{simulate, SimConfig};
+    use dctopo::generator::figure3;
+    use dctopo::{LinkState, MetadataService};
+
+    fn fig3_sweeper() -> (dctopo::generator::Figure3, WhatIfSweeper) {
+        let f = figure3();
+        let meta = MetadataService::from_topology(&f.topology);
+        let sweeper = Validator::new(&meta).build_whatif(&f.topology, &SimConfig::healthy());
+        (f, sweeper)
+    }
+
+    #[test]
+    fn combinatorics_helpers() {
+        assert_eq!(all_combos(4, 2).len(), 6);
+        assert_eq!(all_combos(3, 3), vec![vec![0, 1, 2]]);
+        assert!(all_combos(2, 3).is_empty());
+        assert!(combos_exceed(10, 3, 100));
+        assert!(!combos_exceed(10, 3, 120));
+        let s = sampled_combos(10, 3, 20, 7);
+        assert_eq!(s.len(), 20);
+        assert_eq!(s, sampled_combos(10, 3, 20, 7), "sampling is seeded");
+        for c in &s {
+            assert_eq!(c.len(), 3);
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn k0_matches_plain_sweep() {
+        // Healthy fabric: Robust(0) iff a plain validator pass is
+        // clean; a faulted baseline yields the empty counterexample.
+        let (f, sweeper) = fig3_sweeper();
+        let report = sweeper.sweep(&SweepOptions {
+            k: 0,
+            ..SweepOptions::default()
+        });
+        assert_eq!(report.verdict, RobustnessVerdict::Robust(0));
+
+        let meta = MetadataService::from_topology(&f.topology);
+        let config = SimConfig::healthy().with_default_reject(f.tors[0]);
+        let plain = Validator::new(&meta)
+            .build()
+            .run(&simulate(&f.topology, &config));
+        assert!(!plain.is_clean());
+        let faulted = Validator::new(&meta).build_whatif(&f.topology, &config);
+        let report = faulted.sweep(&SweepOptions {
+            k: 0,
+            ..SweepOptions::default()
+        });
+        match report.verdict {
+            RobustnessVerdict::Counterexample(c) => {
+                assert!(c.scenario.is_empty(), "baseline failure needs no failures");
+            }
+            v => panic!("faulted baseline must not certify: {v}"),
+        }
+    }
+
+    #[test]
+    fn any_violation_k1_finds_single_link_counterexample() {
+        // Contracts mirror the expected topology, so under the strict
+        // condition any single link failure is already a violation.
+        let (f, sweeper) = fig3_sweeper();
+        let report = sweeper.sweep(&SweepOptions {
+            k: 1,
+            ..SweepOptions::default()
+        });
+        match &report.verdict {
+            RobustnessVerdict::Counterexample(c) => {
+                assert_eq!(c.scenario.len(), 1, "ddmin must keep exactly one failure");
+                assert!(c.violations > 0);
+            }
+            v => panic!("figure-3 is not any-violation robust: {v}"),
+        }
+        let _ = report.verdict.to_string();
+        let _ = f;
+    }
+
+    #[test]
+    fn blackhole_counterexample_is_minimal_and_real() {
+        // Figure-3 leaves reach the default via a single spine, so one
+        // leaf-spine link failure blackholes that leaf.
+        let (f, sweeper) = fig3_sweeper();
+        let report = sweeper.sweep(&SweepOptions {
+            k: 1,
+            condition: FailCondition::Blackhole,
+            ..SweepOptions::default()
+        });
+        let c = match report.verdict {
+            RobustnessVerdict::Counterexample(c) => c,
+            v => panic!("figure-3 leaves have single-homed defaults: {v}"),
+        };
+        assert_eq!(c.scenario.len(), 1);
+        // Minimality: the empty subset passes.
+        assert!(!sweeper.check_scenario(&[], FailCondition::Blackhole).fails);
+        // The reported scenario really fails, incrementally and from
+        // scratch.
+        let check = sweeper.check_scenario(&c.scenario, FailCondition::Blackhole);
+        assert!(check.fails);
+        let mut faulted = f.topology.clone();
+        to_fault(&c.scenario).apply(&mut faulted);
+        let meta = MetadataService::from_topology(&f.topology);
+        let cold = Validator::new(&meta)
+            .build()
+            .run(&simulate(&faulted, &SimConfig::healthy()));
+        let blackholes = cold
+            .reports
+            .iter()
+            .flat_map(|r| &r.violations)
+            .filter(|v| matches!(v.reason, ViolationReason::MissingDefault))
+            .count();
+        assert_eq!(check.matching_violations, blackholes);
+    }
+
+    #[test]
+    fn risk_condition_orders_strictness() {
+        // high-only is no stricter than medium, which is no stricter
+        // than any violation at all.
+        let (_f, sweeper) = fig3_sweeper();
+        let counts: Vec<usize> = [
+            FailCondition::AnyViolation,
+            FailCondition::AtLeast(Risk::Medium),
+            FailCondition::AtLeast(Risk::High),
+        ]
+        .iter()
+        .map(|&condition| {
+            let universe = sweeper.universe(false);
+            universe
+                .iter()
+                .filter(|&&e| sweeper.check_scenario(&[e], condition).fails)
+                .count()
+        })
+        .collect();
+        assert!(counts[0] >= counts[1] && counts[1] >= counts[2], "{counts:?}");
+        assert!(counts[0] > 0);
+    }
+
+    #[test]
+    fn scenario_element_order_is_irrelevant() {
+        let (f, sweeper) = fig3_sweeper();
+        let l1 = FailureElement::Link(f.topology.link_between(f.tors[0], f.a[0]).unwrap().id);
+        let l2 = FailureElement::Link(f.topology.link_between(f.a[0], f.d[0]).unwrap().id);
+        let d = FailureElement::Device(f.tors[2]);
+        let fwd = sweeper.check_scenario(&[l1, l2, d], FailCondition::AnyViolation);
+        let rev = sweeper.check_scenario(&[d, l2, l1], FailCondition::AnyViolation);
+        assert_eq!(fwd.fails, rev.fails);
+        assert_eq!(fwd.matching_violations, rev.matching_violations);
+        assert_eq!(fwd.changed.len(), rev.changed.len());
+        for ((da, ra), (db, rb)) in fwd.changed.iter().zip(&rev.changed) {
+            assert_eq!(da, db);
+            assert_eq!(ra.violations, rb.violations);
+        }
+    }
+
+    #[test]
+    fn symmetry_pruning_keeps_the_verdict() {
+        let (_f, sweeper) = fig3_sweeper();
+        for condition in [FailCondition::AnyViolation, FailCondition::Blackhole] {
+            let base = SweepOptions {
+                k: 2,
+                condition,
+                exhaustive: true,
+                ..SweepOptions::default()
+            };
+            let full = sweeper.sweep(&base);
+            let pruned = sweeper.sweep(&SweepOptions {
+                symmetry: true,
+                ..base
+            });
+            assert!(pruned.scenarios_pruned > 0, "pruning must trigger");
+            assert_eq!(full.is_robust(), pruned.is_robust(), "{condition}");
+            // Every failing scenario the pruned sweep reports must
+            // also fail in the full sweep.
+            for s in &pruned.failing {
+                assert!(full.failing.contains(s), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_memo_and_cache_keys_are_sound_across_fault_contexts() {
+        // Satellite check: `VerdictCache` keys are (fib_hash, epoch).
+        // Two different fault scenarios can produce the *same* FIB
+        // content for a device; the cached verdict must still be
+        // correct, because validation is pure in the FIB bytes and the
+        // contract set — the fault context is not an input. The
+        // sweeper's cross-scenario memo relies on exactly this purity.
+        let (f, sweeper) = fig3_sweeper();
+        let meta = MetadataService::from_topology(&f.topology);
+        let tor1_leaf = f.topology.link_between(f.tors[1], f.a[0]).unwrap().id;
+        let far_link = f.topology.link_between(f.tors[3], f.b[0]).unwrap().id;
+        let s1 = [FailureElement::Link(tor1_leaf)];
+        let s2 = [FailureElement::Link(tor1_leaf), FailureElement::Link(far_link)];
+        let c1 = sweeper.check_scenario(&s1, FailCondition::AnyViolation);
+        let c2 = sweeper.check_scenario(&s2, FailCondition::AnyViolation);
+        let fib1 = c1.changed.iter().find(|(d, _)| *d == f.tors[1]);
+        let fib2 = c2.changed.iter().find(|(d, _)| *d == f.tors[1]);
+        let (r1, r2) = (&fib1.unwrap().1, &fib2.unwrap().1);
+        assert_eq!(r1.violations, r2.violations);
+
+        // Same device, same FIB content, different fault contexts: a
+        // cache hit returns the stored report, and it matches a fresh
+        // validation byte for byte.
+        let out1 = sweeper.baseline().resimulate(&to_fault(&s1));
+        let out2 = sweeper.baseline().resimulate(&to_fault(&s2));
+        let find = |out: &bgpsim::ScenarioFibs| {
+            out.changed
+                .iter()
+                .find(|(d, _)| *d == f.tors[1])
+                .map(|(_, fib)| fib.clone())
+                .unwrap()
+        };
+        let (fib_a, fib_b) = (find(&out1), find(&out2));
+        assert_eq!(fib_a, fib_b, "the two scenarios must collide on content");
+        let cache = VerdictCache::default();
+        let epoch = 1;
+        let contracts = crate::generate_contracts(&meta);
+        let engine = crate::TrieEngine::new();
+        let du = f.tors[1].0 as usize;
+        let stored = engine.validate_device(&fib_a, &contracts[du]);
+        cache.store(f.tors[1], fib_a.content_hash(), epoch, stored.clone());
+        let hit = cache
+            .lookup(f.tors[1], fib_b.content_hash(), epoch)
+            .expect("identical content must hit");
+        assert_eq!(hit, engine.validate_device(&fib_b, &contracts[du]));
+        assert_eq!(hit, stored);
+    }
+
+    #[test]
+    fn sweep_handles_already_down_links() {
+        // A universe built on a degraded fabric only contains live
+        // links; the down one is neither enumerated nor double-failed.
+        let mut f = figure3();
+        let down = f.topology.link_between(f.tors[0], f.a[3]).unwrap().id;
+        f.topology.set_link_state(down, LinkState::OperDown);
+        let meta = MetadataService::from_topology(&f.topology);
+        let sweeper = Validator::new(&meta).build_whatif(&f.topology, &SimConfig::healthy());
+        let universe = sweeper.universe(false);
+        assert!(!universe.contains(&FailureElement::Link(down)));
+        assert_eq!(universe.len(), f.topology.links().len() - 1);
+    }
+}

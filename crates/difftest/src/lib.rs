@@ -8,7 +8,7 @@
 //! soundness bug in any one of them shows up as a divergence instead of
 //! a silently wrong verdict.
 //!
-//! Six oracles, each a self-contained generator + cross-check:
+//! Eight oracles, each a self-contained generator + cross-check:
 //!
 //! * [`Oracle::Sat`] — the CDCL [`smtkit::SatSolver`] (plain, under
 //!   assumptions, and incrementally) against brute-force enumeration,
@@ -38,6 +38,12 @@
 //!   duplicates, reordering, stale snapshots, corrupted deltas, flaps,
 //!   mid-sweep contract republishes) against the end-state convergence
 //!   invariants, with failing schedules ddmin-minimized.
+//! * [`Oracle::Whatif`] — the k-failure robustness sweeper's
+//!   incremental scenario evaluation (fixed-point restart + delta-only
+//!   revalidation) against full re-simulation and cold validation on
+//!   small seeded fabrics, plus brute-force audits of `Robust(k)`
+//!   certificates, counterexample minimality, and serial-vs-parallel
+//!   sweep determinism.
 //!
 //! Every failure carries the replay seed and a greedily minimized
 //! counterexample. Reproduce with
@@ -55,6 +61,7 @@ mod secguru_oracle;
 mod session;
 mod shrink;
 mod simnet_oracle;
+mod whatif_oracle;
 mod wire;
 
 use std::fmt;
@@ -100,7 +107,7 @@ pub(crate) struct Failure {
     pub(crate) minimized: String,
 }
 
-/// The seven cross-check oracles.
+/// The eight cross-check oracles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Oracle {
     /// CDCL SAT solver vs brute force / analytic verdicts.
@@ -117,11 +124,14 @@ pub enum Oracle {
     Session,
     /// Deterministic fault-injection simulation of the live pipeline.
     Sim,
+    /// Incremental what-if scenario evaluation vs brute-force
+    /// re-simulation and cold validation.
+    Whatif,
 }
 
 impl Oracle {
     /// Every oracle, in the order the mixed runner executes them.
-    pub const ALL: [Oracle; 7] = [
+    pub const ALL: [Oracle; 8] = [
         Oracle::Sat,
         Oracle::Engines,
         Oracle::Incremental,
@@ -129,6 +139,7 @@ impl Oracle {
         Oracle::SecGuru,
         Oracle::Session,
         Oracle::Sim,
+        Oracle::Whatif,
     ];
 
     /// CLI name of the oracle.
@@ -141,6 +152,7 @@ impl Oracle {
             Oracle::SecGuru => "secguru",
             Oracle::Session => "session",
             Oracle::Sim => "sim",
+            Oracle::Whatif => "whatif",
         }
     }
 
@@ -161,6 +173,7 @@ impl Oracle {
             Oracle::SecGuru => secguru_oracle::run(sub),
             Oracle::Session => session::run(sub),
             Oracle::Sim => simnet_oracle::run(sub),
+            Oracle::Whatif => whatif_oracle::run(sub),
         }
     }
 }

@@ -1,80 +1,8 @@
 //! Greedy delta-debugging-style list minimization.
 //!
-//! Every harness counterexample in the workspace is (mostly) a list —
-//! clauses, FIB entries, policy rules, churn steps, simulation event
-//! scripts. `shrink_list` removes chunks of decreasing size while the
-//! failure predicate keeps holding, which is the classic ddmin loop
-//! without the complement phase (good enough for
-//! regression-test-sized cases, and always terminating). The
-//! `difftest` fuzzer re-exports this module rather than keeping a
-//! second copy.
+//! The canonical implementation lives in [`rcdc::shrink`] (the what-if
+//! sweeper minimizes counterexample scenarios with the same loop);
+//! this module re-exports it so simnet's harnesses and the `difftest`
+//! fuzzer keep their existing import path.
 
-/// Minimize `items` while `still_fails` holds on the candidate subset.
-///
-/// The returned list is 1-minimal with respect to single-element
-/// removal: dropping any one remaining element makes the failure
-/// disappear (or the list is empty).
-pub fn shrink_list<T: Clone, F: FnMut(&[T]) -> bool>(items: &[T], mut still_fails: F) -> Vec<T> {
-    let mut cur: Vec<T> = items.to_vec();
-    if cur.is_empty() {
-        return cur;
-    }
-    let mut chunk = cur.len().div_ceil(2);
-    loop {
-        let mut progress = false;
-        let mut i = 0;
-        while i < cur.len() {
-            let end = (i + chunk).min(cur.len());
-            let mut cand = Vec::with_capacity(cur.len() - (end - i));
-            cand.extend_from_slice(&cur[..i]);
-            cand.extend_from_slice(&cur[end..]);
-            if still_fails(&cand) {
-                cur = cand;
-                progress = true;
-                // Retry the same position: the next chunk slid into it.
-            } else {
-                i = end;
-            }
-        }
-        if chunk == 1 {
-            if !progress {
-                return cur;
-            }
-        } else if !progress {
-            chunk = (chunk / 2).max(1);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn finds_minimal_failing_pair() {
-        // Failure: the subset contains both 3 and 7.
-        let items: Vec<u32> = (0..20).collect();
-        let out = shrink_list(&items, |s| s.contains(&3) && s.contains(&7));
-        let mut sorted = out.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, vec![3, 7]);
-    }
-
-    #[test]
-    fn single_culprit_shrinks_to_one() {
-        let items: Vec<u32> = (0..33).collect();
-        let out = shrink_list(&items, |s| s.contains(&17));
-        assert_eq!(out, vec![17]);
-    }
-
-    #[test]
-    fn preserves_order() {
-        let items = vec![5, 1, 9, 2, 8];
-        let out = shrink_list(&items, |s| {
-            let pi = s.iter().position(|&x| x == 1);
-            let pj = s.iter().position(|&x| x == 8);
-            matches!((pi, pj), (Some(i), Some(j)) if i < j)
-        });
-        assert_eq!(out, vec![1, 8]);
-    }
-}
+pub use rcdc::shrink::shrink_list;

@@ -9,6 +9,16 @@
 //!     faults, converge BGP, validate all local contracts, and print
 //!     the triaged report.
 //!
+//! validatedc whatif   [--k N] [--condition any|low|medium|high|blackhole]
+//!                     [--devices] [--symmetry] [--sample N] [--exhaustive]
+//!                     [--clusters N] [--tors N] [--leaves N] [--spines N]
+//!                     [--fail-links N] [--seed S] [--engine ...] [--threads N]
+//!                     [--metrics <path|->]
+//!     K-failure robustness sweep: enumerate failure scenarios up to
+//!     size k, re-converge each incrementally from the healthy fixed
+//!     point, revalidate only the changed devices, and print either a
+//!     Robust(k) certificate or a minimal counterexample scenario.
+//!
 //! validatedc check-acl <FILE> [--contract "<filter>;<permit|deny>"]...
 //!                     [--metrics <path|->]
 //!     Parse a Cisco-IOS-style ACL and check contracts against it.
@@ -52,6 +62,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match command.as_str() {
         "validate" => cmd_validate(rest),
+        "whatif" => cmd_whatif(rest),
         "serve" => cmd_serve(rest),
         "check-acl" => cmd_check_acl(rest),
         "check-nsg" => cmd_check_nsg(rest),
@@ -76,6 +87,15 @@ const USAGE: &str = "usage:
   validatedc validate [--clusters N] [--tors N] [--leaves N] [--spines N]
                       [--fail-links N] [--seed S] [--engine trie|trie-semantic|smt|smt-semantic] [--threads N]
                       [--metrics <path|->]
+  validatedc whatif   [--k N] [--condition any|low|medium|high|blackhole] [--devices]
+                      [--symmetry] [--sample N] [--exhaustive]
+                      [--clusters N] [--tors N] [--leaves N] [--spines N]
+                      [--fail-links N] [--seed S] [--engine trie|trie-semantic|smt|smt-semantic]
+                      [--threads N] [--metrics <path|->]
+      Sweep failure scenarios up to k simultaneous link (--devices:
+      also device) failures, re-converging each incrementally and
+      revalidating only the changed devices. Prints Robust(k) or a
+      minimal counterexample; exit 0 = robust, 2 = counterexample.
   validatedc serve    [--clusters N] [--tors N] [--leaves N] [--spines N]
                       [--shards N] [--ingest-capacity N] [--rounds N] [--churn N]
                       [--seed S] [--engine trie|trie-semantic|smt|smt-semantic]
@@ -213,6 +233,127 @@ fn cmd_validate(args: &[String]) -> Result<bool, String> {
             .map_err(|e| format!("cannot write metrics to {dest:?}: {e}"))?;
     }
     Ok(report.is_clean())
+}
+
+fn cmd_whatif(args: &[String]) -> Result<bool, String> {
+    let opts = Opts::new(args);
+    let params = ClosParams {
+        clusters: opts.parsed("--clusters", 4u32)?,
+        tors_per_cluster: opts.parsed("--tors", 8u32)?,
+        leaves_per_cluster: opts.parsed("--leaves", 4u32)?,
+        spines: opts.parsed("--spines", 8u32)?,
+        regional_spines: 4,
+        regional_groups: 2,
+        prefixes_per_tor: 1,
+    };
+    let k: usize = opts.parsed("--k", 1usize)?;
+    let condition: FailCondition = opts.value("--condition").unwrap_or("blackhole").parse()?;
+    let sample: Option<usize> = match opts.value("--sample") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("bad value for --sample: {v:?}"))?),
+    };
+    let fail_links: usize = opts.parsed("--fail-links", 0usize)?;
+    let seed: u64 = opts.parsed("--seed", 7u64)?;
+    let threads: usize = opts.parsed("--threads", 0usize)?;
+    let engine: EngineChoice = opts.value("--engine").unwrap_or("trie").parse()?;
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let metrics_dest = opts.value("--metrics");
+    let say = |line: String| {
+        if metrics_dest == Some("-") {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+
+    let mut topology = build_clos(&params);
+    say(format!(
+        "generated {} devices / {} links",
+        topology.devices().len(),
+        topology.links().len()
+    ));
+    if fail_links > 0 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = topology.links().len() as u32;
+        for _ in 0..fail_links {
+            let l = dctopo::LinkId(rng.gen_range(0..n));
+            topology.set_link_state(l, LinkState::OperDown);
+            say(format!("pre-failed link {}", l.0));
+        }
+    }
+    let meta = MetadataService::from_topology(&topology);
+    let registry = Registry::new();
+    let mut builder = Validator::new(&meta).engine(engine).threads(threads);
+    if metrics_dest.is_some() {
+        builder = builder.metrics(&registry);
+    }
+    let sweeper = builder.build_whatif(&topology, &SimConfig::healthy());
+    let sweep_opts = SweepOptions {
+        k,
+        include_devices: flag("--devices"),
+        symmetry: flag("--symmetry"),
+        sample,
+        seed,
+        threads,
+        exhaustive: flag("--exhaustive"),
+        condition,
+    };
+    let report = sweeper.sweep(&sweep_opts);
+
+    let secs = report.elapsed.as_secs_f64().max(1e-9);
+    say(format!(
+        "checked {} scenarios ({} pruned) in {:.2}s — {:.0} scenarios/s",
+        report.scenarios_checked,
+        report.scenarios_pruned,
+        secs,
+        report.scenarios_checked as f64 / secs,
+    ));
+    say(format!(
+        "restart: {} prefixes touched, {} patched, {} repropagated; \
+         {} devices revalidated, {} verdicts reused",
+        report.restart.prefixes,
+        report.restart.patched,
+        report.restart.repropagated,
+        report.devices_revalidated,
+        report.verdicts_reused,
+    ));
+    match &report.verdict {
+        RobustnessVerdict::Robust(k) => {
+            say(format!(
+                "VERDICT: Robust({k}) — no checked scenario of <= {k} failure(s) \
+                 violates condition '{condition}'"
+            ));
+        }
+        RobustnessVerdict::Counterexample(c) => {
+            say(format!(
+                "VERDICT: counterexample — {} failure(s) violate condition '{condition}':",
+                c.scenario.len()
+            ));
+            for e in &c.scenario {
+                say(format!("  - {}", e.render(sweeper.baseline().topology())));
+            }
+            say(format!(
+                "  -> {} matching violation(s), {} device FIB(s) changed \
+                 (minimized from {} failure(s); removing any listed failure passes)",
+                c.violations,
+                c.changed_devices,
+                c.found.len().max(c.scenario.len()),
+            ));
+        }
+    }
+    if sweep_opts.exhaustive && report.failing.len() > 1 {
+        say(format!(
+            "exhaustive mode: {} failing scenarios in total",
+            report.failing.len()
+        ));
+    }
+    if let Some(dest) = metrics_dest {
+        registry
+            .observe_and_snapshot(&[])
+            .write_to(dest)
+            .map_err(|e| format!("cannot write metrics to {dest:?}: {e}"))?;
+    }
+    Ok(report.is_robust())
 }
 
 fn cmd_serve(args: &[String]) -> Result<bool, String> {

@@ -70,6 +70,9 @@ pub mod prelude {
     pub use rcdc::service::{IngestEvent, ServiceHandle, ValidationService};
     pub use rcdc::shard::ShardRouter;
     pub use rcdc::validator::{Validator, ValidatorBuilder};
+    pub use rcdc::whatif::{
+        FailCondition, FailureElement, RobustnessVerdict, SweepOptions, SweepReport, WhatIfSweeper,
+    };
     pub use secguru::engine::{IntervalEngine, SecGuru};
     pub use secguru::model::{Action, Contract, Convention, Policy, Rule};
     pub use secguru::parser::{parse_acl, parse_nsg};
