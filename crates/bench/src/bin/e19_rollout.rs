@@ -1,0 +1,221 @@
+//! E19 — the rollout planner's incrementality dividend: anchored
+//! fixed-point restarts + touched-device-only revalidation per
+//! intermediate rollout state vs naive per-step full re-simulation +
+//! cold validation.
+//!
+//! For each fabric shape on the E2 scaling curve, a seeded ToR
+//! decommission (every uplink of two seed-chosen racks shut, the
+//! paper-shaped maintenance batch) is stepped through a set of seeded
+//! candidate orderings — the workload a plan search prices, laid out
+//! flat so both arms do identical state evaluations:
+//!
+//! * **incremental** — [`rcdc::RolloutPlanner::state_reports`] per
+//!   prefix state: the routing fixed point restarts from the
+//!   production baseline, only the devices the fault set touched are
+//!   delta-revalidated, and repeated states hit the planner's
+//!   change-set memo (orderings are paths through one subset lattice,
+//!   so each distinct lattice state is evaluated once);
+//! * **naive** — clone production, apply the prefix, re-converge the
+//!   entire fabric from scratch, validate every device cold.
+//!
+//! Both arms must agree byte for byte on a sampled audit stride (the
+//! exhaustive equivalence claim is the difftest `rollout` oracle's,
+//! over far more states). The incremental arm is charged the planner
+//! construction (converge + root validation), so the ratio is the
+//! honest end-to-end cost of checking this rollout.
+//!
+//! The run then demonstrates the planner's reason to exist on an
+//! uplink migration over the same fabric: the naive submit order
+//! blackholes the ToR mid-rollout, the planner finds a safe
+//! interleaving, and the emitted order replays clean.
+//!
+//! Output row: devices, links, orders, states, setup seconds,
+//! incremental/naive seconds, mean devices revalidated per state,
+//! speedup. The largest shape asserts the >=5x floor (the PR gate);
+//! `--quick` runs fewer orders against a looser smoke floor sized for
+//! noisy shared CI workers.
+
+use bgpsim::simulate;
+use dcbench::scale_shapes;
+use dctopo::MetadataService;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcdc::rollout::{seeded_scenario, RolloutScenario};
+use rcdc::{ConfigChange, FailCondition, PlanOptions, PlanVerdict, Validator};
+use std::time::Instant;
+
+const SPEEDUP_FLOOR: f64 = 5.0;
+/// `--quick` amortizes the planner construction over fewer orders on
+/// shared CI workers, so its gate is a smoke floor — loose enough to
+/// absorb worker noise, tight enough to catch a real incrementality
+/// regression. The full run asserts the paper-grade floor.
+const QUICK_SPEEDUP_FLOOR: f64 = 3.5;
+const SEED: u64 = 7;
+/// Racks decommissioned per shape; with 4 uplinks each that is an
+/// 8-change batch, comfortably inside the planner's 128-change budget.
+const RACKS: usize = 2;
+
+/// Distinct seeded orderings of the change set, always including the
+/// submit order itself.
+fn sample_orders(n: usize, count: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![(0..n).collect::<Vec<usize>>()];
+    while out.len() < count {
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..i + 1);
+            order.swap(i, j);
+        }
+        if !out.contains(&order) {
+            out.push(order);
+        }
+    }
+    out
+}
+
+fn run_point(label: &str, params: &dctopo::ClosParams, orders: usize, floor: Option<f64>) {
+    let topology = dctopo::build_clos(params);
+    let (net, changes) = seeded_scenario(&topology, RolloutScenario::Decommission, RACKS, SEED);
+    let meta = MetadataService::from_topology(&net.topology);
+
+    // Planner construction: converge once, validate once. Charged to
+    // the incremental arm.
+    let t0 = Instant::now();
+    let planner = Validator::new(&meta).build_planner(&net);
+    let validator = Validator::new(&meta).build();
+    let setup = t0.elapsed();
+
+    let cases = sample_orders(changes.len(), orders, SEED);
+    let prefix = |order: &[usize], cut: usize| -> Vec<ConfigChange> {
+        order[..cut].iter().map(|&i| changes[i].clone()).collect()
+    };
+
+    // Results are dropped as they are produced except on the audit
+    // stride, where the incremental reports are retained (outside the
+    // timed region's accounting concern, tiny next to the fabric) and
+    // byte-compared against the naive arm below.
+    let states = cases.len() * changes.len();
+    let audit_stride = (states / 12).max(1);
+    let mut audited = Vec::new();
+    let mut revalidated_total = 0usize;
+    let mut state_idx = 0usize;
+    let mut incremental = std::time::Duration::ZERO;
+    for order in &cases {
+        for cut in 1..=order.len() {
+            let subset = prefix(order, cut);
+            let t0 = Instant::now();
+            let reports = planner.state_reports(&subset).unwrap();
+            incremental += t0.elapsed();
+            revalidated_total += reports
+                .iter()
+                .zip(planner.baseline_reports())
+                .filter(|(a, b)| a != b)
+                .count();
+            if state_idx.is_multiple_of(audit_stride) {
+                audited.push((state_idx, reports));
+            } else {
+                drop(reports);
+            }
+            state_idx += 1;
+        }
+    }
+
+    let mut naive_time = std::time::Duration::ZERO;
+    let mut audit = audited.iter();
+    let mut next_audit = audit.next();
+    state_idx = 0;
+    for order in &cases {
+        for cut in 1..=order.len() {
+            let subset = prefix(order, cut);
+            let t0 = Instant::now();
+            let mut m = net.clone();
+            for c in &subset {
+                m.apply(c);
+            }
+            let cold = validator.run(&simulate(&m.topology, &m.config)).reports;
+            naive_time += t0.elapsed();
+            if let Some((ai, reports)) = next_audit {
+                if *ai == state_idx {
+                    assert_eq!(
+                        *reports, cold,
+                        "{label}: incremental state reports diverge from naive revalidation"
+                    );
+                    next_audit = audit.next();
+                }
+            }
+            state_idx += 1;
+        }
+    }
+
+    let incr_total = setup + incremental;
+    let speedup = naive_time.as_secs_f64() / incr_total.as_secs_f64();
+    println!(
+        "{label},{},{},{},{states},{:.3},{:.3},{:.3},{:.1},{speedup:.2}",
+        topology.devices().len(),
+        topology.links().len(),
+        cases.len(),
+        setup.as_secs_f64(),
+        incremental.as_secs_f64(),
+        naive_time.as_secs_f64(),
+        revalidated_total as f64 / states.max(1) as f64,
+    );
+    if let Some(floor) = floor {
+        assert!(
+            speedup >= floor,
+            "incremental rollout step-checking speedup {speedup:.2}x is below the {floor}x \
+             gate ({label}: naive {:.2}s vs setup {:.2}s + incremental {:.2}s)",
+            naive_time.as_secs_f64(),
+            setup.as_secs_f64(),
+            incremental.as_secs_f64()
+        );
+    }
+
+    // The planner's reason to exist, demonstrated on the same fabric:
+    // an uplink migration whose submit order blackholes the ToR
+    // mid-rollout, planned into a safe interleaving.
+    let (mig_net, mig_changes) = seeded_scenario(&topology, RolloutScenario::Migrate, 1, SEED);
+    let mig_meta = MetadataService::from_topology(&mig_net.topology);
+    let mig_planner = Validator::new(&mig_meta).build_planner(&mig_net);
+    let opts = PlanOptions {
+        condition: FailCondition::Blackhole,
+        ..PlanOptions::default()
+    };
+    let naive = mig_planner.check_order(&mig_changes, &opts).unwrap();
+    assert!(
+        naive.first_unsafe.is_some(),
+        "{label}: the naive migration order must blackhole mid-rollout"
+    );
+    let plan = mig_planner.plan(&mig_changes, &opts).unwrap();
+    let steps = match &plan.verdict {
+        PlanVerdict::Safe(steps) => steps,
+        v => panic!("{label}: the migration must be plannable, got {v}"),
+    };
+    let ordered: Vec<ConfigChange> = steps.iter().map(|s| s.change.clone()).collect();
+    let replay = mig_planner.check_order(&ordered, &opts).unwrap();
+    assert_eq!(replay.first_unsafe, None, "{label}: emitted plan must replay clean");
+    eprintln!(
+        "# {label}: naive migration order unsafe at step {}, planner found a safe \
+         {}-step interleaving ({} states searched)",
+        naive.first_unsafe.unwrap() + 1,
+        steps.len(),
+        plan.states_evaluated
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let orders = if quick { 12 } else { 30 };
+    println!(
+        "label,devices,links,orders,states,setup_s,incremental_s,naive_s,\
+         mean_devices_revalidated,speedup"
+    );
+    let shapes = scale_shapes();
+    let last = shapes.len() - 1;
+    for (i, (label, params)) in shapes.iter().enumerate() {
+        // The ~1.1k-device shape carries the gate.
+        let floor = (i == last).then_some(if quick { QUICK_SPEEDUP_FLOOR } else { SPEEDUP_FLOOR });
+        run_point(label, params, orders, floor);
+    }
+    let gate = if quick { QUICK_SPEEDUP_FLOOR } else { SPEEDUP_FLOOR };
+    eprintln!("# gate: >= {gate}x vs naive per-step full re-simulation on the largest shape");
+}

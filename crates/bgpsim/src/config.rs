@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Per-device configuration deviations from the healthy baseline.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DeviceOverride {
     /// §2.6.2 *Software Bug 1*: a RIB→FIB inconsistency where the FIB
     /// programs "significantly fewer next hops for the default route

@@ -278,10 +278,40 @@ impl Baseline {
     /// topology would produce.
     pub fn resimulate(&self, fault: &FaultSpec) -> ScenarioFibs {
         let n = self.topology.len();
-        let dead_devices: HashSet<u32> = fault.devices.iter().map(|d| d.0).collect();
+        let mut dead_devices: HashSet<u32> = fault.devices.iter().map(|d| d.0).collect();
         let mut dead_links: HashSet<LinkId> = fault.links.iter().copied().collect();
         for &d in &fault.devices {
             dead_links.extend(self.topology.links_of(d).map(|l| l.id));
+        }
+
+        // A live device whose every live session edge died is
+        // indistinguishable from a dead one: `FaultSpec::apply` marks
+        // all incident links down either way, so the from-scratch run
+        // reaches it for no prefix and it emits only its hosted-local
+        // entries. Synthesizing it as dead keeps full-isolation
+        // scenarios (a decommissioned rack's every uplink shut) on the
+        // patch path; otherwise its emptied hop set would cascade a
+        // per-prefix BFS fallback for nearly every prefix in the
+        // fabric.
+        let live_session = |l: &dctopo::Link| {
+            l.state.session_up() && !self.l2_bug[l.lo.0 as usize] && !self.l2_bug[l.hi.0 as usize]
+        };
+        let endpoints: HashSet<u32> = dead_links
+            .iter()
+            .flat_map(|&lid| {
+                let l = self.topology.link(lid);
+                [l.lo.0, l.hi.0]
+            })
+            .collect();
+        for &d in &endpoints {
+            if !dead_devices.contains(&d)
+                && self
+                    .topology
+                    .links_of(DeviceId(d))
+                    .all(|l| !live_session(l) || dead_links.contains(&l.id))
+            {
+                dead_devices.insert(d);
+            }
         }
 
         // Directed dead session edges actually present in the healthy

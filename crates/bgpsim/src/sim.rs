@@ -57,6 +57,35 @@ impl Default for SimOptions {
     }
 }
 
+impl SimOptions {
+    /// Options with `threads` defaulted to the detected core count —
+    /// the service-path default, where the fixed point competes with
+    /// nothing else. `RCDC_SIM_THREADS` overrides the detection
+    /// (including back down to `1`); the output is bit-identical at
+    /// any thread count, so the override is purely a resource knob.
+    pub fn auto() -> SimOptions {
+        Self::auto_from(|k| std::env::var(k).ok())
+    }
+
+    /// [`auto`](Self::auto) over an injectable environment lookup, so
+    /// tests exercise the parsing without touching process globals.
+    /// A set-but-invalid `RCDC_SIM_THREADS` falls back to detection —
+    /// simulation must not fail over a tuning knob.
+    pub fn auto_from(get: impl Fn(&str) -> Option<String>) -> SimOptions {
+        let detected = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let threads = get("RCDC_SIM_THREADS")
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(detected);
+        SimOptions {
+            threads,
+            ..SimOptions::default()
+        }
+    }
+}
+
 /// Deterministic work counters for one simulation run: identical for
 /// any [`SimOptions`] (threading and hop representation change neither
 /// the relaxation schedule per prefix nor its fixed point).
@@ -1088,6 +1117,40 @@ mod tests {
                 assert_eq!(serial_stats, parallel_stats, "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn auto_options_default_to_detected_cores_with_env_override() {
+        let detected = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        // Unset: detection wins.
+        assert_eq!(SimOptions::auto_from(|_| None).threads, detected);
+        // Explicit override, including back down to serial.
+        let fixed = |v: &'static str| SimOptions::auto_from(move |k| {
+            assert_eq!(k, "RCDC_SIM_THREADS");
+            Some(v.to_string())
+        });
+        assert_eq!(fixed("3").threads, 3);
+        assert_eq!(fixed(" 1 ").threads, 1);
+        // Invalid or zero values fall back to detection — the service
+        // must not fail over a tuning knob.
+        assert_eq!(fixed("lots").threads, detected);
+        assert_eq!(fixed("0").threads, detected);
+        assert_eq!(fixed("").threads, detected);
+        // auto() never flips the hop representation.
+        assert!(!SimOptions::auto().legacy_hops);
+    }
+
+    #[test]
+    fn auto_options_keep_the_fixed_point_bit_identical() {
+        // The service path's auto-threaded convergence must agree with
+        // the serial loop byte for byte, whatever core count the host
+        // detects.
+        let f = figure3();
+        let serial = simulate(&f.topology, &SimConfig::healthy());
+        let (auto, _) = simulate_with(&f.topology, &SimConfig::healthy(), SimOptions::auto());
+        assert_eq!(serial, auto);
     }
 
     #[test]

@@ -75,7 +75,7 @@ impl Contract {
 }
 
 /// The full contract set of one device.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeviceContracts {
     /// Contracts, default first, then specifics in prefix order.
     pub contracts: Vec<Contract>,

@@ -47,6 +47,13 @@
 //!    the healthy solution per scenario, revalidate only the changed
 //!    devices, and answer with a `Robust(k)` certificate or a
 //!    ddmin-minimal counterexample ([`shrink`]).
+//! 10. **Change pre-checks and rollout planning** ([`rollout`]): the
+//!     §2.7 emulator pre-check ([`Prechecker`]) and a Snowcap-style
+//!     ordering search ([`RolloutPlanner`]) that finds a sequence of
+//!     per-device changes whose every intermediate fixed point
+//!     satisfies the contracts — or a ddmin-minimal unsafe subset when
+//!     none does — over the same restart + delta-revalidation +
+//!     verdict-memo stack as the what-if sweeps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,11 +62,13 @@ pub mod burndown;
 pub mod classify;
 pub mod clock;
 pub mod contracts;
+pub(crate) mod delta;
 pub mod engine;
 pub mod framework;
 pub mod global_baseline;
 pub mod pipeline;
 pub mod report;
+pub mod rollout;
 pub mod runner;
 pub mod service;
 pub mod shard;
@@ -74,6 +83,11 @@ pub use engine::{
     smt::SmtEngine, trie::TrieEngine, trie_reference::ReferenceTrieEngine, Engine, ObservedEngine,
 };
 pub use report::{Risk, ValidationReport, Violation, ViolationReason};
+pub use rollout::{
+    seeded_scenario, ConfigChange, ManagedNetwork, OrderCheck, PlanOptions, PlanReport, PlanStep,
+    PlanVerdict, Prechecker, PrecheckReport, RolloutPlanner, RolloutScenario, UnsafePrefix,
+    WorkflowOutcome,
+};
 pub use runner::{DatacenterReport, EngineChoice, PassMetrics};
 pub use service::{IngestEvent, ServiceHandle, ValidationService};
 pub use shard::{ShardRouter, ShardStores};

@@ -11,7 +11,7 @@ use netprim::{Ipv4, Prefix};
 use std::fmt;
 
 /// Why a contract was violated.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ViolationReason {
     /// No rule in the FIB covers (part of) the contract's range; the
     /// packets fall through to a shorter rule or the default route.
@@ -87,7 +87,7 @@ impl fmt::Display for ViolationReason {
 }
 
 /// One violated contract on one device.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Violation {
     /// The device.
     pub device: DeviceId,

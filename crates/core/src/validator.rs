@@ -216,6 +216,47 @@ impl ValidatorBuilder {
         )
     }
 
+    /// Finish as a §2.7 change pre-checker ([`crate::Prechecker`]):
+    /// the emulator pre-check and Figure-7 workflow over a clone of
+    /// `production`, validating with this builder's contracts, engine,
+    /// and thread count. This (and
+    /// [`build_planner`](Self::build_planner)) is the construction
+    /// route that replaced `dcemu`'s free-standing `precheck()` and
+    /// `ChangeWorkflow`.
+    pub fn build_precheck(self, production: &crate::ManagedNetwork) -> crate::Prechecker {
+        let engine = self.engine.instantiate();
+        let engine: Box<dyn Engine + Sync> = match &self.registry {
+            Some(registry) => Box::new(crate::engine::ObservedEngine::new(engine, registry)),
+            None => engine,
+        };
+        crate::rollout::Prechecker::new(production.clone(), self.contracts, engine, self.threads)
+    }
+
+    /// Finish as a safe change-rollout planner
+    /// ([`crate::RolloutPlanner`]): converge and validate the
+    /// production baseline once, then search change orderings whose
+    /// every intermediate fixed point satisfies the contracts —
+    /// incrementally, via restart-patched fixed points and delta-only
+    /// revalidation. With a metrics registry attached, state
+    /// throughput, step-check latency, memo hits, and backtracks land
+    /// in the `rcdc_rollout_*` families (and the engine is observed,
+    /// as in [`build`](Self::build)).
+    pub fn build_planner(self, production: &crate::ManagedNetwork) -> crate::RolloutPlanner {
+        let engine = self.engine.instantiate();
+        let engine: Box<dyn Engine + Sync> = match &self.registry {
+            Some(registry) => Box::new(crate::engine::ObservedEngine::new(engine, registry)),
+            None => engine,
+        };
+        crate::rollout::RolloutPlanner::new(
+            production.clone(),
+            self.contracts,
+            engine,
+            self.threads,
+            self.meta,
+            self.registry.as_ref(),
+        )
+    }
+
     /// Finish as a long-running [`ValidationService`]: the contracts
     /// are published across [`shards`](Self::shards) shard-local
     /// stores, one worker thread per shard starts draining its bounded

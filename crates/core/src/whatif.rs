@@ -32,15 +32,15 @@
 //! removing any single failure from the reported set makes the
 //! contracts pass again.
 
-use crate::contracts::{ContractKind, DeviceContracts};
+use crate::contracts::DeviceContracts;
+use crate::delta::{DeltaMap, VerdictMemo};
 use crate::engine::Engine;
-use crate::report::{risk_of, Risk, ValidationReport, Violation, ViolationReason};
+use crate::report::{Risk, ValidationReport, Violation};
 use crate::runner::run_pass;
 use crate::shrink::shrink_list;
 use bgpsim::restart::{Baseline, FaultSpec, RestartStats};
 use bgpsim::Fib;
 use dctopo::{DeviceId, LinkId, MetadataService, Topology};
-use netprim::wire::FibDelta;
 use netprim::Prefix;
 use obskit::Registry;
 use parking_lot::RwLock;
@@ -94,98 +94,6 @@ fn to_fault(elems: &[FailureElement]) -> FaultSpec {
         }
     }
     fault
-}
-
-/// Build the healthy→scenario [`FibDelta`] straight from the restart's
-/// touched-prefix list — O(touched · log table) instead of re-diffing
-/// two full tables. The anchor hashes are left at zero: this delta
-/// never leaves the process, and [`Engine::validate_delta`] keys on
-/// the rule set alone, not the anchors.
-/// `(address, length)` preorder key — the order the trie engine sweeps
-/// contracts in, reused here for the locator's binary searches.
-#[inline]
-fn locator_key(addr: u32, len: u8) -> u64 {
-    (u64::from(addr) << 6) | u64::from(len)
-}
-
-/// Per-device contract index for the delta hot path: finds the
-/// contracts a touched-prefix set can affect by binary search instead
-/// of scanning the whole contract list once per scenario. The
-/// affectedness criterion is exactly [`Engine::validate_delta`]'s —
-/// prefix overlap for specifics, a touched default route for default
-/// contracts — so validating just the located subset against a clean
-/// prior yields the same report as the engine's own full scan (gated
-/// by the equivalence suites and the difftest `whatif` oracle).
-#[derive(PartialEq, Eq, Hash)]
-struct ContractLocator {
-    /// Specific contracts as `(locator_key, contract index)`, sorted.
-    specs: Vec<(u64, u32)>,
-    /// Distinct specific-contract prefix lengths, descending.
-    lengths: Vec<u8>,
-    /// Default-kind contract indices.
-    defaults: Vec<u32>,
-}
-
-impl ContractLocator {
-    fn build(dc: &DeviceContracts) -> ContractLocator {
-        let mut specs = Vec::new();
-        let mut defaults = Vec::new();
-        let mut lengths: Vec<u8> = Vec::new();
-        for (i, c) in dc.contracts.iter().enumerate() {
-            match c.kind {
-                ContractKind::Default => defaults.push(i as u32),
-                ContractKind::Specific => {
-                    specs.push((locator_key(c.prefix.addr().0, c.prefix.len()), i as u32));
-                    if !lengths.contains(&c.prefix.len()) {
-                        lengths.push(c.prefix.len());
-                    }
-                }
-            }
-        }
-        specs.sort_unstable();
-        lengths.sort_unstable_by(|a, b| b.cmp(a));
-        ContractLocator {
-            specs,
-            lengths,
-            defaults,
-        }
-    }
-
-    /// Indices of the contracts a delta over `touched` can affect,
-    /// ascending (= contract order) and deduplicated.
-    fn affected(&self, touched: &[Prefix]) -> Vec<u32> {
-        let mut out: Vec<u32> = Vec::new();
-        for &p in touched {
-            if p.is_default() {
-                out.extend_from_slice(&self.defaults);
-            }
-            // Contracts whose address lies inside the touched block
-            // all overlap it: an aligned block no larger than `p`'s
-            // starting inside it is contained, and a larger one can
-            // only start at `p`'s own address, where it contains `p`.
-            let lo = u64::from(p.addr().0) << 6;
-            let hi = (u64::from(p.addr().0) + (1u64 << (32 - p.len()))) << 6;
-            let a = self.specs.partition_point(|&(k, _)| k < lo);
-            let b = a + self.specs[a..].partition_point(|&(k, _)| k < hi);
-            out.extend(self.specs[a..b].iter().map(|&(_, i)| i));
-            // Strictly-shorter containing contracts sit at the touched
-            // address truncated to each contract length (same-prefix
-            // contracts share a key, so take the whole key run).
-            for &l in &self.lengths {
-                if l >= p.len() {
-                    continue;
-                }
-                let mask = if l == 0 { 0 } else { u32::MAX << (32 - l) };
-                let k = locator_key(p.addr().0 & mask, l);
-                let a = self.specs.partition_point(|&(k2, _)| k2 < k);
-                let b = a + self.specs[a..].partition_point(|&(k2, _)| k2 <= k);
-                out.extend(self.specs[a..b].iter().map(|&(_, i)| i));
-            }
-        }
-        out.sort_unstable();
-        out.dedup();
-        out
-    }
 }
 
 /// What makes a scenario count as a failure of the fabric.
@@ -364,13 +272,6 @@ pub struct ScenarioCheck {
     pub reused: usize,
 }
 
-/// Cross-scenario verdict memo: validation is pure in the FIB bytes
-/// and the contract set, so `(device, fib content hash)` fully
-/// determines the report no matter which fault context produced the
-/// table — the same argument that makes the pipeline's `VerdictCache`
-/// `(fib_hash, epoch)` key sound across scenarios.
-type VerdictMemo = RwLock<HashMap<(u32, u64), ValidationReport>>;
-
 struct WhatIfMetrics {
     pass: obskit::Counter,
     fail: obskit::Counter,
@@ -426,14 +327,10 @@ pub struct WhatIfSweeper {
     meta: Option<MetadataService>,
     metrics: Option<WhatIfMetrics>,
     healthy_reports: Vec<ValidationReport>,
-    /// Deduplicated contract locators; `locator_of[device]` picks one.
-    /// On a symmetric fabric most devices share a contract layout, so
-    /// `affected` results can be memoized per (locator, touched list)
-    /// instead of recomputed per device.
-    locator_of: Vec<u32>,
-    /// Per-device contract locators (indexed by device id), built once
-    /// so each scenario's delta devices skip the O(contracts) scan.
-    locators: Vec<ContractLocator>,
+    /// Shared delta-revalidation core: deduplicated per-device
+    /// contract locators ([`crate::delta`]), built once so each
+    /// scenario's delta devices skip the O(contracts) scan.
+    delta: DeltaMap,
 }
 
 impl WhatIfSweeper {
@@ -454,29 +351,7 @@ impl WhatIfSweeper {
             None,
             None,
         );
-        // Equal locators are pure-function-equal: `affected` depends
-        // only on the locator content and the touched list, so one
-        // representative serves every device with that layout.
-        let mut locators: Vec<ContractLocator> = Vec::new();
-        let mut locator_ids: HashMap<u64, Vec<u32>> = HashMap::new();
-        let mut locator_of: Vec<u32> = Vec::with_capacity(contracts.len());
-        for dc in contracts.iter() {
-            let loc = ContractLocator::build(dc);
-            let mut h = std::collections::hash_map::DefaultHasher::new();
-            std::hash::Hash::hash(&loc, &mut h);
-            let key = std::hash::Hasher::finish(&h);
-            let ids = locator_ids.entry(key).or_default();
-            let id = match ids.iter().find(|&&i| locators[i as usize] == loc) {
-                Some(&i) => i,
-                None => {
-                    locators.push(loc);
-                    let i = (locators.len() - 1) as u32;
-                    ids.push(i);
-                    i
-                }
-            };
-            locator_of.push(id);
-        }
+        let delta = DeltaMap::build(&contracts);
         WhatIfSweeper {
             baseline,
             contracts,
@@ -485,8 +360,7 @@ impl WhatIfSweeper {
             meta,
             metrics: registry.map(WhatIfMetrics::new),
             healthy_reports: healthy.reports,
-            locator_of,
-            locators,
+            delta,
         }
     }
 
@@ -502,17 +376,7 @@ impl WhatIfSweeper {
 
     /// Does this violation disqualify a scenario under `condition`?
     fn violation_matches(&self, v: &Violation, condition: FailCondition) -> bool {
-        match condition {
-            FailCondition::AnyViolation => true,
-            FailCondition::Blackhole => matches!(v.reason, ViolationReason::MissingDefault),
-            FailCondition::AtLeast(min) => {
-                let meta = self.meta.as_ref().expect(
-                    "risk-ranked fail conditions require metadata: construct the sweeper \
-                     via Validator::new(&meta) or attach it with .metadata(&meta)",
-                );
-                risk_of(v, meta) >= min
-            }
-        }
+        crate::delta::violation_matches(v, condition, self.meta.as_ref(), "sweeper")
     }
 
     fn matching_count(&self, report: &ValidationReport, condition: FailCondition) -> usize {
@@ -523,66 +387,24 @@ impl WhatIfSweeper {
             .count()
     }
 
-    /// Delta-validate one changed device against its healthy prior.
-    ///
-    /// With a clean prior (the overwhelmingly common case — healthy
-    /// fabrics validate clean), unaffected contracts carry nothing
-    /// over, so the locator's affected subset is validated on its own:
-    /// the engine sees only the contracts it would have re-checked
-    /// anyway, and the subset's clean prior is the genuine prior of
-    /// those contracts. Violations come back ordered by subset index,
-    /// which is ascending original contract order — exactly the full
-    /// scan's emission order. A non-clean prior falls back to the
-    /// engine's own carry logic.
+    /// Delta-validate one changed device against its healthy prior
+    /// (the shared [`crate::delta`] clean-prior fast path).
     fn revalidate(
         &self,
         du: usize,
         fib: &Fib,
         touched: &[Prefix],
-        aff_cache: &mut [HashMap<Vec<Prefix>, Vec<u32>>],
+        aff_cache: &mut crate::delta::AffectedCache,
     ) -> ValidationReport {
-        let prior = &self.healthy_reports[du];
-        // `validate_delta` only consumes the delta's prefix set (which
-        // contracts are affected) and its rule count (the full-churn
-        // fallback heuristic) — never the rule payloads. The restart
-        // already hands us the touched prefixes, so the delta is
-        // synthesized without re-searching either table; which bucket
-        // the prefixes land in is immaterial.
-        let delta = FibDelta {
-            device: fib.device().0,
-            removed: touched.to_vec(),
-            ..FibDelta::default()
-        };
-        if !prior.violations.is_empty() {
-            return self
-                .engine
-                .validate_delta(fib, &self.contracts[du], &delta, prior);
-        }
-        let loc = self.locator_of[du] as usize;
-        if !aff_cache[loc].contains_key(touched) {
-            let v = self.locators[loc].affected(touched);
-            aff_cache[loc].insert(touched.to_vec(), v);
-        }
-        let aff = &aff_cache[loc][touched];
-        if aff.is_empty() {
-            return prior.clone();
-        }
-        let pruned = DeviceContracts {
-            contracts: aff
-                .iter()
-                .map(|&i| self.contracts[du].contracts[i as usize].clone())
-                .collect(),
-        };
-        let clean = ValidationReport {
-            violations: Vec::new(),
-            contracts_checked: pruned.len(),
-            solver_stats: Default::default(),
-        };
-        let sub = self.engine.validate_delta(fib, &pruned, &delta, &clean);
-        ValidationReport {
-            contracts_checked: self.contracts[du].len(),
-            ..sub
-        }
+        self.delta.revalidate(
+            self.engine.as_ref(),
+            &self.contracts,
+            &self.healthy_reports[du],
+            du,
+            fib,
+            touched,
+            aff_cache,
+        )
     }
 
     /// Evaluate one scenario incrementally: restart the fixed point,
@@ -621,8 +443,7 @@ impl WhatIfSweeper {
         let mut changed = Vec::with_capacity(out.changed.len());
         // Scenario-local memo: devices sharing a contract layout and a
         // touched list share their affected-contract indices.
-        let mut aff_cache: Vec<HashMap<Vec<Prefix>, Vec<u32>>> =
-            (0..self.locators.len()).map(|_| HashMap::new()).collect();
+        let mut aff_cache = self.delta.new_cache();
         let mut revalidated = 0usize;
         let mut reused = 0usize;
         for ((d, fib), touched) in out.changed.into_iter().zip(out.touched) {
@@ -1071,6 +892,7 @@ fn level_combos(n: usize, size: usize, opts: &SweepOptions) -> Vec<Vec<u32>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::ViolationReason;
     use crate::pipeline::VerdictCache;
     use crate::validator::Validator;
     use bgpsim::{simulate, SimConfig};

@@ -15,153 +15,61 @@
 //! property the paper relies on — identical error classes pre- and
 //! post-deployment — holds by construction and is tested.
 //!
-//! [`ChangeWorkflow`] is Figure 7: candidate change → emulate →
-//! validate → deploy (to the simulated production network) →
-//! post-validate → rollback on regression.
+//! The machinery itself now lives in [`rcdc::rollout`], constructed
+//! through the unified builder —
+//! [`ValidatorBuilder::build_precheck`](rcdc::ValidatorBuilder::build_precheck)
+//! for the Figure-7 workflow ([`Prechecker`]) and
+//! [`build_planner`](rcdc::ValidatorBuilder::build_planner) for safe
+//! change-*ordering* search ([`rcdc::RolloutPlanner`]). This crate
+//! re-exports the shared vocabulary and keeps the original
+//! free-standing entry points as deprecated shims (the PR 1/PR 6
+//! deprecation pattern), covered by equivalence tests below.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use bgpsim::{simulate, DeviceOverride, SimConfig};
-use dctopo::{DeviceId, LinkId, LinkState, MetadataService, Topology};
+pub use rcdc::rollout::{
+    ConfigChange, ManagedNetwork, Prechecker, PrecheckReport, WorkflowOutcome,
+};
+
+use dctopo::MetadataService;
 use rcdc::contracts::{generate_contracts, DeviceContracts};
-use rcdc::report::Violation;
 use rcdc::Validator;
-
-/// One configuration change under review.
-#[derive(Debug, Clone)]
-pub enum ConfigChange {
-    /// Replace a device's configuration overrides (route maps, ECMP
-    /// settings, ASN) — the §2.6.2 "policy error" and "migration"
-    /// change classes.
-    SetOverride {
-        /// Target device.
-        device: DeviceId,
-        /// New override (use `DeviceOverride::default()` to clear).
-        config: DeviceOverride,
-    },
-    /// Administratively change a link/session state (maintenance,
-    /// lossy-link mitigation, decommissioning).
-    SetLinkState {
-        /// Target link.
-        link: LinkId,
-        /// New state.
-        state: LinkState,
-    },
-}
-
-/// The production network being managed: the model both the emulator
-/// clones and deployments mutate.
-#[derive(Clone)]
-pub struct ManagedNetwork {
-    /// Physical topology, including current link states.
-    pub topology: Topology,
-    /// Device configuration overrides currently in production.
-    pub config: SimConfig,
-}
-
-impl ManagedNetwork {
-    /// A healthy network over a topology.
-    pub fn new(topology: Topology) -> ManagedNetwork {
-        ManagedNetwork {
-            topology,
-            config: SimConfig::healthy(),
-        }
-    }
-
-    /// Apply a change in place (used for production deploys and on the
-    /// emulator clone).
-    pub fn apply(&mut self, change: &ConfigChange) {
-        match change {
-            ConfigChange::SetOverride { device, config } => {
-                *self.config.device_mut(*device) = config.clone();
-            }
-            ConfigChange::SetLinkState { link, state } => {
-                self.topology.set_link_state(*link, *state);
-            }
-        }
-    }
-
-    /// Converge the control plane and validate every device; returns
-    /// all violations (the flattened datacenter report).
-    pub fn validate(&self, contracts: &[DeviceContracts]) -> Vec<Violation> {
-        let fibs = simulate(&self.topology, &self.config);
-        let report = Validator::with_contracts(contracts.to_vec()).build().run(&fibs);
-        report
-            .reports
-            .into_iter()
-            .flat_map(|r| r.violations)
-            .collect()
-    }
-}
-
-/// Result of a pre-check run.
-#[derive(Debug)]
-pub struct PrecheckReport {
-    /// Violations present before the change (pre-existing conditions
-    /// are not the change's fault).
-    pub baseline: Vec<Violation>,
-    /// Violations present after the change, on the emulator.
-    pub candidate: Vec<Violation>,
-}
-
-impl PrecheckReport {
-    /// Violations introduced by the change: candidate minus baseline.
-    pub fn regressions(&self) -> Vec<&Violation> {
-        self.candidate
-            .iter()
-            .filter(|v| !self.baseline.contains(v))
-            .collect()
-    }
-
-    /// Does the change pass (no new violations)?
-    pub fn passed(&self) -> bool {
-        self.regressions().is_empty()
-    }
-}
 
 /// Run the emulator pre-check for a set of changes against a
 /// production network: clone, apply, converge, compare against the
 /// baseline validation.
+#[deprecated(
+    note = "construct a Prechecker via \
+            Validator::with_contracts(contracts).build_precheck(production) \
+            and call .precheck(changes)"
+)]
 pub fn precheck(
     production: &ManagedNetwork,
     contracts: &[DeviceContracts],
     changes: &[ConfigChange],
 ) -> PrecheckReport {
-    let baseline = production.validate(contracts);
-    let mut emulated = production.clone();
-    for c in changes {
-        emulated.apply(c);
-    }
-    let candidate = emulated.validate(contracts);
-    PrecheckReport {
-        baseline,
-        candidate,
-    }
-}
-
-/// Outcome of the full Figure-7 workflow for one change set.
-#[derive(Debug)]
-pub enum WorkflowOutcome {
-    /// Pre-check failed: the change never reached production.
-    RejectedAtPrecheck(PrecheckReport),
-    /// Deployed; post-validation green.
-    Deployed,
-    /// Deployed, post-validation regressed (e.g. emulator/production
-    /// divergence injected in tests), change rolled back.
-    RolledBack {
-        /// The violations seen post-deployment.
-        regressions: Vec<Violation>,
-    },
+    Validator::with_contracts(contracts.to_vec())
+        .build_precheck(production)
+        .precheck(changes)
 }
 
 /// The change-validation workflow of Figure 7.
+///
+/// Deprecated shim: each [`submit`](Self::submit) now delegates to a
+/// [`Prechecker`] built through the unified
+/// [`ValidatorBuilder`](rcdc::ValidatorBuilder) path.
+#[deprecated(
+    note = "construct a Prechecker via Validator::new(&meta).build_precheck(production); \
+            it owns the production network and the Figure-7 submit workflow"
+)]
 pub struct ChangeWorkflow {
     /// The production network (mutated only by successful deploys).
     pub production: ManagedNetwork,
     contracts: Vec<DeviceContracts>,
 }
 
+#[allow(deprecated)]
 impl ChangeWorkflow {
     /// Set up the workflow: contracts are generated once from the
     /// production metadata (intent does not change with state).
@@ -181,46 +89,32 @@ impl ChangeWorkflow {
 
     /// Run a change set through pre-check → deploy → post-check.
     pub fn submit(&mut self, changes: &[ConfigChange]) -> WorkflowOutcome {
-        let pre = precheck(&self.production, &self.contracts, changes);
-        if !pre.passed() {
-            return WorkflowOutcome::RejectedAtPrecheck(pre);
-        }
-        // Deploy to production.
-        let before = self.production.clone();
-        for c in changes {
-            self.production.apply(c);
-        }
-        // Post-check on the live network.
-        let post = self.production.validate(&self.contracts);
-        let regressions: Vec<Violation> = post
-            .into_iter()
-            .filter(|v| !pre.baseline.contains(v))
-            .collect();
-        if regressions.is_empty() {
-            WorkflowOutcome::Deployed
-        } else {
-            self.production = before;
-            WorkflowOutcome::RolledBack { regressions }
-        }
+        let mut checker = Validator::with_contracts(self.contracts.clone())
+            .build_precheck(&self.production);
+        let outcome = checker.submit(changes);
+        self.production = checker.into_production();
+        outcome
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bgpsim::SimConfig;
+    use bgpsim::{DeviceOverride, SimConfig};
     use dctopo::generator::figure3;
+    use dctopo::LinkState;
 
-    fn workflow() -> (dctopo::generator::Figure3, ChangeWorkflow) {
+    fn checker() -> (dctopo::generator::Figure3, Prechecker) {
         let f = figure3();
-        let w = ChangeWorkflow::new(ManagedNetwork::new(f.topology.clone()));
-        (f, w)
+        let meta = MetadataService::from_topology(&f.topology);
+        let c = Validator::new(&meta).build_precheck(&ManagedNetwork::new(f.topology.clone()));
+        (f, c)
     }
 
     #[test]
     fn healthy_baseline_validates_clean() {
-        let (_f, w) = workflow();
-        let violations = w.production.validate(w.contracts());
+        let (_f, c) = checker();
+        let violations = c.validate(c.production());
         assert!(violations.is_empty());
     }
 
@@ -228,12 +122,12 @@ mod tests {
     fn bad_route_map_change_rejected_at_precheck() {
         // The §2.6.2 "policy error": a route map rejecting default
         // announcements. The pre-check must block it.
-        let (f, mut w) = workflow();
+        let (f, mut c) = checker();
         let cfg = DeviceOverride {
             reject_default_import: true,
             ..DeviceOverride::default()
         };
-        let outcome = w.submit(&[ConfigChange::SetOverride {
+        let outcome = c.submit(&[ConfigChange::SetOverride {
             device: f.tors[0],
             config: cfg,
         }]);
@@ -248,12 +142,12 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // Production untouched: still clean.
-        assert!(w.production.validate(w.contracts()).is_empty());
+        assert!(c.validate(c.production()).is_empty());
     }
 
     #[test]
     fn asn_collision_migration_rejected_at_precheck() {
-        let (f, mut w) = workflow();
+        let (f, mut c) = checker();
         let asn = f.topology.device(f.a[0]).asn;
         let changes: Vec<ConfigChange> = f
             .b
@@ -270,7 +164,7 @@ mod tests {
             })
             .collect();
         assert!(matches!(
-            w.submit(&changes),
+            c.submit(&changes),
             WorkflowOutcome::RejectedAtPrecheck(_)
         ));
     }
@@ -279,8 +173,8 @@ mod tests {
     fn benign_change_deploys_with_green_postcheck() {
         // Clearing an (absent) override is a no-op change: passes
         // pre-check and deploys.
-        let (f, mut w) = workflow();
-        let outcome = w.submit(&[ConfigChange::SetOverride {
+        let (f, mut c) = checker();
+        let outcome = c.submit(&[ConfigChange::SetOverride {
             device: f.tors[0],
             config: DeviceOverride::default(),
         }]);
@@ -292,9 +186,9 @@ mod tests {
         // Shutting a ToR uplink violates the ToR's default contract
         // (reduced ECMP) — precheck rejects; the operator knows the
         // maintenance will reduce redundancy before touching anything.
-        let (f, mut w) = workflow();
+        let (f, mut c) = checker();
         let link = f.topology.link_between(f.tors[0], f.a[0]).unwrap().id;
-        let outcome = w.submit(&[ConfigChange::SetLinkState {
+        let outcome = c.submit(&[ConfigChange::SetLinkState {
             link,
             state: LinkState::AdminShut,
         }]);
@@ -313,7 +207,7 @@ mod tests {
     fn precheck_ignores_preexisting_violations() {
         // Production already has a fault; an unrelated benign change
         // must not be blamed for it.
-        let (f, _unused) = workflow();
+        let f = figure3();
         let mut production = ManagedNetwork::new(f.topology.clone());
         let link = production
             .topology
@@ -321,10 +215,11 @@ mod tests {
             .unwrap()
             .id;
         production.topology.set_link_state(link, LinkState::OperDown);
-        let mut w = ChangeWorkflow::new(production);
-        let baseline = w.production.validate(w.contracts());
+        let meta = MetadataService::from_topology(&f.topology);
+        let mut c = Validator::new(&meta).build_precheck(&production);
+        let baseline = c.validate(c.production());
         assert!(!baseline.is_empty(), "pre-existing fault is visible");
-        let outcome = w.submit(&[ConfigChange::SetOverride {
+        let outcome = c.submit(&[ConfigChange::SetOverride {
             device: f.tors[0],
             config: DeviceOverride::default(),
         }]);
@@ -349,5 +244,56 @@ mod tests {
         let emu_violations = emulated.validate(&contracts);
         assert_eq!(live_violations, emu_violations);
         assert!(!live_violations.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_precheck_shim_matches_builder_path() {
+        let (f, c) = checker();
+        let changes = [ConfigChange::SetOverride {
+            device: f.tors[0],
+            config: DeviceOverride {
+                reject_default_import: true,
+                ..DeviceOverride::default()
+            },
+        }];
+        let via_shim = precheck(c.production(), c.contracts(), &changes);
+        let via_builder = c.precheck(&changes);
+        assert_eq!(via_shim.baseline, via_builder.baseline);
+        assert_eq!(via_shim.candidate, via_builder.candidate);
+        assert_eq!(via_shim.passed(), via_builder.passed());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_workflow_shim_matches_builder_path() {
+        let f = figure3();
+        let meta = MetadataService::from_topology(&f.topology);
+        let mut shim = ChangeWorkflow::new(ManagedNetwork::new(f.topology.clone()));
+        let mut direct =
+            Validator::new(&meta).build_precheck(&ManagedNetwork::new(f.topology.clone()));
+        assert_eq!(shim.contracts(), direct.contracts());
+        let bad = [ConfigChange::SetLinkState {
+            link: f.topology.link_between(f.tors[0], f.a[0]).unwrap().id,
+            state: LinkState::AdminShut,
+        }];
+        let benign = [ConfigChange::SetOverride {
+            device: f.tors[0],
+            config: DeviceOverride::default(),
+        }];
+        for changes in [&bad[..], &benign[..]] {
+            let a = shim.submit(changes);
+            let b = direct.submit(changes);
+            assert_eq!(
+                std::mem::discriminant(&a),
+                std::mem::discriminant(&b),
+                "{a:?} vs {b:?}"
+            );
+        }
+        // Deploys kept the two production models in lockstep.
+        assert_eq!(
+            shim.production.validate(shim.contracts()),
+            direct.validate(direct.production())
+        );
     }
 }

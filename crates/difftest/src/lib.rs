@@ -8,7 +8,7 @@
 //! soundness bug in any one of them shows up as a divergence instead of
 //! a silently wrong verdict.
 //!
-//! Eight oracles, each a self-contained generator + cross-check:
+//! Nine oracles, each a self-contained generator + cross-check:
 //!
 //! * [`Oracle::Sat`] — the CDCL [`smtkit::SatSolver`] (plain, under
 //!   assumptions, and incrementally) against brute-force enumeration,
@@ -44,6 +44,11 @@
 //!   small seeded fabrics, plus brute-force audits of `Robust(k)`
 //!   certificates, counterexample minimality, and serial-vs-parallel
 //!   sweep determinism.
+//! * [`Oracle::Rollout`] — the change-rollout planner's incremental
+//!   state evaluation (anchored restarts + shared verdict memo)
+//!   against apply-from-scratch re-simulation and cold validation,
+//!   plus brute-force audits of every prefix state of emitted plans,
+//!   unsafe-change-set minimality, and thread-count determinism.
 //!
 //! Every failure carries the replay seed and a greedily minimized
 //! counterexample. Reproduce with
@@ -56,6 +61,7 @@ mod engines;
 mod gen;
 mod incremental;
 mod rng;
+mod rollout_oracle;
 mod sat;
 mod secguru_oracle;
 mod session;
@@ -107,7 +113,7 @@ pub(crate) struct Failure {
     pub(crate) minimized: String,
 }
 
-/// The eight cross-check oracles.
+/// The nine cross-check oracles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Oracle {
     /// CDCL SAT solver vs brute force / analytic verdicts.
@@ -127,11 +133,14 @@ pub enum Oracle {
     /// Incremental what-if scenario evaluation vs brute-force
     /// re-simulation and cold validation.
     Whatif,
+    /// Rollout-planner state evaluation and plan verdicts vs
+    /// brute-force re-simulation and cold validation.
+    Rollout,
 }
 
 impl Oracle {
     /// Every oracle, in the order the mixed runner executes them.
-    pub const ALL: [Oracle; 8] = [
+    pub const ALL: [Oracle; 9] = [
         Oracle::Sat,
         Oracle::Engines,
         Oracle::Incremental,
@@ -140,6 +149,7 @@ impl Oracle {
         Oracle::Session,
         Oracle::Sim,
         Oracle::Whatif,
+        Oracle::Rollout,
     ];
 
     /// CLI name of the oracle.
@@ -153,6 +163,7 @@ impl Oracle {
             Oracle::Session => "session",
             Oracle::Sim => "sim",
             Oracle::Whatif => "whatif",
+            Oracle::Rollout => "rollout",
         }
     }
 
@@ -174,6 +185,7 @@ impl Oracle {
             Oracle::Session => session::run(sub),
             Oracle::Sim => simnet_oracle::run(sub),
             Oracle::Whatif => whatif_oracle::run(sub),
+            Oracle::Rollout => rollout_oracle::run(sub),
         }
     }
 }

@@ -19,6 +19,17 @@
 //!     point, revalidate only the changed devices, and print either a
 //!     Robust(k) certificate or a minimal counterexample scenario.
 //!
+//! validatedc plan     [--scenario migrate|decommission] [--racks N]
+//!                     [--condition any|low|medium|high|blackhole]
+//!                     [--no-accept-final] [--max-backtracks N]
+//!                     [--clusters N] [--tors N] [--leaves N] [--spines N]
+//!                     [--seed S] [--engine ...] [--threads N] [--metrics <path|->]
+//!     Safe change-rollout planning: build a seeded maintenance
+//!     scenario over the generated fabric, show where the naive
+//!     submit order first violates the contracts, and search for an
+//!     ordering whose every intermediate state is safe. Exit 0 = safe
+//!     plan found, 2 = minimal unsafe change set reported.
+//!
 //! validatedc check-acl <FILE> [--contract "<filter>;<permit|deny>"]...
 //!                     [--metrics <path|->]
 //!     Parse a Cisco-IOS-style ACL and check contracts against it.
@@ -50,6 +61,7 @@ use secguru::diff::{semantic_diff, SmtDiff};
 use secguru::nsg_gate::{NsgApi, UpdateResult, VnetMetadata};
 use std::process::ExitCode;
 use std::sync::Arc;
+use validatedc::cli::{Console, FabricArgs, Opts};
 use validatedc::obskit;
 use validatedc::prelude::*;
 
@@ -64,6 +76,7 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(rest),
         "whatif" => cmd_whatif(rest),
         "serve" => cmd_serve(rest),
+        "plan" => cmd_plan(rest),
         "check-acl" => cmd_check_acl(rest),
         "check-nsg" => cmd_check_nsg(rest),
         "diff-acl" => cmd_diff_acl(rest),
@@ -105,96 +118,37 @@ const USAGE: &str = "usage:
       --churn withdrawals each, then a restore round that must
       reconverge to clean. RCDC_ENGINE / RCDC_THREADS / RCDC_SHARDS /
       RCDC_INGEST_CAPACITY set defaults; flags override.
+  validatedc plan     [--scenario migrate|decommission] [--racks N]
+                      [--condition any|low|medium|high|blackhole]
+                      [--no-accept-final] [--max-backtracks N]
+                      [--clusters N] [--tors N] [--leaves N] [--spines N]
+                      [--seed S] [--engine trie|trie-semantic|smt|smt-semantic]
+                      [--threads N] [--metrics <path|->]
+      Search for a change ordering whose every intermediate state
+      satisfies the contracts. Prints where the naive submit order
+      first fails, then the safe plan (exit 0) or the ddmin-minimal
+      unsafe change set (exit 2). --no-accept-final also forbids
+      violations present in the rollout's end state.
   validatedc check-acl <FILE> [--contract '<src>;<dst>;<dport>;<proto>;<permit|deny>']... [--metrics <path|->]
   validatedc check-nsg <FILE> --db-subnet <PREFIX> --infra <PREFIX> --port <PORT>
   validatedc diff-acl <OLD> <NEW> [--metrics <path|->]
 exit status: 0 = clean, 2 = violations found, 1 = error
 --metrics: export the metric registry after the run (- = Prometheus on stdout, *.json = JSON file, else Prometheus file)";
 
-/// Pull `--key value` options out of an argument list; returns
-/// (positional args, extractor closure results).
-struct Opts<'a> {
-    args: &'a [String],
-}
-
-impl<'a> Opts<'a> {
-    fn new(args: &'a [String]) -> Self {
-        Opts { args }
-    }
-
-    fn value(&self, key: &str) -> Option<&'a str> {
-        self.args
-            .iter()
-            .position(|a| a == key)
-            .and_then(|i| self.args.get(i + 1))
-            .map(String::as_str)
-    }
-
-    fn values(&self, key: &str) -> Vec<&'a str> {
-        let mut out = Vec::new();
-        let mut i = 0;
-        while i < self.args.len() {
-            if self.args[i] == key {
-                if let Some(v) = self.args.get(i + 1) {
-                    out.push(v.as_str());
-                }
-                i += 2;
-            } else {
-                i += 1;
-            }
-        }
-        out
-    }
-
-    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
-        match self.value(key) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("bad value for {key}: {v:?}")),
-        }
-    }
-
-    fn positional(&self) -> Vec<&'a str> {
-        let mut out = Vec::new();
-        let mut i = 0;
-        while i < self.args.len() {
-            if self.args[i].starts_with("--") {
-                i += 2;
-            } else {
-                out.push(self.args[i].as_str());
-                i += 1;
-            }
-        }
-        out
-    }
-}
-
 fn cmd_validate(args: &[String]) -> Result<bool, String> {
     let opts = Opts::new(args);
-    let params = ClosParams {
-        clusters: opts.parsed("--clusters", 4u32)?,
-        tors_per_cluster: opts.parsed("--tors", 8u32)?,
-        leaves_per_cluster: opts.parsed("--leaves", 4u32)?,
-        spines: opts.parsed("--spines", 8u32)?,
-        regional_spines: 4,
-        regional_groups: 2,
-        prefixes_per_tor: 1,
-    };
+    let common = FabricArgs::parse(&opts)?;
     let fail_links: usize = opts.parsed("--fail-links", 0usize)?;
-    let seed: u64 = opts.parsed("--seed", 7u64)?;
-    let threads: usize = opts.parsed("--threads", 0usize)?;
-    let engine: EngineChoice = opts.value("--engine").unwrap_or("trie").parse()?;
-    let metrics_dest = opts.value("--metrics");
+    let metrics_dest = common.metrics;
 
-    let mut topology = build_clos(&params);
+    let mut topology = build_clos(&common.params);
     eprintln!(
         "generated {} devices / {} links",
         topology.devices().len(),
         topology.links().len()
     );
     if fail_links > 0 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(common.seed);
         let n = topology.links().len() as u32;
         for _ in 0..fail_links {
             let l = dctopo::LinkId(rng.gen_range(0..n));
@@ -205,7 +159,9 @@ fn cmd_validate(args: &[String]) -> Result<bool, String> {
     let fibs = simulate(&topology, &SimConfig::healthy());
     let meta = MetadataService::from_topology(&topology);
     let registry = Registry::new();
-    let mut builder = Validator::new(&meta).engine(engine).threads(threads);
+    let mut builder = Validator::new(&meta)
+        .engine(common.engine)
+        .threads(common.threads);
     if metrics_dest.is_some() {
         builder = builder.metrics(&registry);
     }
@@ -237,15 +193,7 @@ fn cmd_validate(args: &[String]) -> Result<bool, String> {
 
 fn cmd_whatif(args: &[String]) -> Result<bool, String> {
     let opts = Opts::new(args);
-    let params = ClosParams {
-        clusters: opts.parsed("--clusters", 4u32)?,
-        tors_per_cluster: opts.parsed("--tors", 8u32)?,
-        leaves_per_cluster: opts.parsed("--leaves", 4u32)?,
-        spines: opts.parsed("--spines", 8u32)?,
-        regional_spines: 4,
-        regional_groups: 2,
-        prefixes_per_tor: 1,
-    };
+    let common = FabricArgs::parse(&opts)?;
     let k: usize = opts.parsed("--k", 1usize)?;
     let condition: FailCondition = opts.value("--condition").unwrap_or("blackhole").parse()?;
     let sample: Option<usize> = match opts.value("--sample") {
@@ -253,27 +201,18 @@ fn cmd_whatif(args: &[String]) -> Result<bool, String> {
         Some(v) => Some(v.parse().map_err(|_| format!("bad value for --sample: {v:?}"))?),
     };
     let fail_links: usize = opts.parsed("--fail-links", 0usize)?;
-    let seed: u64 = opts.parsed("--seed", 7u64)?;
-    let threads: usize = opts.parsed("--threads", 0usize)?;
-    let engine: EngineChoice = opts.value("--engine").unwrap_or("trie").parse()?;
-    let flag = |name: &str| args.iter().any(|a| a == name);
-    let metrics_dest = opts.value("--metrics");
-    let say = |line: String| {
-        if metrics_dest == Some("-") {
-            eprintln!("{line}");
-        } else {
-            println!("{line}");
-        }
-    };
+    let metrics_dest = common.metrics;
+    let con = common.console();
+    let say = |line: String| con.say(line);
 
-    let mut topology = build_clos(&params);
+    let mut topology = build_clos(&common.params);
     say(format!(
         "generated {} devices / {} links",
         topology.devices().len(),
         topology.links().len()
     ));
     if fail_links > 0 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(common.seed);
         let n = topology.links().len() as u32;
         for _ in 0..fail_links {
             let l = dctopo::LinkId(rng.gen_range(0..n));
@@ -283,19 +222,21 @@ fn cmd_whatif(args: &[String]) -> Result<bool, String> {
     }
     let meta = MetadataService::from_topology(&topology);
     let registry = Registry::new();
-    let mut builder = Validator::new(&meta).engine(engine).threads(threads);
+    let mut builder = Validator::new(&meta)
+        .engine(common.engine)
+        .threads(common.threads);
     if metrics_dest.is_some() {
         builder = builder.metrics(&registry);
     }
     let sweeper = builder.build_whatif(&topology, &SimConfig::healthy());
     let sweep_opts = SweepOptions {
         k,
-        include_devices: flag("--devices"),
-        symmetry: flag("--symmetry"),
+        include_devices: opts.flag("--devices"),
+        symmetry: opts.flag("--symmetry"),
         sample,
-        seed,
-        threads,
-        exhaustive: flag("--exhaustive"),
+        seed: common.seed,
+        threads: common.threads,
+        exhaustive: opts.flag("--exhaustive"),
         condition,
     };
     let report = sweeper.sweep(&sweep_opts);
@@ -358,29 +299,19 @@ fn cmd_whatif(args: &[String]) -> Result<bool, String> {
 
 fn cmd_serve(args: &[String]) -> Result<bool, String> {
     let opts = Opts::new(args);
-    let params = ClosParams {
-        clusters: opts.parsed("--clusters", 4u32)?,
-        tors_per_cluster: opts.parsed("--tors", 8u32)?,
-        leaves_per_cluster: opts.parsed("--leaves", 4u32)?,
-        spines: opts.parsed("--spines", 8u32)?,
-        regional_spines: 4,
-        regional_groups: 2,
-        prefixes_per_tor: 1,
-    };
+    let common = FabricArgs::parse(&opts)?;
     let rounds: usize = opts.parsed("--rounds", 5usize)?;
     let churn: usize = opts.parsed("--churn", 8usize)?;
-    let seed: u64 = opts.parsed("--seed", 7u64)?;
-    let metrics_dest = opts.value("--metrics");
-    let say = |line: String| {
-        if metrics_dest == Some("-") {
-            eprintln!("{line}");
-        } else {
-            println!("{line}");
-        }
-    };
+    let seed = common.seed;
+    let metrics_dest = common.metrics;
+    let con = common.console();
+    let say = |line: String| con.say(line);
 
-    let topology = build_clos(&params);
-    let fibs = simulate(&topology, &SimConfig::healthy());
+    let topology = build_clos(&common.params);
+    // The service path owns the machine, so the fleet's initial fixed
+    // point defaults to all detected cores (RCDC_SIM_THREADS
+    // overrides); the output is bit-identical at any thread count.
+    let (fibs, _) = simulate_with(&topology, &SimConfig::healthy(), SimOptions::auto());
     let meta = MetadataService::from_topology(&topology);
     let devices: Vec<DeviceId> = (0..fibs.len() as u32).map(DeviceId).collect();
 
@@ -461,6 +392,134 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
             .map_err(|e| format!("cannot write metrics to {dest:?}: {e}"))?;
     }
     Ok(clean)
+}
+
+fn cmd_plan(args: &[String]) -> Result<bool, String> {
+    let opts = Opts::new(args);
+    let common = FabricArgs::parse(&opts)?;
+    let scenario: RolloutScenario = opts.value("--scenario").unwrap_or("migrate").parse()?;
+    let racks: usize = opts.parsed("--racks", 1usize)?;
+    let condition: FailCondition = opts.value("--condition").unwrap_or("blackhole").parse()?;
+    let accept_final = !opts.flag("--no-accept-final");
+    let max_backtracks: usize = opts.parsed("--max-backtracks", 4096usize)?;
+    let metrics_dest = common.metrics;
+    let con = common.console();
+    let say = |line: String| con.say(line);
+
+    let topology = build_clos(&common.params);
+    say(format!(
+        "generated {} devices / {} links",
+        topology.devices().len(),
+        topology.links().len()
+    ));
+    let (net, changes) = seeded_scenario(&topology, scenario, racks, common.seed);
+    let render_change = |c: &ConfigChange| match c {
+        ConfigChange::SetLinkState { link, state } => {
+            let l = &net.topology.links()[link.0 as usize];
+            let verb = if matches!(state, LinkState::Up) {
+                "bring up"
+            } else {
+                "shut"
+            };
+            format!(
+                "{verb} {} <-> {}",
+                net.topology.device(l.lo).name,
+                net.topology.device(l.hi).name
+            )
+        }
+        ConfigChange::SetOverride { device, .. } => {
+            format!("override on {}", net.topology.device(*device).name)
+        }
+    };
+    say(format!(
+        "scenario {scenario:?}: {} changes over {racks} rack(s), seed {}",
+        changes.len(),
+        common.seed
+    ));
+
+    let meta = MetadataService::from_topology(&net.topology);
+    let registry = Registry::new();
+    let mut builder = Validator::new(&meta)
+        .engine(common.engine)
+        .threads(common.threads);
+    if metrics_dest.is_some() {
+        builder = builder.metrics(&registry);
+    }
+    let planner = builder.build_planner(&net);
+    let plan_opts = PlanOptions {
+        condition,
+        accept_final,
+        max_backtracks,
+        threads: common.threads,
+    };
+
+    // How far does the operator's submit order get before violating a
+    // contract mid-rollout?
+    let naive = planner.check_order(&changes, &plan_opts)?;
+    match naive.first_unsafe {
+        Some(step) => say(format!(
+            "naive submit order: UNSAFE at step {} ({}) — {} matching transient violation(s)",
+            step + 1,
+            render_change(&changes[step]),
+            naive.transient,
+        )),
+        None => say("naive submit order: already safe at every step".to_string()),
+    }
+
+    let report = planner.plan(&changes, &plan_opts)?;
+    say(format!(
+        "searched {} intermediate state(s) in {:.2}s — {} devices revalidated, \
+         {} verdicts reused, {} anchors, {} dead-prefix hits, {} backtracks{}",
+        report.states_evaluated,
+        report.elapsed.as_secs_f64(),
+        report.devices_revalidated,
+        report.verdicts_reused,
+        report.anchors_built,
+        report.dead_prefix_hits,
+        report.backtracks,
+        if report.search_exhausted {
+            ""
+        } else {
+            " (search aborted at the backtrack budget)"
+        },
+    ));
+    match &report.verdict {
+        PlanVerdict::Safe(steps) => {
+            say(format!(
+                "VERDICT: safe plan — {} step(s), every intermediate state satisfies '{condition}'",
+                steps.len()
+            ));
+            for (i, s) in steps.iter().enumerate() {
+                say(format!("  {}. {}", i + 1, render_change(&s.change)));
+            }
+        }
+        PlanVerdict::Unsafe(u) => {
+            say(format!(
+                "VERDICT: no safe ordering — minimal unsafe change set \
+                 ({} of {} change(s); removing any one makes the rest orderable):",
+                u.prefix.len(),
+                changes.len()
+            ));
+            for s in &u.prefix {
+                say(format!("  - {}", render_change(&s.change)));
+            }
+            for v in u.transient.iter().take(4) {
+                say(format!(
+                    "  -> {} prefix {}: {}",
+                    net.topology.device(v.device).name,
+                    v.prefix,
+                    v.reason
+                ));
+            }
+        }
+    }
+    if let Some(dest) = metrics_dest {
+        registry
+            .observe_and_snapshot(&[])
+            .write_to(dest)
+            .map_err(|e| format!("cannot write metrics to {dest:?}: {e}"))?;
+    }
+    Ok(report.is_safe())
 }
 
 /// Merge the per-shard notification-latency histograms into one
@@ -558,13 +617,8 @@ fn cmd_check_acl(args: &[String]) -> Result<bool, String> {
         sg = sg.metrics(&registry);
     }
     let failures = sg.check_all(&contracts);
-    let say = |line: String| {
-        if metrics_dest == Some("-") {
-            eprintln!("{line}");
-        } else {
-            println!("{line}");
-        }
-    };
+    let con = Console::for_dest(metrics_dest);
+    let say = |line: String| con.say(line);
     let clean = failures.is_empty();
     if clean {
         say(format!("all {} contracts hold", contracts.len()));
@@ -660,13 +714,8 @@ fn cmd_diff_acl(args: &[String]) -> Result<bool, String> {
         }
         None => semantic_diff(&old, &new),
     };
-    let say = |line: String| {
-        if metrics_dest == Some("-") {
-            eprintln!("{line}");
-        } else {
-            println!("{line}");
-        }
-    };
+    let con = Console::for_dest(metrics_dest);
+    let say = |line: String| con.say(line);
     match (&diff.newly_denied, &diff.newly_permitted) {
         (None, None) => {
             say("policies are semantically equivalent".to_string());

@@ -1,0 +1,150 @@
+//! Shared command-line argument layer for the `validatedc` binary.
+//!
+//! Every fabric-driving subcommand (`validate`, `whatif`, `serve`,
+//! `plan`) accepts the same vocabulary — Clos shape flags, `--seed`,
+//! `--threads`, `--engine`, `--metrics` — and follows the same exit
+//! convention (0 = clean/safe, 2 = violations/counterexample/unsafe,
+//! 1 = error). This module is that vocabulary, parsed once instead of
+//! copied per subcommand.
+
+use dctopo::ClosParams;
+use rcdc::runner::EngineChoice;
+
+/// Pull `--key value` options out of an argument list.
+pub struct Opts<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Opts<'a> {
+    /// Wrap a subcommand's argument slice.
+    pub fn new(args: &'a [String]) -> Self {
+        Opts { args }
+    }
+
+    /// The value following the last-irrelevant first occurrence of
+    /// `--key`, if any.
+    pub fn value(&self, key: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Every value following an occurrence of `--key` (repeatable
+    /// options like `--contract`).
+    pub fn values(&self, key: &str) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.args.len() {
+            if self.args[i] == key {
+                if let Some(v) = self.args.get(i + 1) {
+                    out.push(v.as_str());
+                }
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Parse `--key value` into `T`, or return `default` when absent.
+    pub fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.value(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for {key}: {v:?}")),
+        }
+    }
+
+    /// Is the bare flag `--name` present?
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// Arguments that are not `--key value` pairs (input files).
+    pub fn positional(&self) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.args.len() {
+            if self.args[i].starts_with("--") {
+                i += 2;
+            } else {
+                out.push(self.args[i].as_str());
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+/// The flags shared by every fabric-driving subcommand.
+pub struct FabricArgs<'a> {
+    /// Generated Clos shape (`--clusters/--tors/--leaves/--spines`).
+    pub params: ClosParams,
+    /// Deterministic seed for fault injection / scenario choice.
+    pub seed: u64,
+    /// Worker threads (0 = the component's own default).
+    pub threads: usize,
+    /// Verification engine.
+    pub engine: EngineChoice,
+    /// Metric-export destination (`-` = Prometheus text on stdout).
+    pub metrics: Option<&'a str>,
+}
+
+impl<'a> FabricArgs<'a> {
+    /// Parse the shared flags out of a subcommand's options.
+    pub fn parse(opts: &Opts<'a>) -> Result<FabricArgs<'a>, String> {
+        Ok(FabricArgs {
+            params: ClosParams {
+                clusters: opts.parsed("--clusters", 4u32)?,
+                tors_per_cluster: opts.parsed("--tors", 8u32)?,
+                leaves_per_cluster: opts.parsed("--leaves", 4u32)?,
+                spines: opts.parsed("--spines", 8u32)?,
+                regional_spines: 4,
+                regional_groups: 2,
+                prefixes_per_tor: 1,
+            },
+            seed: opts.parsed("--seed", 7u64)?,
+            threads: opts.parsed("--threads", 0usize)?,
+            engine: opts.value("--engine").unwrap_or("trie").parse()?,
+            metrics: opts.value("--metrics"),
+        })
+    }
+
+    /// Human-report sink honoring the `--metrics -` convention: with
+    /// Prometheus text on stdout, the report moves to stderr so the
+    /// exposition stays machine-parseable.
+    pub fn console(&self) -> Console {
+        Console {
+            to_stderr: self.metrics == Some("-"),
+        }
+    }
+}
+
+/// Where the human-readable report lines go (see
+/// [`FabricArgs::console`]).
+pub struct Console {
+    to_stderr: bool,
+}
+
+impl Console {
+    /// Console for a subcommand that takes `--metrics` without the
+    /// full fabric vocabulary (the ACL/NSG file checkers).
+    pub fn for_dest(metrics: Option<&str>) -> Console {
+        Console {
+            to_stderr: metrics == Some("-"),
+        }
+    }
+
+    /// Print one report line.
+    pub fn say(&self, line: impl AsRef<str>) {
+        if self.to_stderr {
+            eprintln!("{}", line.as_ref());
+        } else {
+            println!("{}", line.as_ref());
+        }
+    }
+}

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod metrics;
 pub mod render;
 pub mod serve;
@@ -56,8 +57,7 @@ pub use smtkit;
 
 /// Commonly used items, for `use validatedc::prelude::*`.
 pub mod prelude {
-    pub use bgpsim::{simulate, DeviceOverride, Fib, FibBuilder, SimConfig};
-    pub use dcemu::{ChangeWorkflow, ConfigChange, ManagedNetwork, WorkflowOutcome};
+    pub use bgpsim::{simulate, simulate_with, DeviceOverride, Fib, FibBuilder, SimConfig, SimOptions};
     pub use dctopo::generator::figure3;
     pub use dctopo::{build_clos, ClosParams, DeviceId, LinkState, MetadataService, Role, Topology};
     pub use netprim::{HeaderSpace, HeaderTuple, IpRange, Ipv4, PortRange, Prefix, Protocol};
@@ -66,6 +66,11 @@ pub mod prelude {
     pub use rcdc::contracts::generate_contracts;
     pub use rcdc::engine::{smt::SmtEngine, trie::TrieEngine, Engine};
     pub use rcdc::report::{risk_of, Risk, ValidationReport, Violation};
+    pub use rcdc::rollout::{
+        seeded_scenario, ConfigChange, ManagedNetwork, OrderCheck, PlanOptions, PlanReport,
+        PlanStep, PlanVerdict, Prechecker, PrecheckReport, RolloutPlanner, RolloutScenario,
+        UnsafePrefix, WorkflowOutcome,
+    };
     pub use rcdc::runner::{DatacenterReport, EngineChoice};
     pub use rcdc::service::{IngestEvent, ServiceHandle, ValidationService};
     pub use rcdc::shard::ShardRouter;

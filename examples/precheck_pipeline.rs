@@ -10,7 +10,8 @@ use validatedc::prelude::*;
 
 fn main() {
     let f = figure3();
-    let mut workflow = ChangeWorkflow::new(ManagedNetwork::new(f.topology.clone()));
+    let meta = MetadataService::from_topology(&f.topology);
+    let mut workflow = Validator::new(&meta).build_precheck(&ManagedNetwork::new(f.topology.clone()));
     println!(
         "production: {} devices; contracts generated for all of them",
         f.topology.devices().len()
@@ -64,7 +65,7 @@ fn main() {
     }
 
     println!("\nproduction remained clean throughout:");
-    let violations = workflow.production.validate(workflow.contracts());
+    let violations = workflow.validate(workflow.production());
     println!("  {} violations", violations.len());
     assert!(violations.is_empty());
 }

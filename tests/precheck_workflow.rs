@@ -1,13 +1,21 @@
 //! E11 — the §2.7 change-validation pipeline (Figure 7): bad changes
 //! are blocked before production, good changes flow through, and the
 //! emulator reports the same error classes as live monitoring.
+//!
+//! The workflow is owned by a [`Prechecker`] constructed through the
+//! unified builder (`Validator::new(&meta).build_precheck(production)`).
 
 use validatedc::prelude::*;
+
+fn prechecker(production: ManagedNetwork) -> Prechecker {
+    let meta = MetadataService::from_topology(&production.topology);
+    Validator::new(&meta).build_precheck(&production)
+}
 
 #[test]
 fn route_map_bug_blocked_before_production() {
     let f = figure3();
-    let mut w = ChangeWorkflow::new(ManagedNetwork::new(f.topology.clone()));
+    let mut w = prechecker(ManagedNetwork::new(f.topology.clone()));
     let bad = DeviceOverride {
         reject_default_import: true,
         ..DeviceOverride::default()
@@ -17,7 +25,7 @@ fn route_map_bug_blocked_before_production() {
         config: bad,
     }]);
     assert!(matches!(outcome, WorkflowOutcome::RejectedAtPrecheck(_)));
-    assert!(w.production.validate(w.contracts()).is_empty());
+    assert!(w.validate(w.production()).is_empty());
 }
 
 #[test]
@@ -26,7 +34,7 @@ fn interop_style_bug_mix_blocked() {
     // override — the multi-root-cause change the pre-check pipeline is
     // built to catch.
     let f = figure3();
-    let mut w = ChangeWorkflow::new(ManagedNetwork::new(f.topology.clone()));
+    let mut w = prechecker(ManagedNetwork::new(f.topology.clone()));
     let ecmp = DeviceOverride {
         max_ecmp: Some(1),
         ..DeviceOverride::default()
@@ -57,7 +65,7 @@ fn interop_style_bug_mix_blocked() {
 #[test]
 fn benign_then_restore_deploys_cleanly() {
     let f = figure3();
-    let mut w = ChangeWorkflow::new(ManagedNetwork::new(f.topology.clone()));
+    let mut w = prechecker(ManagedNetwork::new(f.topology.clone()));
     // Benign no-op.
     assert!(matches!(
         w.submit(&[ConfigChange::SetOverride {
@@ -66,7 +74,7 @@ fn benign_then_restore_deploys_cleanly() {
         }]),
         WorkflowOutcome::Deployed
     ));
-    assert!(w.production.validate(w.contracts()).is_empty());
+    assert!(w.validate(w.production()).is_empty());
 }
 
 #[test]
@@ -81,15 +89,15 @@ fn repair_change_on_faulted_network_deploys() {
         .unwrap()
         .id;
     production.topology.set_link_state(link, LinkState::AdminShut);
-    let mut w = ChangeWorkflow::new(production);
-    assert!(!w.production.validate(w.contracts()).is_empty());
+    let mut w = prechecker(production);
+    assert!(!w.validate(w.production()).is_empty());
 
     let outcome = w.submit(&[ConfigChange::SetLinkState {
         link,
         state: LinkState::Up,
     }]);
     assert!(matches!(outcome, WorkflowOutcome::Deployed));
-    assert!(w.production.validate(w.contracts()).is_empty());
+    assert!(w.validate(w.production()).is_empty());
 }
 
 #[test]

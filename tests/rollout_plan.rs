@@ -1,0 +1,190 @@
+//! Plan-level invariants of the rollout planner: the emitted answer is
+//! a property of the change *set* and the safety condition, not of how
+//! the search was driven.
+//!
+//! Properties over random change sets (link maintenance + device
+//! overrides, distinct targets) on the Figure-3 fabric:
+//!
+//! * **Driver determinism** — serial and parallel planning return the
+//!   same verdict, down to the exact step order and the exact minimal
+//!   unsafe change set.
+//! * **Input-order irrelevance** — changes commute, so permuting the
+//!   submitted set never flips plannability.
+//! * **Emitted plans replay clean** — a safe plan's own order passes
+//!   the step-by-step check it was searched under.
+//! * **k=1 ≡ precheck** — planning a single change with the final
+//!   state not accepted asks exactly the §2.7 pre-check question.
+//!
+//! The byte-level cross-check of the incremental state evaluation
+//! against brute-force re-simulation lives in the difftest `rollout`
+//! oracle; these properties pin the search-level invariants.
+
+use proptest::prelude::*;
+use validatedc::prelude::*;
+
+/// A replayable change pick, materialized against the fabric.
+#[derive(Debug, Clone)]
+enum Pick {
+    Link(usize, usize),
+    Override(usize, usize),
+}
+
+fn pick_strategy() -> impl Strategy<Value = Vec<Pick>> {
+    let one = prop_oneof![
+        (0usize..10_000, 0usize..3).prop_map(|(l, s)| Pick::Link(l, s)),
+        (0usize..10_000, 0usize..3).prop_map(|(d, o)| Pick::Override(d, o)),
+    ];
+    proptest::collection::vec(one, 0..5)
+}
+
+/// Materialize picks into changes with distinct targets.
+fn build_changes(topology: &Topology, picks: &[Pick]) -> Vec<ConfigChange> {
+    let mut out: Vec<ConfigChange> = Vec::new();
+    for p in picks {
+        let change = match *p {
+            Pick::Link(l, s) => ConfigChange::SetLinkState {
+                link: topology.links()[l % topology.links().len()].id,
+                state: [LinkState::Up, LinkState::AdminShut, LinkState::OperDown][s % 3],
+            },
+            Pick::Override(d, o) => ConfigChange::SetOverride {
+                device: DeviceId((d % topology.len()) as u32),
+                config: match o % 3 {
+                    0 => DeviceOverride::default(),
+                    1 => DeviceOverride {
+                        reject_default_import: true,
+                        ..DeviceOverride::default()
+                    },
+                    _ => DeviceOverride {
+                        max_ecmp: Some(1),
+                        ..DeviceOverride::default()
+                    },
+                },
+            },
+        };
+        let clashes = out.iter().any(|c| match (c, &change) {
+            (
+                ConfigChange::SetLinkState { link: a, .. },
+                ConfigChange::SetLinkState { link: b, .. },
+            ) => a == b,
+            (
+                ConfigChange::SetOverride { device: a, .. },
+                ConfigChange::SetOverride { device: b, .. },
+            ) => a == b,
+            _ => false,
+        });
+        if !clashes {
+            out.push(change);
+        }
+    }
+    out
+}
+
+fn fig3_planner() -> (dctopo::generator::Figure3, RolloutPlanner) {
+    let f = figure3();
+    let meta = MetadataService::from_topology(&f.topology);
+    let planner = Validator::new(&meta).build_planner(&ManagedNetwork::new(f.topology.clone()));
+    (f, planner)
+}
+
+fn condition(i: usize) -> FailCondition {
+    [
+        FailCondition::AnyViolation,
+        FailCondition::Blackhole,
+        FailCondition::AtLeast(Risk::High),
+    ][i % 3]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn plan_verdict_is_thread_count_invariant(
+        picks in pick_strategy(),
+        cond_i in 0usize..3,
+        accept_final in any::<bool>(),
+    ) {
+        let (f, planner) = fig3_planner();
+        let changes = build_changes(&f.topology, &picks);
+        let verdicts: Vec<PlanVerdict> = [1usize, 2, 5]
+            .iter()
+            .map(|&threads| {
+                let opts = PlanOptions {
+                    condition: condition(cond_i),
+                    accept_final,
+                    threads,
+                    ..PlanOptions::default()
+                };
+                planner.plan(&changes, &opts).unwrap().verdict
+            })
+            .collect();
+        prop_assert_eq!(&verdicts[0], &verdicts[1]);
+        prop_assert_eq!(&verdicts[1], &verdicts[2]);
+    }
+
+    #[test]
+    fn permuting_the_change_set_never_flips_plannability(
+        picks in pick_strategy(),
+        rot in 0usize..5,
+        cond_i in 0usize..3,
+    ) {
+        let (f, planner) = fig3_planner();
+        let changes = build_changes(&f.topology, &picks);
+        let mut permuted = changes.clone();
+        if !permuted.is_empty() {
+            let rot = rot % permuted.len();
+            permuted.rotate_left(rot);
+            permuted.reverse();
+        }
+        let opts = PlanOptions {
+            condition: condition(cond_i),
+            ..PlanOptions::default()
+        };
+        let a = planner.plan(&changes, &opts).unwrap();
+        let b = planner.plan(&permuted, &opts).unwrap();
+        prop_assert_eq!(a.is_safe(), b.is_safe());
+    }
+
+    #[test]
+    fn emitted_plans_replay_clean(
+        picks in pick_strategy(),
+        cond_i in 0usize..3,
+        accept_final in any::<bool>(),
+    ) {
+        let (f, planner) = fig3_planner();
+        let changes = build_changes(&f.topology, &picks);
+        let opts = PlanOptions {
+            condition: condition(cond_i),
+            accept_final,
+            ..PlanOptions::default()
+        };
+        let report = planner.plan(&changes, &opts).unwrap();
+        if let PlanVerdict::Safe(steps) = &report.verdict {
+            prop_assert_eq!(steps.len(), changes.len());
+            let ordered: Vec<ConfigChange> =
+                steps.iter().map(|s| s.change.clone()).collect();
+            let replay = planner.check_order(&ordered, &opts).unwrap();
+            prop_assert_eq!(replay.first_unsafe, None);
+        }
+    }
+
+    #[test]
+    fn single_change_plan_equals_precheck(
+        picks in pick_strategy(),
+    ) {
+        let (f, planner) = fig3_planner();
+        let meta = MetadataService::from_topology(&f.topology);
+        let checker =
+            Validator::new(&meta).build_precheck(&ManagedNetwork::new(f.topology.clone()));
+        let changes = build_changes(&f.topology, &picks);
+        if let Some(change) = changes.first() {
+            let single = [change.clone()];
+            let opts = PlanOptions {
+                accept_final: false,
+                ..PlanOptions::default()
+            };
+            let report = planner.plan(&single, &opts).unwrap();
+            let precheck = checker.precheck(&single);
+            prop_assert_eq!(report.is_safe(), precheck.passed());
+        }
+    }
+}
